@@ -1,0 +1,52 @@
+//! XR-Adm (§VI-D): "An admin tool XR-adm is responsible for distributing
+//! the configurations to these control threads from the running X-RDMA
+//! applications". Here: fan a `set_flag` out to a fleet of contexts and
+//! report per-context results.
+
+use std::rc::Rc;
+
+use xrdma_core::{XrdmaContext, XrdmaError};
+
+/// Outcome of one distribution.
+#[derive(Debug)]
+pub struct AdmResult {
+    pub node: u32,
+    pub context_name: String,
+    pub result: Result<(), XrdmaError>,
+}
+
+/// The admin tool.
+pub struct XrAdm {
+    fleet: Vec<Rc<XrdmaContext>>,
+}
+
+impl XrAdm {
+    pub fn new(fleet: Vec<Rc<XrdmaContext>>) -> XrAdm {
+        XrAdm { fleet }
+    }
+
+    pub fn add(&mut self, ctx: Rc<XrdmaContext>) {
+        self.fleet.push(ctx);
+    }
+
+    /// Distribute an online configuration change to the whole fleet.
+    pub fn set_flag(&self, key: &str, value: &str) -> Vec<AdmResult> {
+        self.fleet
+            .iter()
+            .map(|ctx| AdmResult {
+                node: ctx.node().0,
+                context_name: ctx.thread().name().to_string(),
+                result: ctx.set_flag(key, value),
+            })
+            .collect()
+    }
+
+    /// Convenience: did every context accept the change?
+    pub fn set_flag_all_ok(&self, key: &str, value: &str) -> bool {
+        self.set_flag(key, value).iter().all(|r| r.result.is_ok())
+    }
+
+    pub fn fleet_size(&self) -> usize {
+        self.fleet.len()
+    }
+}

@@ -1,0 +1,153 @@
+//! Clock synchronization service (§VI-A method I prerequisite).
+//!
+//! The latency decomposition `T2 − T1 − Toff` needs `Toff`, the clock
+//! offset between requester and responder. X-RDMA "provides a clock
+//! synchronization service" (citing the NTP literature); we implement the classic NTP exchange on
+//! top of the middleware RPC path: the client stamps `t1`, the server
+//! answers with its receive stamp, the client stamps `t3`, and
+//! `offset ≈ t_server − (t1 + t3)/2` assuming a symmetric path. Repeating
+//! the probe and taking the minimum-RTT sample filters queueing noise.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xrdma_core::XrdmaChannel;
+
+/// One completed probe.
+#[derive(Clone, Copy, Debug)]
+pub struct ClockSample {
+    pub t1_ns: u64,
+    pub server_ns: u64,
+    pub t3_ns: u64,
+}
+
+impl ClockSample {
+    pub fn rtt_ns(&self) -> u64 {
+        self.t3_ns.saturating_sub(self.t1_ns)
+    }
+
+    /// Estimated offset (server clock − client clock).
+    pub fn offset_ns(&self) -> i64 {
+        self.server_ns as i64 - ((self.t1_ns + self.t3_ns) / 2) as i64
+    }
+}
+
+/// Accumulated samples for one peer pairing.
+pub struct ClockSync {
+    samples: Rc<RefCell<Vec<ClockSample>>>,
+}
+
+impl Default for ClockSync {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClockSync {
+    pub fn new() -> ClockSync {
+        ClockSync {
+            samples: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Launch `n` probes over `channel`, strictly one at a time (a burst
+    /// would queue at the responder and bias the offset). The server side
+    /// must have been armed with [`ClockSync::serve`]. Results accumulate
+    /// in this instance; read them after the world has run.
+    pub fn probe(&self, channel: &Rc<XrdmaChannel>, n: usize) {
+        fn one(samples: Rc<RefCell<Vec<ClockSample>>>, channel: &Rc<XrdmaChannel>, left: usize) {
+            if left == 0 {
+                return;
+            }
+            let Some(ctx) = channel.context() else { return };
+            let t1 = ctx.local_clock_ns();
+            channel
+                .send_request(bytes::Bytes::from_static(b"clocksync"), move |ch, resp| {
+                    let body = resp.body();
+                    if body.len() >= 8 {
+                        let server_ns = u64::from_le_bytes(body[..8].try_into().unwrap());
+                        if let Some(ctx) = ch.context() {
+                            samples.borrow_mut().push(ClockSample {
+                                t1_ns: t1,
+                                server_ns,
+                                t3_ns: ctx.local_clock_ns(),
+                            });
+                        }
+                    }
+                    one(samples.clone(), ch, left - 1);
+                })
+                .ok();
+        }
+        one(self.samples.clone(), channel, n);
+    }
+
+    /// Arm the server side of the protocol on a channel: every request
+    /// whose body is the clocksync magic is answered with the server's
+    /// local clock.
+    pub fn serve(channel: &Rc<XrdmaChannel>) {
+        channel.set_on_request(|ch, msg, token| {
+            if msg.body().as_ref() == b"clocksync" {
+                let ctx = ch.context().expect("context alive");
+                let stamp = ctx.local_clock_ns().to_le_bytes();
+                ch.respond(token, bytes::Bytes::copy_from_slice(&stamp)).ok();
+            }
+        });
+    }
+
+    pub fn sample_count(&self) -> usize {
+        self.samples.borrow().len()
+    }
+
+    /// Best (minimum-RTT) offset estimate, or None without samples.
+    pub fn offset_ns(&self) -> Option<i64> {
+        self.samples
+            .borrow()
+            .iter()
+            .min_by_key(|s| s.rtt_ns())
+            .map(|s| s.offset_ns())
+    }
+
+    pub fn samples(&self) -> Vec<ClockSample> {
+        self.samples.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_math() {
+        // Client sends at 1000, server clock reads 5500 at arrival (true
+        // offset +2000, one-way 2500), response lands at client 6000.
+        let s = ClockSample {
+            t1_ns: 1000,
+            server_ns: 5500,
+            t3_ns: 6000,
+        };
+        assert_eq!(s.rtt_ns(), 5000);
+        assert_eq!(s.offset_ns(), 5500 - 3500);
+    }
+
+    #[test]
+    fn min_rtt_selection() {
+        let cs = ClockSync::new();
+        cs.samples.borrow_mut().push(ClockSample {
+            t1_ns: 0,
+            server_ns: 10_000, // noisy: huge rtt
+            t3_ns: 50_000,
+        });
+        cs.samples.borrow_mut().push(ClockSample {
+            t1_ns: 0,
+            server_ns: 2_500, // clean: offset 500, rtt 4000
+            t3_ns: 4_000,
+        });
+        assert_eq!(cs.offset_ns(), Some(500));
+        assert_eq!(cs.sample_count(), 2);
+    }
+
+    #[test]
+    fn empty_has_no_estimate() {
+        assert_eq!(ClockSync::new().offset_ns(), None);
+    }
+}

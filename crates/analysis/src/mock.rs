@@ -1,0 +1,211 @@
+//! Mock (§VI-C): "to handle some rare RDMA network anomaly scenarios such
+//! as heavy congestion, high-degree incast or protocol stack collapse,
+//! X-RDMA provides a Mock mechanism to temporarily switch to TCP".
+//!
+//! [`MockTransport`] wraps an RDMA channel and a TCP connection to the
+//! same peer and exposes one message API; `switch_to_tcp` / `switch_to_rdma`
+//! flip the active path at runtime without the application noticing
+//! (beyond latency).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use xrdma_core::XrdmaChannel;
+use xrdma_rnic::tcp::TcpConn;
+use xrdma_sim::{Dur, World};
+
+/// The currently active transport.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    Rdma,
+    Tcp,
+}
+
+/// A switchable RDMA/TCP message transport to one peer.
+pub struct MockTransport {
+    rdma: RefCell<Option<Rc<XrdmaChannel>>>,
+    tcp: RefCell<Option<Rc<TcpConn>>>,
+    mode: Cell<Transport>,
+    /// Messages sent per path (stats).
+    pub sent_rdma: Cell<u64>,
+    pub sent_tcp: Cell<u64>,
+    on_msg: RefCell<Option<Rc<dyn Fn(u64, Option<Bytes>)>>>,
+}
+
+impl MockTransport {
+    pub fn new() -> Rc<MockTransport> {
+        Rc::new(MockTransport {
+            rdma: RefCell::new(None),
+            tcp: RefCell::new(None),
+            mode: Cell::new(Transport::Rdma),
+            sent_rdma: Cell::new(0),
+            sent_tcp: Cell::new(0),
+            on_msg: RefCell::new(None),
+        })
+    }
+
+    /// Attach the RDMA path. Inbound one-way messages are funneled into
+    /// the unified callback.
+    pub fn attach_rdma(self: &Rc<Self>, ch: Rc<XrdmaChannel>) {
+        let me = self.clone();
+        ch.set_on_request(move |_ch, msg, _token| {
+            if let Some(cb) = me.on_msg.borrow().as_ref() {
+                cb(msg.len, Some(msg.body()));
+            }
+        });
+        *self.rdma.borrow_mut() = Some(ch);
+    }
+
+    /// Attach the TCP path.
+    pub fn attach_tcp(self: &Rc<Self>, conn: Rc<TcpConn>) {
+        let me = self.clone();
+        conn.set_on_msg(move |len, data| {
+            if let Some(cb) = me.on_msg.borrow().as_ref() {
+                cb(len, data);
+            }
+        });
+        *self.tcp.borrow_mut() = Some(conn);
+    }
+
+    /// Unified inbound handler `(len, bytes)`.
+    pub fn set_on_msg(&self, f: impl Fn(u64, Option<Bytes>) + 'static) {
+        *self.on_msg.borrow_mut() = Some(Rc::new(f));
+    }
+
+    pub fn mode(&self) -> Transport {
+        self.mode.get()
+    }
+
+    /// Fall back to TCP (anomaly detected).
+    pub fn switch_to_tcp(&self) {
+        self.mode.set(Transport::Tcp);
+    }
+
+    /// Return to RDMA (anomaly cleared).
+    pub fn switch_to_rdma(&self) {
+        self.mode.set(Transport::Rdma);
+    }
+
+    /// Send a message over whichever path is active. Returns false if the
+    /// active path is missing or closed.
+    pub fn send(&self, body: Bytes) -> bool {
+        match self.mode.get() {
+            Transport::Rdma => {
+                let ch = self.rdma.borrow();
+                match ch.as_ref() {
+                    Some(ch) if !ch.is_closed() => {
+                        let ok = ch.send_oneway(body).is_ok();
+                        if ok {
+                            self.sent_rdma.set(self.sent_rdma.get() + 1);
+                        }
+                        ok
+                    }
+                    _ => false,
+                }
+            }
+            Transport::Tcp => {
+                let conn = self.tcp.borrow();
+                match conn.as_ref() {
+                    Some(conn) => {
+                        conn.send_msg(body.len() as u64, Some(body));
+                        self.sent_tcp.set(self.sent_tcp.get() + 1);
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Arm the automatic anomaly watchdog (§VI-C: the Mock handles "rare
+    /// RDMA network anomaly scenarios such as heavy congestion, high-degree
+    /// incast or protocol stack collapse"): every `period`, if the RDMA
+    /// path's NIC saw more than `cnp_threshold` new CNPs — or its channel
+    /// died — fall back to TCP; when the signal clears for two consecutive
+    /// periods, return to RDMA.
+    pub fn auto_switch(self: &Rc<Self>, world: &Rc<World>, period: Dur, cnp_threshold: u64) {
+        let me = self.clone();
+        let last_cnps = Cell::new(u64::MAX);
+        let quiet_periods = Cell::new(0u32);
+        fn tick(
+            me: Rc<MockTransport>,
+            world: Rc<World>,
+            period: Dur,
+            cnp_threshold: u64,
+            last_cnps: Cell<u64>,
+            quiet_periods: Cell<u32>,
+        ) {
+            let signal = {
+                let ch = me.rdma.borrow();
+                match ch.as_ref() {
+                    Some(ch) if !ch.is_closed() => {
+                        let ctx = ch.context();
+                        let cnps = ctx
+                            .map(|c| c.rnic().stats().cnps_received)
+                            .unwrap_or(0);
+                        let prev = if last_cnps.get() == u64::MAX { cnps } else { last_cnps.get() };
+                        last_cnps.set(cnps);
+                        cnps - prev > cnp_threshold
+                    }
+                    // RDMA path gone entirely: strongest possible signal.
+                    _ => true,
+                }
+            };
+            match (me.mode.get(), signal) {
+                (Transport::Rdma, true) => {
+                    me.switch_to_tcp();
+                    quiet_periods.set(0);
+                }
+                (Transport::Tcp, false) => {
+                    quiet_periods.set(quiet_periods.get() + 1);
+                    let rdma_alive = me
+                        .rdma
+                        .borrow()
+                        .as_ref()
+                        .is_some_and(|ch| !ch.is_closed());
+                    if quiet_periods.get() >= 2 && rdma_alive {
+                        me.switch_to_rdma();
+                    }
+                }
+                (Transport::Tcp, true) => quiet_periods.set(0),
+                (Transport::Rdma, false) => {}
+            }
+            let w2 = world.clone();
+            world.schedule_in(period, move || {
+                tick(me, w2, period, cnp_threshold, last_cnps, quiet_periods)
+            });
+        }
+        tick(me, world.clone(), period, cnp_threshold, last_cnps, quiet_periods);
+    }
+
+    /// Send a size-only message (performance paths).
+    pub fn send_size(&self, len: u64) -> bool {
+        match self.mode.get() {
+            Transport::Rdma => {
+                let ch = self.rdma.borrow();
+                match ch.as_ref() {
+                    Some(ch) if !ch.is_closed() => {
+                        let ok = ch.send_oneway_size(len).is_ok();
+                        if ok {
+                            self.sent_rdma.set(self.sent_rdma.get() + 1);
+                        }
+                        ok
+                    }
+                    _ => false,
+                }
+            }
+            Transport::Tcp => {
+                let conn = self.tcp.borrow();
+                match conn.as_ref() {
+                    Some(conn) => {
+                        conn.send_msg(len, None);
+                        self.sent_tcp.set(self.sent_tcp.get() + 1);
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The centralized monitor (§VI-B, Fig 6): collects per-machine gauges on
+//! a fixed period and exports them as time series / JSON — the data source
+//! behind Figures 3, 11 and 12.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use serde::Serialize;
+use xrdma_core::XrdmaContext;
+use xrdma_fabric::Fabric;
+use xrdma_sim::stats::{SeriesKind, TimeSeries};
+use xrdma_sim::{Dur, World};
+
+/// One sampled machine snapshot.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Sample {
+    pub t_ns: u64,
+    pub node: u32,
+    pub qp_count: usize,
+    pub channels: usize,
+    pub bytes_tx: u64,
+    pub bytes_rx: u64,
+    pub memcache_occupied: u64,
+    pub memcache_in_use: u64,
+    pub rnr_naks: u64,
+    pub cnps_received: u64,
+    pub pfc_pauses_seen: u64,
+    pub poll_gap_warnings: u64,
+}
+
+/// Per-context tracked series (deltas converted to rates downstream).
+struct Tracked {
+    ctx: Rc<XrdmaContext>,
+    last_bytes_tx: u64,
+    last_bytes_rx: u64,
+    /// Throughput series (bytes per bucket).
+    pub tx_series: TimeSeries,
+    pub rx_series: TimeSeries,
+    /// Gauges.
+    pub qp_series: TimeSeries,
+    pub occ_series: TimeSeries,
+    pub inuse_series: TimeSeries,
+}
+
+/// The monitor: attach contexts, run the world, read the series.
+pub struct Monitor {
+    world: Rc<World>,
+    fabric: Option<Rc<Fabric>>,
+    period: Dur,
+    tracked: RefCell<Vec<Tracked>>,
+    samples: RefCell<Vec<Sample>>,
+    running: std::cell::Cell<bool>,
+}
+
+impl Monitor {
+    pub fn new(world: Rc<World>, period: Dur) -> Rc<Monitor> {
+        Rc::new(Monitor {
+            world,
+            fabric: None,
+            period,
+            tracked: RefCell::new(Vec::new()),
+            samples: RefCell::new(Vec::new()),
+            running: std::cell::Cell::new(false),
+        })
+    }
+
+    /// Track a context's gauges.
+    pub fn track(self: &Rc<Self>, ctx: &Rc<XrdmaContext>) {
+        let bucket = self.period.as_nanos();
+        self.tracked.borrow_mut().push(Tracked {
+            ctx: ctx.clone(),
+            last_bytes_tx: 0,
+            last_bytes_rx: 0,
+            tx_series: TimeSeries::new(bucket, SeriesKind::Sum),
+            rx_series: TimeSeries::new(bucket, SeriesKind::Sum),
+            qp_series: TimeSeries::new(bucket, SeriesKind::Max),
+            occ_series: TimeSeries::new(bucket, SeriesKind::Max),
+            inuse_series: TimeSeries::new(bucket, SeriesKind::Max),
+        });
+        self.start();
+    }
+
+    fn start(self: &Rc<Self>) {
+        if self.running.replace(true) {
+            return;
+        }
+        self.arm();
+    }
+
+    fn arm(self: &Rc<Self>) {
+        let me = self.clone();
+        self.world.schedule_in(self.period, move || {
+            me.sample_all();
+            me.arm();
+        });
+    }
+
+    fn sample_all(&self) {
+        let now = self.world.now().nanos();
+        let mut tracked = self.tracked.borrow_mut();
+        for t in tracked.iter_mut() {
+            let rs = t.ctx.rnic().stats();
+            let cs = t.ctx.stats();
+            let tx_delta = rs.data_bytes_tx - t.last_bytes_tx;
+            let rx_delta = rs.data_bytes_rx - t.last_bytes_rx;
+            t.last_bytes_tx = rs.data_bytes_tx;
+            t.last_bytes_rx = rs.data_bytes_rx;
+            t.tx_series.record(now, tx_delta as f64);
+            t.rx_series.record(now, rx_delta as f64);
+            t.qp_series.record(now, t.ctx.rnic().qp_count() as f64);
+            t.occ_series.record(now, cs.memcache_occupied as f64);
+            t.inuse_series.record(now, cs.memcache_in_use as f64);
+            self.samples.borrow_mut().push(Sample {
+                t_ns: now,
+                node: t.ctx.node().0,
+                qp_count: t.ctx.rnic().qp_count(),
+                channels: cs.channels_open,
+                bytes_tx: rs.data_bytes_tx,
+                bytes_rx: rs.data_bytes_rx,
+                memcache_occupied: cs.memcache_occupied,
+                memcache_in_use: cs.memcache_in_use,
+                rnr_naks: rs.rnr_naks_received,
+                cnps_received: rs.cnps_received,
+                pfc_pauses_seen: rs.pfc_pauses_seen,
+                poll_gap_warnings: cs.poll_gap_warnings,
+            });
+        }
+    }
+
+    /// All raw samples.
+    pub fn samples(&self) -> Vec<Sample> {
+        self.samples.borrow().clone()
+    }
+
+    /// Samples for one node.
+    pub fn samples_for(&self, node: u32) -> Vec<Sample> {
+        self.samples
+            .borrow()
+            .iter()
+            .filter(|s| s.node == node)
+            .copied()
+            .collect()
+    }
+
+    /// Per-bucket transmit throughput rows `(t_secs, bytes)` for the i-th
+    /// tracked context.
+    pub fn tx_rows(&self, i: usize) -> Vec<(f64, f64)> {
+        self.tracked.borrow()[i].tx_series.rows()
+    }
+
+    pub fn rx_rows(&self, i: usize) -> Vec<(f64, f64)> {
+        self.tracked.borrow()[i].rx_series.rows()
+    }
+
+    pub fn qp_rows(&self, i: usize) -> Vec<(f64, f64)> {
+        self.tracked.borrow()[i].qp_series.rows()
+    }
+
+    pub fn memcache_rows(&self, i: usize) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+        let t = self.tracked.borrow();
+        (t[i].occ_series.rows(), t[i].inuse_series.rows())
+    }
+
+    /// JSON export of all samples (the production monitor's feed).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&*self.samples.borrow()).expect("samples serialize")
+    }
+
+    pub fn set_fabric(&mut self, fabric: Rc<Fabric>) {
+        self.fabric = Some(fabric);
+    }
+}

@@ -1,0 +1,168 @@
+//! The tracing collector (§VI-A): attaches to a context's instrumentation
+//! hooks and aggregates the three case-by-case latency methods —
+//!
+//! I.  per-request decomposition (T2 − T1 − Toff) from traced RPCs,
+//! II. poll-gap detection (working threads stalled on other work),
+//! III. slow-segment logging (critical code sections over a threshold).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xrdma_core::channel::CloseReason;
+use xrdma_core::context::{Instrument, SlowOp, TraceRecord};
+use xrdma_fabric::NodeId;
+use xrdma_sim::stats::Histogram;
+use xrdma_sim::{Dur, Time};
+
+/// One poll-gap event.
+#[derive(Clone, Copy, Debug)]
+pub struct PollGap {
+    pub at: Time,
+    pub gap: Dur,
+}
+
+/// Aggregating trace sink for one context.
+#[derive(Default)]
+pub struct Tracer {
+    /// Completed request decompositions (method I).
+    pub records: RefCell<Vec<TraceRecord>>,
+    /// Poll gaps beyond the warn cycle (method II).
+    pub poll_gaps: RefCell<Vec<PollGap>>,
+    /// Slow code segments (method III).
+    pub slow_ops: RefCell<Vec<SlowOp>>,
+    /// Channel teardown events.
+    pub closures: RefCell<Vec<(NodeId, CloseReason)>>,
+    /// One-way latency histogram built from the decompositions, using the
+    /// clock offset provided at construction.
+    pub oneway: RefCell<Histogram>,
+    pub rtt: RefCell<Histogram>,
+    clock_offset_ns: i64,
+}
+
+impl Tracer {
+    /// `clock_offset_ns` is the requester−responder clock offset as
+    /// estimated by the clock-sync service.
+    pub fn new(clock_offset_ns: i64) -> Rc<Tracer> {
+        Rc::new(Tracer {
+            clock_offset_ns,
+            ..Default::default()
+        })
+    }
+
+    pub fn record_count(&self) -> usize {
+        self.records.borrow().len()
+    }
+
+    /// Mean estimated one-way request latency in nanoseconds.
+    pub fn mean_oneway_ns(&self) -> f64 {
+        self.oneway.borrow().mean()
+    }
+
+    pub fn mean_rtt_ns(&self) -> f64 {
+        self.rtt.borrow().mean()
+    }
+
+    /// Did the decomposition blame the network (one-way ≳ half the RTT) or
+    /// the hosts? This is the §VII-D "Network Issue" triage question.
+    pub fn network_dominated(&self) -> bool {
+        let rtt = self.mean_rtt_ns();
+        rtt > 0.0 && self.mean_oneway_ns() * 2.0 > rtt * 0.8
+    }
+}
+
+impl Instrument for Tracer {
+    fn on_trace(&self, rec: &TraceRecord) {
+        let oneway = rec.request_oneway_ns(self.clock_offset_ns);
+        if oneway > 0 {
+            self.oneway.borrow_mut().record(oneway as u64);
+        }
+        self.rtt.borrow_mut().record(rec.rtt_ns());
+        let mut records = self.records.borrow_mut();
+        if records.len() < 1_000_000 {
+            records.push(*rec);
+        }
+    }
+
+    fn on_poll_gap(&self, at: Time, gap: Dur) {
+        let mut gaps = self.poll_gaps.borrow_mut();
+        if gaps.len() < 1_000_000 {
+            gaps.push(PollGap { at, gap });
+        }
+    }
+
+    fn on_slow_op(&self, op: &SlowOp) {
+        let mut ops = self.slow_ops.borrow_mut();
+        if ops.len() < 1_000_000 {
+            ops.push(op.clone());
+        }
+    }
+
+    fn on_channel_closed(&self, peer: NodeId, reason: CloseReason) {
+        self.closures.borrow_mut().push((peer, reason));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_decompositions() {
+        let t = Tracer::new(0);
+        for i in 0..10u64 {
+            t.on_trace(&TraceRecord {
+                trace_id: i,
+                rpc_id: i as u32,
+                t1_ns: 1000,
+                server_recv_ns: 1000 + 3000 + i * 10, // ~3 µs one-way
+                t3_ns: 1000 + 6500 + i * 20,
+            });
+        }
+        assert_eq!(t.record_count(), 10);
+        assert!((t.mean_oneway_ns() - 3045.0).abs() < 100.0);
+        assert!(t.mean_rtt_ns() > 6000.0);
+        assert!(t.network_dominated(), "~92% of RTT is wire time");
+    }
+
+    #[test]
+    fn clock_offset_applied() {
+        // Server clock runs 1 µs ahead; without correction one-way would
+        // read 1 µs too high.
+        let t = Tracer::new(1000);
+        t.on_trace(&TraceRecord {
+            trace_id: 1,
+            rpc_id: 1,
+            t1_ns: 0,
+            server_recv_ns: 3000, // true one-way = 2000
+            t3_ns: 4000,
+        });
+        assert_eq!(t.mean_oneway_ns(), 2000.0);
+    }
+
+    #[test]
+    fn host_dominated_detection() {
+        let t = Tracer::new(0);
+        t.on_trace(&TraceRecord {
+            trace_id: 1,
+            rpc_id: 1,
+            t1_ns: 0,
+            server_recv_ns: 500, // tiny wire time
+            t3_ns: 100_000,      // huge RTT: host processing
+        });
+        assert!(!t.network_dominated());
+    }
+
+    #[test]
+    fn gap_and_slow_collection() {
+        let t = Tracer::new(0);
+        t.on_poll_gap(Time(5), Dur::millis(3));
+        t.on_slow_op(&SlowOp {
+            at: Time(9),
+            what: "app-handler",
+            took: Dur::millis(2),
+        });
+        assert_eq!(t.poll_gaps.borrow().len(), 1);
+        assert_eq!(t.slow_ops.borrow().len(), 1);
+        assert_eq!(t.slow_ops.borrow()[0].what, "app-handler");
+    }
+}

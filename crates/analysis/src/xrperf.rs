@@ -1,0 +1,208 @@
+//! XR-Perf (§VI-B): flexible traffic generation — "customize flow models,
+//! e.g. elephant and mice flows" — plus a stress-test runner that reports
+//! the latency/throughput summary the monitoring system ingests.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use serde::Serialize;
+use xrdma_core::XrdmaChannel;
+use xrdma_sim::stats::Histogram;
+use xrdma_sim::{Dur, SimRng, Time, World};
+
+/// A traffic model.
+#[derive(Clone, Copy, Debug)]
+pub enum FlowModel {
+    /// Fixed-size requests at a fixed offered rate.
+    Uniform { size: u64, interval: Dur },
+    /// Heavy-tailed sizes: mostly mice with occasional elephants, sampled
+    /// from a bounded Pareto (shape ~1.2, the classic DC mix).
+    ElephantMice {
+        mice_size: u64,
+        elephant_size: u64,
+        elephant_fraction: f64,
+        interval: Dur,
+    },
+    /// Closed-loop: keep `depth` requests of `size` in flight (stress).
+    ClosedLoop { size: u64, depth: u32 },
+}
+
+/// Live results of one generator.
+#[derive(Default)]
+pub struct PerfStats {
+    pub completed: Cell<u64>,
+    pub bytes: Cell<u64>,
+    pub errors: Cell<u64>,
+    pub latency: RefCell<Histogram>,
+}
+
+/// Summary row.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PerfSummary {
+    pub completed: u64,
+    pub bytes: u64,
+    pub mean_latency_us: f64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub throughput_gbps: f64,
+    pub rps: f64,
+}
+
+/// The generator: drives RPCs over one channel according to a model.
+pub struct XrPerf {
+    world: Rc<World>,
+    channel: Rc<XrdmaChannel>,
+    model: FlowModel,
+    rng: RefCell<SimRng>,
+    pub stats: Rc<PerfStats>,
+    started: Cell<Time>,
+    stop_at: Cell<Time>,
+}
+
+impl XrPerf {
+    pub fn new(
+        world: Rc<World>,
+        channel: Rc<XrdmaChannel>,
+        model: FlowModel,
+        rng: SimRng,
+    ) -> Rc<XrPerf> {
+        Rc::new(XrPerf {
+            world,
+            channel,
+            model,
+            rng: RefCell::new(rng),
+            stats: Rc::new(PerfStats::default()),
+            started: Cell::new(Time::ZERO),
+            stop_at: Cell::new(Time::MAX),
+        })
+    }
+
+    /// Run the model for `duration` of virtual time (the caller then runs
+    /// the world).
+    pub fn run_for(self: &Rc<Self>, duration: Dur) {
+        self.started.set(self.world.now());
+        self.stop_at.set(self.world.now() + duration);
+        match self.model {
+            FlowModel::Uniform { .. } | FlowModel::ElephantMice { .. } => self.tick_open(),
+            FlowModel::ClosedLoop { depth, .. } => {
+                for _ in 0..depth {
+                    self.fire_closed();
+                }
+            }
+        }
+    }
+
+    fn next_size(&self) -> u64 {
+        match self.model {
+            FlowModel::Uniform { size, .. } => size,
+            FlowModel::ClosedLoop { size, .. } => size,
+            FlowModel::ElephantMice {
+                mice_size,
+                elephant_size,
+                elephant_fraction,
+                ..
+            } => {
+                if self.rng.borrow_mut().chance(elephant_fraction) {
+                    elephant_size
+                } else {
+                    mice_size
+                }
+            }
+        }
+    }
+
+    fn interval(&self) -> Dur {
+        match self.model {
+            FlowModel::Uniform { interval, .. } | FlowModel::ElephantMice { interval, .. } => {
+                // Poisson arrivals around the configured mean.
+                Dur::nanos(
+                    self.rng
+                        .borrow_mut()
+                        .exp(interval.as_nanos() as f64),
+                )
+            }
+            FlowModel::ClosedLoop { .. } => Dur::ZERO,
+        }
+    }
+
+    /// Open-loop arrival process.
+    fn tick_open(self: &Rc<Self>) {
+        if self.world.now() >= self.stop_at.get() || self.channel.is_closed() {
+            return;
+        }
+        self.fire_once();
+        let me = self.clone();
+        self.world.schedule_in(self.interval(), move || me.tick_open());
+    }
+
+    fn fire_once(self: &Rc<Self>) {
+        let size = self.next_size();
+        let stats = self.stats.clone();
+        let world = self.world.clone();
+        let t0 = world.now();
+        let r = self.channel.send_request_size(size, move |_, resp| {
+            if resp.is_error() {
+                stats.errors.set(stats.errors.get() + 1);
+                return;
+            }
+            stats.completed.set(stats.completed.get() + 1);
+            stats.bytes.set(stats.bytes.get() + size);
+            stats
+                .latency
+                .borrow_mut()
+                .record(world.now().since(t0).as_nanos());
+        });
+        if r.is_err() {
+            self.stats.errors.set(self.stats.errors.get() + 1);
+        }
+    }
+
+    /// Closed-loop: re-fire on completion.
+    fn fire_closed(self: &Rc<Self>) {
+        if self.world.now() >= self.stop_at.get() || self.channel.is_closed() {
+            return;
+        }
+        let size = self.next_size();
+        let stats = self.stats.clone();
+        let world = self.world.clone();
+        let me = self.clone();
+        let t0 = world.now();
+        let r = self.channel.send_request_size(size, move |_, resp| {
+            if resp.is_error() {
+                stats.errors.set(stats.errors.get() + 1);
+                return;
+            }
+            stats.completed.set(stats.completed.get() + 1);
+            stats.bytes.set(stats.bytes.get() + size);
+            stats
+                .latency
+                .borrow_mut()
+                .record(world.now().since(t0).as_nanos());
+            me.fire_closed();
+        });
+        if r.is_err() {
+            self.stats.errors.set(self.stats.errors.get() + 1);
+        }
+    }
+
+    /// Summarize after the world ran.
+    pub fn summary(&self) -> PerfSummary {
+        let elapsed = self
+            .stop_at
+            .get()
+            .min(self.world.now())
+            .since(self.started.get())
+            .as_secs_f64()
+            .max(1e-9);
+        let h = self.stats.latency.borrow();
+        PerfSummary {
+            completed: self.stats.completed.get(),
+            bytes: self.stats.bytes.get(),
+            mean_latency_us: h.mean() / 1e3,
+            p50_us: h.percentile(50.0) as f64 / 1e3,
+            p99_us: h.percentile(99.0) as f64 / 1e3,
+            throughput_gbps: self.stats.bytes.get() as f64 * 8.0 / elapsed / 1e9,
+            rps: self.stats.completed.get() as f64 / elapsed,
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! XR-Ping (§VI-B): an RDMA-aware ping producing the full-mesh connection
+//! matrix the centralized monitor displays — "ping all machines in the ToR
+//! layer, then aggregate the results to the connection matrix".
+//!
+//! Unlike ICMP ping, probes travel the real middleware RPC path, so they
+//! observe exactly what applications would (congestion, pauses, dead
+//! peers).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xrdma_core::{XrdmaChannel, XrdmaContext};
+use xrdma_fabric::NodeId;
+use xrdma_sim::{Dur, World};
+
+/// Result of probing one (src, dst) pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PingCell {
+    /// Round-trip time of the probe.
+    Ok(Dur),
+    /// Connect failed or probe timed out.
+    Unreachable,
+    /// Not probed (diagonal / filtered).
+    Skipped,
+}
+
+/// The full-mesh prober.
+pub struct XrPing {
+    world: Rc<World>,
+    contexts: Vec<Rc<XrdmaContext>>,
+    svc: u16,
+    matrix: Rc<RefCell<Vec<Vec<PingCell>>>>,
+}
+
+impl XrPing {
+    /// Build a prober over a set of contexts (one per machine). Every
+    /// context gets a listener at `svc` that echoes probes.
+    pub fn new(world: Rc<World>, contexts: Vec<Rc<XrdmaContext>>, svc: u16) -> XrPing {
+        let n = contexts.len();
+        for ctx in &contexts {
+            ctx.listen(svc, |ch: Rc<XrdmaChannel>| {
+                ch.set_on_request(|ch, _msg, token| {
+                    ch.respond_size(token, 8).ok();
+                });
+            });
+        }
+        XrPing {
+            world,
+            contexts,
+            svc,
+            matrix: Rc::new(RefCell::new(vec![vec![PingCell::Skipped; n]; n])),
+        }
+    }
+
+    /// Launch all n×(n−1) probes. Results land in the matrix as the world
+    /// runs; call [`XrPing::matrix`] afterwards.
+    pub fn probe_all(&self) {
+        let n = self.contexts.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                self.probe_one(i, j);
+            }
+        }
+    }
+
+    fn probe_one(&self, i: usize, j: usize) {
+        let src = &self.contexts[i];
+        let dst_node = NodeId(self.contexts[j].node().0);
+        let world = self.world.clone();
+        let matrix = self.matrix.clone();
+        let t0 = world.now();
+        // Default to unreachable; overwritten on success.
+        matrix.borrow_mut()[i][j] = PingCell::Unreachable;
+        let m2 = matrix.clone();
+        src.connect(dst_node, self.svc, move |r| {
+            let Ok(ch) = r else { return };
+            let w2 = world.clone();
+            let t_req = world.now();
+            let _ = t0;
+            ch.send_request_size(8, move |ch2, _resp| {
+                let rtt = w2.now().since(t_req);
+                m2.borrow_mut()[i][j] = PingCell::Ok(rtt);
+                ch2.close();
+            })
+            .ok();
+        });
+    }
+
+    /// The probed matrix (row = source index, column = destination).
+    pub fn matrix(&self) -> Vec<Vec<PingCell>> {
+        self.matrix.borrow().clone()
+    }
+
+    /// Count of unreachable pairs — the at-a-glance broken-network index.
+    pub fn unreachable_pairs(&self) -> usize {
+        self.matrix
+            .borrow()
+            .iter()
+            .flatten()
+            .filter(|c| **c == PingCell::Unreachable)
+            .count()
+    }
+
+    /// Render as a compact text matrix (µs or `----`).
+    pub fn render(&self) -> String {
+        let m = self.matrix.borrow();
+        let mut out = String::from("xr-ping connection matrix (RTT µs)\n      ");
+        for j in 0..m.len() {
+            out.push_str(&format!("n{:<7}", self.contexts[j].node().0));
+        }
+        out.push('\n');
+        for (i, row) in m.iter().enumerate() {
+            out.push_str(&format!("n{:<5}", self.contexts[i].node().0));
+            for cell in row {
+                match cell {
+                    PingCell::Ok(d) => out.push_str(&format!("{:<8.1}", d.as_micros_f64())),
+                    PingCell::Unreachable => out.push_str("----    "),
+                    PingCell::Skipped => out.push_str(".       "),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}

@@ -1,0 +1,71 @@
+//! XR-Server (§IV-A lists it among the five associated utilities): a
+//! canned measurement endpoint. It answers echo, sink and source requests
+//! so XR-Ping / XR-Perf / stress tests always have a well-defined target,
+//! and it exports its own service-side statistics.
+//!
+//! Request body protocol (first byte):
+//! * `b'E'` — echo: respond with the same payload length;
+//! * `b'S'` — sink: respond with a tiny ack (upload test);
+//! * `b'G' n` — generate: respond with `n × 1 KiB` (download test);
+//! * anything else — treated as echo (robust default).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use xrdma_core::{XrdmaChannel, XrdmaContext};
+use xrdma_sim::stats::Histogram;
+
+/// Service statistics.
+#[derive(Default)]
+pub struct XrServerStats {
+    pub requests: Cell<u64>,
+    pub bytes_in: Cell<u64>,
+    pub bytes_out: Cell<u64>,
+    pub request_sizes: RefCell<Histogram>,
+}
+
+/// The server handle.
+pub struct XrServer {
+    pub svc: u16,
+    pub stats: Rc<XrServerStats>,
+}
+
+impl XrServer {
+    /// Install the server on a context at `svc`.
+    pub fn start(ctx: &Rc<XrdmaContext>, svc: u16) -> XrServer {
+        let stats: Rc<XrServerStats> = Rc::new(XrServerStats::default());
+        let st = stats.clone();
+        ctx.listen(svc, move |ch: Rc<XrdmaChannel>| {
+            let st = st.clone();
+            ch.set_on_request(move |ch2, msg, token| {
+                st.requests.set(st.requests.get() + 1);
+                st.bytes_in.set(st.bytes_in.get() + msg.len);
+                st.request_sizes.borrow_mut().record(msg.len);
+                let body = msg.body();
+                let reply_len = match body.first() {
+                    Some(b'S') => 16,
+                    Some(b'G') => {
+                        let n = body.get(1).copied().unwrap_or(1) as u64;
+                        n.max(1) * 1024
+                    }
+                    _ => msg.len.max(1), // echo
+                };
+                st.bytes_out.set(st.bytes_out.get() + reply_len);
+                ch2.respond_size(token, reply_len).ok();
+            });
+        });
+        XrServer { svc, stats }
+    }
+
+    /// One-line status report (the operator view).
+    pub fn report(&self) -> String {
+        format!(
+            "xr-server svc={}: {} requests, {} B in, {} B out, p99 req {} B",
+            self.svc,
+            self.stats.requests.get(),
+            self.stats.bytes_in.get(),
+            self.stats.bytes_out.get(),
+            self.stats.request_sizes.borrow().percentile(99.0),
+        )
+    }
+}

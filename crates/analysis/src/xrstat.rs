@@ -1,0 +1,158 @@
+//! XR-Stat (§VI-B): per-connection statistics à la `netstat`, plus the
+//! network-health indexes the paper calls out as crucial (PFC status,
+//! queue drops, buffer utilization).
+
+use std::rc::Rc;
+
+use serde::Serialize;
+use xrdma_core::XrdmaContext;
+use xrdma_fabric::Fabric;
+
+/// One connection row.
+#[derive(Clone, Debug, Serialize)]
+pub struct StatRow {
+    pub local_node: u32,
+    pub peer_node: u32,
+    pub qpn: u32,
+    pub state: String,
+    pub msgs_sent: u64,
+    pub msgs_received: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub small_msgs: u64,
+    pub large_msgs: u64,
+    pub window_stalls: u64,
+    pub rpcs_outstanding: u64,
+    pub keepalive_probes: u64,
+    pub rate_gbps: f64,
+    pub rnr_events: u64,
+    pub retransmissions: u64,
+}
+
+/// Machine-level health indexes.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct HealthRow {
+    pub node: u32,
+    pub qp_count: usize,
+    pub registered_mb: f64,
+    pub pfc_pauses_seen: u64,
+    pub cnps_received: u64,
+    pub rnr_naks_sent: u64,
+    pub poll_gap_warnings: u64,
+}
+
+/// Collect the per-connection table for a context.
+pub fn connection_table(ctx: &Rc<XrdmaContext>) -> Vec<StatRow> {
+    ctx.channels()
+        .iter()
+        .map(|ch| {
+            let s = ch.stats();
+            StatRow {
+                local_node: ctx.node().0,
+                peer_node: ch.peer.0,
+                qpn: ch.qp.qpn.0,
+                state: format!("{:?}", ch.qp.state()),
+                msgs_sent: s.msgs_sent,
+                msgs_received: s.msgs_received,
+                bytes_sent: s.bytes_sent,
+                bytes_received: s.bytes_received,
+                small_msgs: s.small_msgs,
+                large_msgs: s.large_msgs,
+                window_stalls: s.window_stalls,
+                rpcs_outstanding: s.rpcs_outstanding,
+                keepalive_probes: s.keepalive_probes,
+                rate_gbps: ch.qp.current_rate_gbps(),
+                rnr_events: ch.qp.rnr_events.get(),
+                retransmissions: ch.qp.retransmissions.get(),
+            }
+        })
+        .collect()
+}
+
+/// Machine health indexes for a context's host.
+pub fn health(ctx: &Rc<XrdmaContext>) -> HealthRow {
+    let rs = ctx.rnic().stats();
+    let cs = ctx.stats();
+    HealthRow {
+        node: ctx.node().0,
+        qp_count: ctx.rnic().qp_count(),
+        registered_mb: ctx.rnic().mem().registered_bytes() as f64 / (1024.0 * 1024.0),
+        pfc_pauses_seen: rs.pfc_pauses_seen,
+        cnps_received: rs.cnps_received,
+        rnr_naks_sent: rs.rnr_naks_sent,
+        poll_gap_warnings: cs.poll_gap_warnings,
+    }
+}
+
+/// Fabric-level counters rendered alongside (queue drops, buffer usage).
+pub fn fabric_health(fabric: &Rc<Fabric>) -> String {
+    let c = fabric.stats().snapshot();
+    format!(
+        "pause={} resume={} host_tx_pause={} ecn={} drops={} delivered={} max_q={}B buffered={}B",
+        c.pause_frames,
+        c.resume_frames,
+        c.host_tx_pause,
+        c.ecn_marked,
+        c.drops,
+        c.delivered_pkts,
+        fabric.stats().max_queue_depth(),
+        fabric.buffered_bytes(),
+    )
+}
+
+/// Render the connection table like `netstat` would.
+pub fn render_table(rows: &[StatRow]) -> String {
+    let mut out = String::from(
+        "LOCAL  PEER   QPN    STATE  TX-MSGS  RX-MSGS  TX-BYTES     RX-BYTES     SMALL  LARGE  STALLS  RATE(Gbps)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "n{:<5} n{:<5} {:<6} {:<6} {:<8} {:<8} {:<12} {:<12} {:<6} {:<6} {:<7} {:.2}\n",
+            r.local_node,
+            r.peer_node,
+            r.qpn,
+            r.state,
+            r.msgs_sent,
+            r.msgs_received,
+            r.bytes_sent,
+            r.bytes_received,
+            r.small_msgs,
+            r.large_msgs,
+            r.window_stalls,
+            r.rate_gbps,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_rows() {
+        let rows = vec![StatRow {
+            local_node: 0,
+            peer_node: 3,
+            qpn: 17,
+            state: "Rts".into(),
+            msgs_sent: 10,
+            msgs_received: 9,
+            bytes_sent: 1000,
+            bytes_received: 900,
+            small_msgs: 8,
+            large_msgs: 2,
+            window_stalls: 1,
+            rpcs_outstanding: 0,
+            keepalive_probes: 3,
+            rate_gbps: 25.0,
+            rnr_events: 0,
+            retransmissions: 0,
+        }];
+        let s = render_table(&rows);
+        assert!(s.contains("n0"));
+        assert!(s.contains("n3"));
+        assert!(s.contains("25.00"));
+        assert_eq!(s.lines().count(), 2);
+    }
+}

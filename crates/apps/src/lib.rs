@@ -1,0 +1,26 @@
+//! # xrdma-apps — the production application models (§II-C, Fig 2)
+//!
+//! The paper's evaluation runs on three Alibaba products whose traffic
+//! shapes drive Figures 8, 9, 11 and 12:
+//!
+//! * **Pangu** — the distributed storage substrate: block servers receive
+//!   front-end I/O and replicate each write to several chunk servers over
+//!   full-mesh X-RDMA channels ([`pangu`]).
+//! * **ESSD** — cloud block storage: virtual-machine front-ends issuing
+//!   large (128 KiB) writes through block servers ([`essd`]).
+//! * **X-DB** — a distributed database front-end: small-write-heavy,
+//!   latency-sensitive ([`xdb`]).
+//!
+//! [`workload`] supplies the traffic patterns the production evaluation
+//! exercises: restart storms (Fig 8), load surges / the shopping spree
+//! (Fig 12), and diurnal saturation switching (Fig 3).
+
+pub mod essd;
+pub mod pangu;
+pub mod workload;
+pub mod xdb;
+
+pub use essd::EssdFrontend;
+pub use pangu::{Pangu, PanguConfig};
+pub use workload::{LoadSchedule, Phase};
+pub use xdb::XdbFrontend;

@@ -1,0 +1,137 @@
+//! Traffic patterns from the production evaluation: load schedules with
+//! phases (the Fig 12 surge / shopping spree, Fig 3's diurnal switching),
+//! applied as a time-varying rate multiplier over a base offered load.
+
+use xrdma_sim::{Dur, Time};
+
+/// One phase of a schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct Phase {
+    /// Phase length.
+    pub duration: Dur,
+    /// Rate multiplier relative to the base load.
+    pub multiplier: f64,
+}
+
+/// A piecewise-constant load schedule. Repeats after the last phase.
+#[derive(Clone, Debug)]
+pub struct LoadSchedule {
+    phases: Vec<Phase>,
+    total: Dur,
+}
+
+impl LoadSchedule {
+    pub fn new(phases: Vec<Phase>) -> LoadSchedule {
+        assert!(!phases.is_empty());
+        let total = phases
+            .iter()
+            .fold(Dur::ZERO, |acc, p| acc + p.duration);
+        assert!(total.as_nanos() > 0);
+        LoadSchedule { phases, total }
+    }
+
+    /// Constant load.
+    pub fn steady() -> LoadSchedule {
+        LoadSchedule::new(vec![Phase {
+            duration: Dur::secs(1),
+            multiplier: 1.0,
+        }])
+    }
+
+    /// The Fig 12 anti-jitter shape: steady, then a surge of `factor`×
+    /// for `surge_len`, then steady again.
+    pub fn surge(lead: Dur, surge_len: Dur, tail: Dur, factor: f64) -> LoadSchedule {
+        LoadSchedule::new(vec![
+            Phase {
+                duration: lead,
+                multiplier: 1.0,
+            },
+            Phase {
+                duration: surge_len,
+                multiplier: factor,
+            },
+            Phase {
+                duration: tail,
+                multiplier: 1.0,
+            },
+        ])
+    }
+
+    /// Fig 3's saturated/unsaturated switching.
+    pub fn diurnal(period: Dur, low: f64, high: f64) -> LoadSchedule {
+        LoadSchedule::new(vec![
+            Phase {
+                duration: period / 2,
+                multiplier: low,
+            },
+            Phase {
+                duration: period / 2,
+                multiplier: high,
+            },
+        ])
+    }
+
+    /// Multiplier in effect at instant `t`.
+    pub fn multiplier_at(&self, t: Time) -> f64 {
+        let mut off = t.nanos() % self.total.as_nanos();
+        for p in &self.phases {
+            if off < p.duration.as_nanos() {
+                return p.multiplier;
+            }
+            off -= p.duration.as_nanos();
+        }
+        self.phases.last().unwrap().multiplier
+    }
+
+    /// Inter-arrival time at instant `t` given a base interval.
+    pub fn interval_at(&self, t: Time, base: Dur) -> Dur {
+        let m = self.multiplier_at(t).max(1e-6);
+        Dur::nanos((base.as_nanos() as f64 / m).max(1.0) as u64)
+    }
+
+    pub fn cycle(&self) -> Dur {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surge_shape() {
+        let s = LoadSchedule::surge(Dur::secs(10), Dur::secs(5), Dur::secs(10), 3.0);
+        assert_eq!(s.multiplier_at(Time(Dur::secs(5).as_nanos())), 1.0);
+        assert_eq!(s.multiplier_at(Time(Dur::secs(12).as_nanos())), 3.0);
+        assert_eq!(s.multiplier_at(Time(Dur::secs(20).as_nanos())), 1.0);
+        // Repeats.
+        assert_eq!(s.multiplier_at(Time(Dur::secs(37).as_nanos())), 3.0);
+        assert_eq!(s.cycle(), Dur::secs(25));
+    }
+
+    #[test]
+    fn interval_scales_inverse() {
+        let s = LoadSchedule::surge(Dur::secs(1), Dur::secs(1), Dur::secs(1), 4.0);
+        let base = Dur::micros(100);
+        assert_eq!(s.interval_at(Time(0), base), Dur::micros(100));
+        assert_eq!(
+            s.interval_at(Time(Dur::secs(1).as_nanos() + 1), base),
+            Dur::micros(25)
+        );
+    }
+
+    #[test]
+    fn diurnal_alternates() {
+        let d = LoadSchedule::diurnal(Dur::secs(10), 0.2, 1.0);
+        assert_eq!(d.multiplier_at(Time(Dur::secs(2).as_nanos())), 0.2);
+        assert_eq!(d.multiplier_at(Time(Dur::secs(7).as_nanos())), 1.0);
+    }
+
+    #[test]
+    fn steady_is_one() {
+        let s = LoadSchedule::steady();
+        for t in [0u64, 123, 999_999_999_999] {
+            assert_eq!(s.multiplier_at(Time(t)), 1.0);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! A minimal active-message endpoint over the simulated verbs API,
+//! parameterized by a [`StackProfile`]. This is the common skeleton of the
+//! raw-verbs / UCX / libfabric / xio baselines: pre-posted receives, an
+//! eager path with a stack-specific header, and a rendezvous path
+//! (descriptor + RDMA Read) above `eager_max`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::{Rc, Weak};
+
+use xrdma_rnic::verbs::Payload;
+use xrdma_rnic::{
+    AccessFlags, CompletionQueue, Cqe, PageKind, Qp, QpCaps, RecvWr, Rnic, SendOp, SendWr,
+};
+use xrdma_rnic::cq::CqeOpcode;
+use xrdma_sim::{CpuThread, Dur};
+
+use crate::profile::StackProfile;
+
+/// Number of pre-posted receives.
+const RQ_DEPTH: u32 = 128;
+/// Max in-flight sends before the endpoint queues internally.
+const SQ_WINDOW: usize = 64;
+
+/// Wire framing for the generic AM stack (travels as real bytes).
+const AM_EAGER: u8 = 1;
+const AM_RDV: u8 = 2;
+
+pub struct AmEndpoint {
+    pub rnic: Rc<Rnic>,
+    pub qp: Rc<Qp>,
+    cq: Rc<CompletionQueue>,
+    pub thread: Rc<CpuThread>,
+    profile: StackProfile,
+    recv_buf_len: u64,
+    recv_bufs: RefCell<HashMap<u64, (u64, u32)>>, // wr_id -> (addr, lkey)
+    mr_pool: RefCell<Vec<Rc<xrdma_rnic::Mr>>>,
+    on_msg: RefCell<Option<Box<dyn Fn(&Rc<AmEndpoint>, u64)>>>,
+    inflight: Cell<usize>,
+    queued: RefCell<std::collections::VecDeque<u64>>,
+    pending_reads: RefCell<HashMap<u64, u64>>, // read wr_id -> msg len
+    next_wr: Cell<u64>,
+    me: RefCell<Weak<AmEndpoint>>,
+    pub sent: Cell<u64>,
+    pub received: Cell<u64>,
+}
+
+impl AmEndpoint {
+    /// Build an endpoint on `rnic`. The QP still needs connecting
+    /// (`Rnic::connect_pair` or the connection manager).
+    pub fn new(rnic: &Rc<Rnic>, profile: StackProfile, max_msg: u64) -> Rc<AmEndpoint> {
+        let pd = rnic.alloc_pd();
+        let cq = rnic.create_cq(4096);
+        let qp = rnic.create_qp(
+            &pd,
+            cq.clone(),
+            cq.clone(),
+            QpCaps {
+                max_send_wr: 4096,
+                max_recv_wr: RQ_DEPTH as usize + 8,
+            },
+            None,
+        );
+        let thread = CpuThread::new(rnic.world().clone(), format!("{}-n{}", profile.name, rnic.node().0));
+        let recv_buf_len = profile.hdr_bytes as u64 + profile.eager_max.min(max_msg) + 64;
+        let ep = Rc::new(AmEndpoint {
+            rnic: rnic.clone(),
+            qp,
+            cq,
+            thread,
+            profile,
+            recv_buf_len,
+            recv_bufs: RefCell::new(HashMap::new()),
+            mr_pool: RefCell::new(Vec::new()),
+            on_msg: RefCell::new(None),
+            inflight: Cell::new(0),
+            queued: RefCell::new(std::collections::VecDeque::new()),
+            pending_reads: RefCell::new(HashMap::new()),
+            next_wr: Cell::new(1),
+            me: RefCell::new(Weak::new()),
+            sent: Cell::new(0),
+            received: Cell::new(0),
+        });
+        *ep.me.borrow_mut() = Rc::downgrade(&ep);
+        // Register one big region and slice receive buffers out of it.
+        // Backed (sparse) so the AM headers survive the trip.
+        let mr = rnic.reg_mr(
+            &pd,
+            recv_buf_len * RQ_DEPTH as u64,
+            AccessFlags::FULL,
+            PageKind::Anonymous,
+            true,
+            false,
+        );
+        for i in 0..RQ_DEPTH as u64 {
+            let addr = mr.addr + i * recv_buf_len;
+            ep.recv_bufs.borrow_mut().insert(i, (addr, mr.lkey));
+        }
+        ep.mr_pool.borrow_mut().push(mr);
+        // A second region serves rendezvous payload staging.
+        let rdv = rnic.reg_mr(
+            &pd,
+            max_msg.max(4096) * 2,
+            AccessFlags::FULL,
+            PageKind::Anonymous,
+            false,
+            false,
+        );
+        ep.mr_pool.borrow_mut().push(rdv);
+        // Poll loop via completion-channel notification.
+        {
+            let w = Rc::downgrade(&ep);
+            ep.cq.set_notify(move || {
+                if let Some(ep) = w.upgrade() {
+                    let ep2 = ep.clone();
+                    ep.thread.exec(Dur::ZERO, move |_| ep2.pump());
+                }
+            });
+            ep.cq.req_notify();
+        }
+        ep
+    }
+
+    /// Post all receives once the QP is connected.
+    pub fn start(self: &Rc<Self>) {
+        for (&id, &(addr, lkey)) in self.recv_bufs.borrow().iter() {
+            self.qp
+                .post_recv(RecvWr::new(id, addr, self.recv_buf_len, lkey))
+                .expect("receive queue sized for depth");
+        }
+    }
+
+    pub fn set_on_msg(&self, f: impl Fn(&Rc<AmEndpoint>, u64) + 'static) {
+        *self.on_msg.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// The staging region used for rendezvous sends.
+    fn rdv_region(&self) -> (u64, u32, u32) {
+        let pool = self.mr_pool.borrow();
+        let mr = &pool[1];
+        (mr.addr, mr.lkey, mr.rkey)
+    }
+
+    /// Send a message of `len` bytes (size-only payload).
+    pub fn send(self: &Rc<Self>, len: u64) {
+        if self.inflight.get() >= SQ_WINDOW {
+            self.queued.borrow_mut().push_back(len);
+            return;
+        }
+        self.transmit(len);
+    }
+
+    fn transmit(self: &Rc<Self>, len: u64) {
+        self.thread.charge(self.profile.per_send_cpu);
+        self.inflight.set(self.inflight.get() + 1);
+        self.sent.set(self.sent.get() + 1);
+        let wr_id = self.next_wr.get();
+        self.next_wr.set(wr_id + 1);
+        if len <= self.profile.eager_max {
+            // Eager: header + payload in one Send.
+            let mut head = vec![AM_EAGER];
+            head.extend_from_slice(&len.to_le_bytes());
+            head.resize((self.profile.hdr_bytes.max(9)) as usize, 0);
+            let total = head.len() as u64 + len;
+            let wr = SendWr {
+                wr_id,
+                op: SendOp::Send,
+                payload: Payload::Padded {
+                    head: bytes::Bytes::from(head),
+                    total,
+                },
+                remote: None,
+                imm: None,
+                local: None,
+                signaled: true,
+            };
+            let me = self.clone();
+            self.thread.exec(Dur::ZERO, move |_| {
+                me.rnic.post_send(&me.qp, wr).expect("post eager");
+            });
+        } else {
+            // Rendezvous: ship a descriptor; receiver RDMA-Reads.
+            self.thread.charge(self.profile.rendezvous_cpu);
+            let (addr, _lkey, rkey) = self.rdv_region();
+            let mut head = vec![AM_RDV];
+            head.extend_from_slice(&len.to_le_bytes());
+            head.extend_from_slice(&addr.to_le_bytes());
+            head.extend_from_slice(&rkey.to_le_bytes());
+            head.resize((self.profile.hdr_bytes.max(21)) as usize, 0);
+            let total = head.len() as u64;
+            let wr = SendWr {
+                wr_id,
+                op: SendOp::Send,
+                payload: Payload::Padded {
+                    head: bytes::Bytes::from(head),
+                    total,
+                },
+                remote: None,
+                imm: None,
+                local: None,
+                signaled: true,
+            };
+            let me = self.clone();
+            self.thread.exec(Dur::ZERO, move |_| {
+                me.rnic.post_send(&me.qp, wr).expect("post rdv");
+            });
+        }
+    }
+
+    fn pump(self: &Rc<Self>) {
+        loop {
+            let cqes = self.cq.poll(32);
+            if cqes.is_empty() {
+                break;
+            }
+            for cqe in cqes {
+                self.handle(cqe);
+            }
+        }
+        self.cq.req_notify();
+    }
+
+    fn handle(self: &Rc<Self>, cqe: Cqe) {
+        match cqe.opcode {
+            CqeOpcode::Send => {
+                self.inflight.set(self.inflight.get().saturating_sub(1));
+                let next = self.queued.borrow_mut().pop_front();
+                if let Some(len) = next {
+                    self.transmit(len);
+                }
+            }
+            CqeOpcode::Recv => {
+                self.thread.charge(self.profile.per_recv_cpu);
+                let slot = cqe.wr_id;
+                let (addr, lkey) = *self.recv_bufs.borrow().get(&slot).expect("known slot");
+                // Parse the tiny AM header.
+                let head = self
+                    .rnic
+                    .mem()
+                    .by_lkey(lkey)
+                    .map(|mr| mr.read(addr, 21.min(cqe.byte_len)).unwrap_or_default())
+                    .unwrap_or_default();
+                // Repost immediately (fixed slot).
+                let _ = self
+                    .qp
+                    .post_recv(RecvWr::new(slot, addr, self.recv_buf_len, lkey));
+                if head.is_empty() {
+                    return;
+                }
+                match head[0] {
+                    AM_EAGER => {
+                        let len = u64::from_le_bytes(head[1..9].try_into().unwrap());
+                        self.deliver(len);
+                    }
+                    AM_RDV if head.len() >= 21 => {
+                        self.thread.charge(self.profile.rendezvous_cpu);
+                        let len = u64::from_le_bytes(head[1..9].try_into().unwrap());
+                        let raddr = u64::from_le_bytes(head[9..17].try_into().unwrap());
+                        let rkey = u32::from_le_bytes(head[17..21].try_into().unwrap());
+                        let (laddr, llkey, _) = self.rdv_region();
+                        let wr_id = 0x8000_0000_0000_0000 | self.next_wr.get();
+                        self.next_wr.set(self.next_wr.get() + 1);
+                        self.pending_reads.borrow_mut().insert(wr_id, len);
+                        let wr = SendWr::read(wr_id, laddr, llkey, len, raddr, rkey);
+                        let me = self.clone();
+                        self.thread.exec(Dur::ZERO, move |_| {
+                            me.rnic.post_send(&me.qp, wr).expect("post rdv read");
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            CqeOpcode::Read => {
+                let len = self.pending_reads.borrow_mut().remove(&cqe.wr_id);
+                if let Some(len) = len {
+                    self.deliver(len);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn deliver(self: &Rc<Self>, len: u64) {
+        self.received.set(self.received.get() + 1);
+        if let Some(cb) = self.on_msg.borrow().as_ref() {
+            cb(self, len);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # xrdma-baselines — the comparison stacks of Figure 7
+//!
+//! The paper evaluates X-RDMA against `ibv_rc_pingpong` (raw verbs — "an
+//! ideal baseline … no extra overhead other than the primitive RDMA
+//! operations"), UCX's `ucx-am-rc`, libfabric, and accelio/xio. All of
+//! them run here against the *same simulated RNIC*, so the measured
+//! differences isolate exactly what Fig 7 isolates: per-message software
+//! overhead structure (header bytes, dispatch layers, rendezvous policy).
+//!
+//! Each stack is an [`am::AmEndpoint`] driven by a [`profile::StackProfile`]
+//! whose constants model the published architecture of the original:
+//!
+//! | stack            | modelled overhead source                          |
+//! |------------------|---------------------------------------------------|
+//! | `ibv_rc_pingpong`| none — raw verbs, no header, minimal poll loop     |
+//! | `ucx-am-rc`      | AM dispatch + UCT/UCP layering, 32 B AM header     |
+//! | `libfabric`      | provider indirection + cq readers, 48 B header     |
+//! | `xio` (accelio)  | session/connection abstraction, 64 B header        |
+//!
+//! The ping-pong harness in [`pingpong`] runs any of them (and the real
+//! X-RDMA middleware) over a two-host fabric and reports the latency
+//! distribution per message size — the generator for Figure 7.
+
+pub mod am;
+pub mod pingpong;
+pub mod profile;
+
+pub use am::AmEndpoint;
+pub use pingpong::{pingpong_am, pingpong_xrdma, PingPongResult};
+pub use profile::StackProfile;

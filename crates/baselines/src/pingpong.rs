@@ -1,0 +1,240 @@
+//! The ping-pong harness behind Figure 7: run `iters` request/response
+//! round trips of a given size over any stack and report the half-RTT
+//! latency distribution, exactly like `ibv_rc_pingpong` reports.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use xrdma_core::{XrdmaChannel, XrdmaConfig, XrdmaContext};
+use xrdma_fabric::{Fabric, FabricConfig, NodeId};
+use xrdma_rnic::{CmConfig, ConnManager, Rnic, RnicConfig};
+use xrdma_sim::stats::Histogram;
+use xrdma_sim::{Dur, SimRng, World};
+
+use crate::am::AmEndpoint;
+use crate::profile::StackProfile;
+
+/// Latency distribution of one ping-pong run.
+#[derive(Clone, Debug)]
+pub struct PingPongResult {
+    pub stack: &'static str,
+    pub size: u64,
+    /// One-way (half round-trip) latencies, nanoseconds.
+    pub latency: Histogram,
+}
+
+impl PingPongResult {
+    pub fn mean_us(&self) -> f64 {
+        self.latency.mean() / 1e3
+    }
+
+    pub fn p50_us(&self) -> f64 {
+        self.latency.percentile(50.0) as f64 / 1e3
+    }
+
+    pub fn p99_us(&self) -> f64 {
+        self.latency.percentile(99.0) as f64 / 1e3
+    }
+}
+
+/// Ping-pong over a generic AM baseline stack.
+pub fn pingpong_am(profile: StackProfile, size: u64, iters: u32, seed: u64) -> PingPongResult {
+    let world = World::new();
+    let rng = SimRng::new(seed);
+    let fabric = Fabric::new(world.clone(), FabricConfig::pair(), &rng);
+    let a_nic = Rnic::new(&fabric, NodeId(0), RnicConfig::default(), rng.fork("a"));
+    let b_nic = Rnic::new(&fabric, NodeId(1), RnicConfig::default(), rng.fork("b"));
+    let a = AmEndpoint::new(&a_nic, profile, size.max(4096) * 2);
+    let b = AmEndpoint::new(&b_nic, profile, size.max(4096) * 2);
+    Rnic::connect_pair(&a_nic, &a.qp, &b_nic, &b.qp);
+    a.start();
+    b.start();
+
+    // Echo server.
+    b.set_on_msg(move |ep, len| {
+        ep.send(len);
+    });
+
+    // Client: fire the next ping when the pong lands; record half RTT.
+    let hist = Rc::new(std::cell::RefCell::new(Histogram::new()));
+    let warmup = (iters / 10).max(4);
+    let count = Rc::new(Cell::new(0u32));
+    let t0 = Rc::new(Cell::new(world.now()));
+    {
+        let hist = hist.clone();
+        let world2 = world.clone();
+        let count2 = count.clone();
+        let t02 = t0.clone();
+        a.set_on_msg(move |ep, len| {
+            let n = count2.get() + 1;
+            count2.set(n);
+            if n > warmup {
+                let rtt = world2.now().since(t02.get());
+                hist.borrow_mut().record(rtt.as_nanos() / 2);
+            }
+            if n < iters + warmup {
+                t02.set(world2.now());
+                ep.send(len);
+            }
+        });
+    }
+    t0.set(world.now());
+    a.send(size);
+    world.run_for(Dur::secs(30));
+    assert_eq!(
+        count.get(),
+        iters + warmup,
+        "{}: ping-pong did not complete ({}/{})",
+        profile.name,
+        count.get(),
+        iters + warmup
+    );
+    let latency = hist.borrow().clone();
+    PingPongResult {
+        stack: profile.name,
+        size,
+        latency,
+    }
+}
+
+/// Ping-pong over the real X-RDMA middleware with a given configuration.
+/// `stack` labels the row ("xrdma-BD", "xrdma-reqrsp", …).
+pub fn pingpong_xrdma(
+    stack: &'static str,
+    cfg: XrdmaConfig,
+    size: u64,
+    iters: u32,
+    seed: u64,
+) -> PingPongResult {
+    let world = World::new();
+    let rng = SimRng::new(seed);
+    let fabric = Fabric::new(world.clone(), FabricConfig::pair(), &rng);
+    let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
+    let client = XrdmaContext::on_new_node(
+        &fabric,
+        &cm,
+        NodeId(0),
+        RnicConfig::default(),
+        cfg.clone(),
+        &rng,
+    );
+    let server =
+        XrdmaContext::on_new_node(&fabric, &cm, NodeId(1), RnicConfig::default(), cfg, &rng);
+    let sch: Rc<std::cell::RefCell<Option<Rc<XrdmaChannel>>>> =
+        Rc::new(std::cell::RefCell::new(None));
+    let s2 = sch.clone();
+    server.listen(7, move |ch| {
+        ch.set_on_request(|ch2, msg, token| {
+            ch2.respond_size(token, msg.len).ok();
+        });
+        *s2.borrow_mut() = Some(ch);
+    });
+    let cch: Rc<std::cell::RefCell<Option<Rc<XrdmaChannel>>>> =
+        Rc::new(std::cell::RefCell::new(None));
+    let c2 = cch.clone();
+    client.connect(NodeId(1), 7, move |r| {
+        *c2.borrow_mut() = Some(r.expect("connect"));
+    });
+    world.run_for(Dur::millis(20));
+    let ch = cch.borrow().clone().expect("channel");
+
+    let hist = Rc::new(std::cell::RefCell::new(Histogram::new()));
+    let warmup = (iters / 10).max(4);
+    let count = Rc::new(Cell::new(0u32));
+
+    fn fire(
+        ch: &Rc<XrdmaChannel>,
+        world: &Rc<World>,
+        hist: &Rc<std::cell::RefCell<Histogram>>,
+        count: &Rc<Cell<u32>>,
+        size: u64,
+        iters: u32,
+        warmup: u32,
+    ) {
+        let t0 = world.now();
+        let ch2 = ch.clone();
+        let world2 = world.clone();
+        let hist2 = hist.clone();
+        let count2 = count.clone();
+        ch.send_request_size(size, move |_, _resp| {
+            let n = count2.get() + 1;
+            count2.set(n);
+            if n > warmup {
+                let rtt = world2.now().since(t0);
+                hist2.borrow_mut().record(rtt.as_nanos() / 2);
+            }
+            if n < iters + warmup {
+                fire(&ch2, &world2, &hist2, &count2, size, iters, warmup);
+            }
+        })
+        .expect("send");
+    }
+    fire(&ch, &world, &hist, &count, size, iters, warmup);
+    world.run_for(Dur::secs(30));
+    assert_eq!(
+        count.get(),
+        iters + warmup,
+        "{stack}: ping-pong did not complete"
+    );
+    let latency = hist.borrow().clone();
+    PingPongResult {
+        stack,
+        size,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile;
+
+    #[test]
+    fn raw_verbs_small_message_latency_sane() {
+        let r = pingpong_am(profile::ibv_rc_pingpong(), 64, 50, 1);
+        // Half-RTT of a tiny message on the calibrated fabric: 2–7 µs.
+        assert!(
+            (2.0..7.0).contains(&r.mean_us()),
+            "ibv 64B half-rtt {} µs",
+            r.mean_us()
+        );
+    }
+
+    #[test]
+    fn stack_ordering_reproduces_fig7() {
+        let size = 64;
+        let ibv = pingpong_am(profile::ibv_rc_pingpong(), size, 60, 2).mean_us();
+        let ucx = pingpong_am(profile::ucx_am_rc(), size, 60, 2).mean_us();
+        let lf = pingpong_am(profile::libfabric(), size, 60, 2).mean_us();
+        let x = pingpong_am(profile::xio(), size, 60, 2).mean_us();
+        let xr = pingpong_xrdma("xrdma-BD", XrdmaConfig::default(), size, 60, 2).mean_us();
+        assert!(ibv < xr, "raw verbs is the floor: ibv {ibv} xr {xr}");
+        assert!(xr < ucx, "xrdma beats ucx: {xr} vs {ucx}");
+        assert!(ucx < lf, "ucx beats libfabric: {ucx} vs {lf}");
+        assert!(lf < x, "libfabric beats xio: {lf} vs {x}");
+        // X-RDMA within 10% of raw verbs (paper: ≤10% degradation).
+        assert!(xr / ibv < 1.12, "xrdma {xr} vs ibv {ibv}");
+    }
+
+    #[test]
+    fn reqrsp_overhead_2_to_4_percent() {
+        let size = 1024;
+        let bare = pingpong_xrdma("xrdma-BD", XrdmaConfig::default(), size, 80, 3).mean_us();
+        let mut cfg = XrdmaConfig::default();
+        cfg.msg_mode = xrdma_core::MsgMode::ReqRsp;
+        cfg.trace_sample_mask = 0;
+        let traced = pingpong_xrdma("xrdma-reqrsp", cfg, size, 80, 3).mean_us();
+        let overhead = traced / bare - 1.0;
+        assert!(
+            (0.005..0.08).contains(&overhead),
+            "req-rsp overhead {overhead:.3} (paper: 2–4 %)"
+        );
+    }
+
+    #[test]
+    fn rendezvous_kicks_in_for_large() {
+        let r = pingpong_am(profile::ucx_am_rc(), 64 * 1024, 20, 4);
+        // 64 KiB at 25 Gb/s is ~21 µs of wire each way plus rendezvous.
+        assert!(r.mean_us() > 20.0, "large {} µs", r.mean_us());
+    }
+}

@@ -1,0 +1,137 @@
+//! Criterion end-to-end benchmarks: whole-stack virtual scenarios measured
+//! in wall-clock time (simulator throughput) — how many virtual RPCs /
+//! packets per real second the reproduction sustains. These are the runs
+//! behind every macro experiment, so their wall cost matters.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use xrdma_core::{XrdmaChannel, XrdmaConfig, XrdmaContext};
+use xrdma_fabric::{Fabric, FabricConfig, NodeId};
+use xrdma_rnic::{CmConfig, ConnManager, RnicConfig};
+use xrdma_sim::{Dur, SimRng, World};
+
+struct Rig {
+    world: Rc<World>,
+    channel: Rc<XrdmaChannel>,
+}
+
+fn rig(seed: u64) -> Rig {
+    let world = World::new();
+    let rng = SimRng::new(seed);
+    let fabric = Fabric::new(world.clone(), FabricConfig::pair(), &rng);
+    let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
+    let client = XrdmaContext::on_new_node(
+        &fabric,
+        &cm,
+        NodeId(0),
+        RnicConfig::default(),
+        XrdmaConfig::default(),
+        &rng,
+    );
+    let server = XrdmaContext::on_new_node(
+        &fabric,
+        &cm,
+        NodeId(1),
+        RnicConfig::default(),
+        XrdmaConfig::default(),
+        &rng,
+    );
+    let sch: Rc<RefCell<Option<Rc<XrdmaChannel>>>> = Rc::new(RefCell::new(None));
+    let s2 = sch.clone();
+    server.listen(7, move |ch| {
+        ch.set_on_request(|c, _m, t| {
+            c.respond_size(t, 32).ok();
+        });
+        *s2.borrow_mut() = Some(ch);
+    });
+    let cch: Rc<RefCell<Option<Rc<XrdmaChannel>>>> = Rc::new(RefCell::new(None));
+    let c2 = cch.clone();
+    client.connect(NodeId(1), 7, move |r| *c2.borrow_mut() = Some(r.unwrap()));
+    world.run_for(Dur::millis(20));
+    let channel = cch.borrow().clone().unwrap();
+    // Keep the contexts alive via the channel's internals (contexts are
+    // owned by the closures above through Rc).
+    std::mem::forget((client, server));
+    Rig { world, channel }
+}
+
+fn bench_rpc_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("small_rpc_x100_through_full_stack", |b| {
+        let r = rig(1);
+        b.iter(|| {
+            let done = Rc::new(Cell::new(0u32));
+            for _ in 0..100 {
+                let d = done.clone();
+                r.channel
+                    .send_request_size(256, move |_, _| d.set(d.get() + 1))
+                    .unwrap();
+            }
+            r.world.run_for(Dur::millis(10));
+            assert_eq!(done.get(), 100);
+            black_box(done.get())
+        })
+    });
+    g.throughput(Throughput::Elements(10));
+    g.bench_function("large_128k_rpc_x10_through_full_stack", |b| {
+        let r = rig(2);
+        b.iter(|| {
+            let done = Rc::new(Cell::new(0u32));
+            for _ in 0..10 {
+                let d = done.clone();
+                r.channel
+                    .send_request_size(128 * 1024, move |_, _| d.set(d.get() + 1))
+                    .unwrap();
+            }
+            r.world.run_for(Dur::millis(20));
+            assert_eq!(done.get(), 10);
+            black_box(done.get())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fabric_forwarding(c: &mut Criterion) {
+    use std::any::Any;
+    use xrdma_fabric::{NicSink, Packet};
+    struct Null;
+    impl NicSink for Null {
+        fn deliver(&self, _pkt: Packet) {}
+    }
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("fabric_forward_1000_pkts_cross_pod", |b| {
+        let world = World::new();
+        let rng = SimRng::new(3);
+        let fabric = Fabric::new(world.clone(), FabricConfig::cluster(2, 4, 4), &rng);
+        for h in 0..fabric.n_hosts() {
+            fabric.attach_host(NodeId(h), Rc::new(Null));
+        }
+        b.iter(|| {
+            for i in 0..1000u64 {
+                let src = (i % 16) as u32;
+                let dst = 16 + (i % 16) as u32 * 3 % 16;
+                fabric.send(Packet::new(
+                    NodeId(src),
+                    NodeId(dst.min(fabric.n_hosts() - 1)),
+                    3,
+                    1500,
+                    i,
+                    Box::new(()) as Box<dyn Any>,
+                ));
+            }
+            world.run();
+            black_box(world.events_executed())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rpc_throughput, bench_fabric_forwarding);
+criterion_main!(benches);

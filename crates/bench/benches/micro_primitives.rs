@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks of the hot primitives every experiment sits
+//! on: the DES event loop, RNG, statistics, protocol header codec, seq-ack
+//! window and the sparse memory backing. These guard the simulator's own
+//! performance (wall-clock per virtual event) against regressions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use xrdma_core::proto::{Header, LargeDesc, MsgKind};
+use xrdma_core::seqack::{RxWindow, TxWindow};
+use xrdma_fabric::ecmp_hash;
+use xrdma_rnic::mem::MemTable;
+use xrdma_rnic::{AccessFlags, PageKind};
+use xrdma_sim::stats::Histogram;
+use xrdma_sim::{Dur, SimRng, World};
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("schedule_and_run_1000_events", |b| {
+        b.iter(|| {
+            let w = World::new();
+            for i in 0..1000u64 {
+                w.schedule_in(Dur::nanos(i % 97), || {});
+            }
+            w.run();
+            black_box(w.events_executed())
+        })
+    });
+    g.bench_function("self_rescheduling_timer_1000_ticks", |b| {
+        b.iter(|| {
+            let w = World::new();
+            fn arm(w: &std::rc::Rc<World>, left: u32) {
+                if left == 0 {
+                    return;
+                }
+                let w2 = w.clone();
+                w.schedule_in(Dur::nanos(50), move || arm(&w2.clone(), left - 1));
+            }
+            arm(&w, 1000);
+            w.run();
+            black_box(w.now())
+        })
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1));
+    let mut rng = SimRng::new(7);
+    g.bench_function("next_u64", |b| b.iter(|| black_box(rng.next_u64())));
+    g.bench_function("exp", |b| b.iter(|| black_box(rng.exp(1000.0))));
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.throughput(Throughput::Elements(1));
+    let mut h = Histogram::new();
+    let mut x = 99u64;
+    g.bench_function("record", |b| {
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(x >> 40));
+        })
+    });
+    for v in 0..100_000u64 {
+        h.record(v * 37 % 1_000_000);
+    }
+    g.bench_function("percentile_p99", |b| b.iter(|| black_box(h.percentile(99.0))));
+    g.finish();
+}
+
+fn bench_header(c: &mut Criterion) {
+    let mut g = c.benchmark_group("proto");
+    let mut hdr = Header::new(MsgKind::Request, 42, 17, 9, 4096);
+    hdr.large = Some(LargeDesc {
+        addr: 0xABCD_EF00,
+        rkey: 55,
+    });
+    g.bench_function("header_encode", |b| b.iter(|| black_box(hdr.encode())));
+    let enc = hdr.encode();
+    g.bench_function("header_decode", |b| {
+        b.iter(|| black_box(Header::decode(&enc).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_seqack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seqack");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("send_recv_ack_cycle", |b| {
+        let mut tx = TxWindow::new(64);
+        let mut rx = RxWindow::new(64);
+        b.iter(|| {
+            let s = tx.next_seq();
+            rx.on_arrival(s);
+            let ready = rx.on_complete(s);
+            black_box(&ready);
+            let _ = tx.on_ack(rx.take_ack()).count();
+        })
+    });
+    g.finish();
+}
+
+fn bench_sparse_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_mr");
+    let table = MemTable::new(0);
+    let pd = table.alloc_pd();
+    let mr = table.reg_mr(
+        &pd,
+        4 * 1024 * 1024,
+        AccessFlags::FULL,
+        PageKind::Anonymous,
+        true,
+        false,
+    );
+    let data = vec![0xAAu8; 64];
+    let mut off = 0u64;
+    g.bench_function("write_64B_rotating", |b| {
+        b.iter(|| {
+            off = (off + 4096) % (4 * 1024 * 1024 - 64);
+            mr.write(mr.addr + off, black_box(&data)).unwrap();
+        })
+    });
+    g.bench_function("read_64B", |b| {
+        b.iter(|| black_box(mr.read(mr.addr + 8192, 64).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_ecmp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    let mut flow = 0u64;
+    g.bench_function("ecmp_hash", |b| {
+        b.iter(|| {
+            flow = flow.wrapping_add(1);
+            black_box(ecmp_hash(flow, 0xA1, 8))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_loop,
+    bench_rng,
+    bench_histogram,
+    bench_header,
+    bench_seqack,
+    bench_sparse_memory,
+    bench_ecmp
+);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Paper-vs-measured reporting: every harness prints a uniform comparison
+//! table and appends a JSON record under `results/` for EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// One compared quantity.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    pub metric: String,
+    pub paper: String,
+    pub measured: String,
+    /// Does the measured value preserve the paper's claim (direction /
+    /// rough magnitude)?
+    pub holds: bool,
+}
+
+/// A whole experiment report.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    pub experiment: String,
+    pub description: String,
+    pub rows: Vec<Row>,
+    /// Free-form series dumps (plot data) keyed by name.
+    pub series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl Report {
+    pub fn new(experiment: &str, description: &str) -> Report {
+        Report {
+            experiment: experiment.to_string(),
+            description: description.to_string(),
+            rows: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a compared metric.
+    pub fn row(&mut self, metric: &str, paper: impl ToString, measured: impl ToString, holds: bool) {
+        self.rows.push(Row {
+            metric: metric.to_string(),
+            paper: paper.to_string(),
+            measured: measured.to_string(),
+            holds,
+        });
+    }
+
+    /// Attach a plottable series.
+    pub fn series(&mut self, name: &str, rows: Vec<(f64, f64)>) {
+        self.series.push((name.to_string(), rows));
+    }
+
+    /// Render the comparison table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.experiment, self.description);
+        let w = self
+            .rows
+            .iter()
+            .map(|r| r.metric.len())
+            .max()
+            .unwrap_or(10)
+            .max(6);
+        let pw = self.rows.iter().map(|r| r.paper.len()).max().unwrap_or(8).max(5);
+        let mw = self
+            .rows
+            .iter()
+            .map(|r| r.measured.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let _ = writeln!(
+            out,
+            "{:w$}  {:>pw$}  {:>mw$}  shape",
+            "metric", "paper", "measured"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:w$}  {:>pw$}  {:>mw$}  {}",
+                r.metric,
+                r.paper,
+                r.measured,
+                if r.holds { "HOLDS" } else { "DIFFERS" }
+            );
+        }
+        out
+    }
+
+    /// Do all rows hold?
+    pub fn all_hold(&self) -> bool {
+        self.rows.iter().all(|r| r.holds)
+    }
+
+    /// Print and persist to `results/<experiment>.json`.
+    pub fn finish(&self) {
+        println!("{}", self.render());
+        for (name, rows) in &self.series {
+            println!("series {name} ({} points)", rows.len());
+        }
+        let dir = Path::new("results");
+        let path = if dir.exists() {
+            dir.join(format!("{}.json", self.experiment))
+        } else {
+            // Running from a crate dir: walk up to the workspace root.
+            Path::new("../../results").join(format!("{}.json", self.experiment))
+        };
+        if let Ok(json) = serde_json::to_string_pretty(self) {
+            let _ = fs::write(&path, json);
+        }
+        println!(
+            "[{}] {}",
+            self.experiment,
+            if self.all_hold() {
+                "all shapes HOLD"
+            } else {
+                "some shapes DIFFER (see rows)"
+            }
+        );
+    }
+}
+
+/// Format a microsecond value compactly.
+pub fn us(v: f64) -> String {
+    format!("{v:.2}µs")
+}
+
+/// Format a Gb/s value compactly.
+pub fn gbps(v: f64) -> String {
+    format!("{v:.2}Gbps")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_rows() {
+        let mut r = Report::new("figX", "demo");
+        r.row("latency", "5.60µs", "5.72µs", true);
+        r.row("ratio", "1.05x", "2.0x", false);
+        let s = r.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("HOLDS"));
+        assert!(s.contains("DIFFERS"));
+        assert!(!r.all_hold());
+    }
+}

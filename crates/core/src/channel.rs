@@ -1,0 +1,1110 @@
+//! `xrdma_channel` — a connection between two contexts, carrying the mixed
+//! message model (§IV-C), the seq-ack window (§V-B), keepalive (§V-A) and
+//! per-connection statistics (XR-Stat, §VI-B).
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::rc::{Rc, Weak};
+
+use bytes::{Bytes, BytesMut};
+
+use xrdma_fabric::NodeId;
+use xrdma_rnic::verbs::Payload;
+use xrdma_rnic::{Qp, Rnic, SendOp, SendWr};
+use xrdma_sim::{Dur, Time};
+
+use crate::config::MsgMode;
+use crate::context::XrdmaContext;
+use crate::error::XrdmaError;
+use crate::memcache::McBuf;
+use crate::proto::{Header, LargeDesc, MsgKind, TraceHdr};
+use crate::seqack::{RxAccept, RxWindow, TxWindow};
+use crate::stats::ChannelStats;
+
+// wr_id tag layout: tag in the top byte, payload bits below.
+pub(crate) const TAG_SHIFT: u64 = 56;
+pub(crate) const TAG_EAGER: u64 = 1;
+pub(crate) const TAG_CTRL: u64 = 2;
+pub(crate) const TAG_PROBE: u64 = 3;
+pub(crate) const TAG_READ: u64 = 4;
+
+pub(crate) fn wr_tag(wr_id: u64) -> u64 {
+    wr_id >> TAG_SHIFT
+}
+
+pub(crate) fn wr_eager(seq: u32) -> u64 {
+    (TAG_EAGER << TAG_SHIFT) | seq as u64
+}
+
+pub(crate) fn wr_ctrl() -> u64 {
+    TAG_CTRL << TAG_SHIFT
+}
+
+pub(crate) fn wr_probe() -> u64 {
+    TAG_PROBE << TAG_SHIFT
+}
+
+pub(crate) fn wr_read(seq: u32, frag: u32) -> u64 {
+    (TAG_READ << TAG_SHIFT) | ((frag as u64) << 32) | seq as u64
+}
+
+pub(crate) fn wr_read_seq(wr_id: u64) -> u32 {
+    wr_id as u32
+}
+
+/// Why a channel closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CloseReason {
+    /// Local `close()` call.
+    Local,
+    /// Peer sent a graceful Close.
+    Remote,
+    /// KeepAlive (or a data operation) found the peer dead (§V-A).
+    PeerDead,
+}
+
+/// A message as delivered to the application.
+pub struct XrdmaMsg {
+    pub kind: MsgKind,
+    pub rpc_id: u32,
+    /// Body length in bytes.
+    pub len: u64,
+    /// Tracing header, when the sender traced this message (req-rsp mode).
+    pub trace: Option<TraceHdr>,
+    source: MsgSource,
+}
+
+enum MsgSource {
+    Empty,
+    /// Body lives in registered memory (receive buffer or memcache).
+    Region { rnic: Rc<Rnic>, lkey: u32, addr: u64 },
+}
+
+impl XrdmaMsg {
+    /// True when this "response" is actually a failure notification: the
+    /// channel died (peer crash, keepalive, local close) while the RPC was
+    /// outstanding. Such messages have `kind == MsgKind::Close`, zero
+    /// length and an empty body.
+    pub fn is_error(&self) -> bool {
+        self.kind == MsgKind::Close
+    }
+
+    /// Materialize the body bytes. Zero-filled for size-only payloads.
+    /// Valid only during the delivery handler (zero-copy semantics: the
+    /// underlying buffer is recycled afterwards) — copy if you keep it.
+    pub fn body(&self) -> Bytes {
+        match &self.source {
+            MsgSource::Empty => Bytes::new(),
+            MsgSource::Region { rnic, lkey, addr } => match rnic.mem().by_lkey(*lkey) {
+                Some(mr) => Bytes::from(mr.read(*addr, self.len).unwrap_or_default()),
+                None => Bytes::new(),
+            },
+        }
+    }
+}
+
+/// Token for answering a request after its handler returned.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplyToken {
+    pub rpc_id: u32,
+    pub traced: Option<TraceHdr>,
+    /// Receiver-side arrival timestamp (local clock), shipped back to the
+    /// requester for the T2−T1−Toff decomposition (§VI-A method I).
+    pub t2_ns: u64,
+}
+
+/// A queued-but-not-yet-sent message (window closed).
+struct PendingSend {
+    kind: MsgKind,
+    body: BodySpec,
+    rpc_id: u32,
+    trace: Option<TraceHdr>,
+}
+
+/// How the caller described the body.
+pub(crate) enum BodySpec {
+    /// Real bytes.
+    Data(Bytes),
+    /// Size-only (performance experiments).
+    Size(u64),
+}
+
+impl BodySpec {
+    fn len(&self) -> u64 {
+        match self {
+            BodySpec::Data(b) => b.len() as u64,
+            BodySpec::Size(n) => *n,
+        }
+    }
+}
+
+/// A sent, unacked message (buffer pinned until the peer acknowledges).
+struct OutMsg {
+    kind: MsgKind,
+    /// Large-path payload buffer, released on ack.
+    buf: Option<McBuf>,
+    sent_at: Time,
+}
+
+/// A received message not yet deliverable (in-order constraint) or being
+/// fetched (large path).
+struct InMsg {
+    hdr: Header,
+    /// Large-path landing buffer.
+    buf: Option<McBuf>,
+    /// Small-path body location (inside the receive buffer).
+    small_loc: Option<(u32, u64)>, // (lkey, addr)
+    /// Receiver-side arrival time (for ReplyToken/t2).
+    t2: Time,
+}
+
+/// An in-flight large fetch (read-replace-write, §IV-C).
+struct LargeFetch {
+    frags_left: u32,
+}
+
+/// One pre-posted receive buffer.
+#[derive(Clone)]
+struct RecvSlot {
+    buf: McBuf,
+}
+
+/// The channel.
+pub struct XrdmaChannel {
+    pub(crate) ctx: Weak<XrdmaContext>,
+    pub qp: Rc<Qp>,
+    pub peer: NodeId,
+    pub(crate) tx: RefCell<TxWindow>,
+    pub(crate) rx: RefCell<RxWindow>,
+    /// Sent sequenced messages awaiting the peer's window ack.
+    outgoing: RefCell<HashMap<u32, OutMsg>>,
+    /// Sends blocked on the window.
+    pending: RefCell<VecDeque<PendingSend>>,
+    /// Received messages awaiting in-order delivery / large fetch.
+    inbox: RefCell<HashMap<u32, InMsg>>,
+    fetches: RefCell<HashMap<u32, LargeFetch>>,
+    /// Pre-posted receive slots by wr_id low bits.
+    recv_slots: RefCell<HashMap<u32, RecvSlot>>,
+    next_slot: Cell<u32>,
+    rpc_waiters: RefCell<HashMap<u32, RpcWaiter>>,
+    next_rpc: Cell<u32>,
+    on_request: RefCell<Option<Box<dyn Fn(&Rc<XrdmaChannel>, XrdmaMsg, ReplyToken)>>>,
+    on_close: RefCell<Option<Box<dyn Fn(CloseReason)>>>,
+    pub(crate) stats: RefCell<ChannelStats>,
+    pub(crate) last_rx: Cell<Time>,
+    pub(crate) last_tx: Cell<Time>,
+    /// Instant the window became stalled with queued work (NOP detection).
+    pub(crate) stalled_since: Cell<Option<Time>>,
+    /// Outstanding control messages (bounded so controls can't exhaust the
+    /// peer's receive slots).
+    ctrl_outstanding: Cell<u32>,
+    pub(crate) closed: Cell<bool>,
+    /// Probe in flight (avoid stacking probes).
+    probe_outstanding: Cell<bool>,
+    /// Last probe emission (probes pace at the keepalive interval).
+    pub(crate) last_probe: Cell<Time>,
+    /// Flow-control slots this channel holds (data WRs posted, CQE not yet
+    /// seen). Released to the context gate on teardown — otherwise WRs
+    /// wiped by a QP reset would jam the gate forever.
+    pub(crate) flow_slots: Cell<u32>,
+}
+
+struct RpcWaiter {
+    cb: Box<dyn FnOnce(&Rc<XrdmaChannel>, XrdmaMsg)>,
+    sent_at: Time,
+    trace_id: Option<u64>,
+    t1_ns: u64,
+}
+
+/// Extra receive slots beyond the window depth, reserved for control
+/// messages (ACK/NOP/Close) so they can never cause RNR.
+pub(crate) const CTRL_SLACK: u32 = 8;
+const MAX_CTRL_OUTSTANDING: u32 = 4;
+
+impl XrdmaChannel {
+    pub(crate) fn new(ctx: &Rc<XrdmaContext>, qp: Rc<Qp>, peer: NodeId) -> Rc<XrdmaChannel> {
+        let depth = ctx.config().inflight_depth;
+        let now = ctx.world().now();
+        let ch = Rc::new(XrdmaChannel {
+            ctx: Rc::downgrade(ctx),
+            qp,
+            peer,
+            tx: RefCell::new(TxWindow::new(depth)),
+            rx: RefCell::new(RxWindow::new(depth)),
+            outgoing: RefCell::new(HashMap::new()),
+            pending: RefCell::new(VecDeque::new()),
+            inbox: RefCell::new(HashMap::new()),
+            fetches: RefCell::new(HashMap::new()),
+            recv_slots: RefCell::new(HashMap::new()),
+            next_slot: Cell::new(0),
+            rpc_waiters: RefCell::new(HashMap::new()),
+            next_rpc: Cell::new(1),
+            on_request: RefCell::new(None),
+            on_close: RefCell::new(None),
+            stats: RefCell::new(ChannelStats::default()),
+            last_rx: Cell::new(now),
+            last_tx: Cell::new(now),
+            stalled_since: Cell::new(None),
+            ctrl_outstanding: Cell::new(0),
+            closed: Cell::new(false),
+            probe_outstanding: Cell::new(false),
+            last_probe: Cell::new(now),
+            flow_slots: Cell::new(0),
+        });
+        ch.prepost_recv_slots(ctx, depth + CTRL_SLACK);
+        // Registration cost of the receive-slot arenas is paid here, at
+        // channel setup — not lazily on the first send.
+        ctx.thread().charge(ctx.memcache().take_reg_cost());
+        ch
+    }
+
+    fn prepost_recv_slots(&self, ctx: &Rc<XrdmaContext>, n: u32) {
+        let slot_len = Self::recv_slot_len(ctx);
+        for _ in 0..n {
+            let buf = ctx
+                .memcache()
+                .alloc(slot_len)
+                .expect("memcache must cover receive slots");
+            let id = self.next_slot.get();
+            self.next_slot.set(id + 1);
+            self.recv_slots
+                .borrow_mut()
+                .insert(id, RecvSlot { buf: buf.clone() });
+            self.qp
+                .post_recv(xrdma_rnic::RecvWr::new(
+                    id as u64, buf.addr, buf.len, buf.lkey,
+                ))
+                .expect("receive queue sized for the window");
+        }
+    }
+
+    fn recv_slot_len(ctx: &Rc<XrdmaContext>) -> u64 {
+        // Largest eager message: full header + small body. Bounded by the
+        // maximum message size so an "everything eager" configuration
+        // cannot demand absurd slots.
+        let cfg = ctx.config();
+        cfg.small_msg_size.min(cfg.max_msg_size) + 64
+    }
+
+    /// Register the inbound request/one-way handler.
+    pub fn set_on_request(&self, f: impl Fn(&Rc<XrdmaChannel>, XrdmaMsg, ReplyToken) + 'static) {
+        *self.on_request.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Register a close notification.
+    pub fn set_on_close(&self, f: impl Fn(CloseReason) + 'static) {
+        *self.on_close.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Per-connection statistics (the XR-Stat row).
+    pub fn stats(&self) -> ChannelStats {
+        *self.stats.borrow()
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.closed.get()
+    }
+
+    /// The owning context, if still alive (analysis tools use this to read
+    /// clocks and stats through a channel handle).
+    pub fn context(&self) -> Option<Rc<XrdmaContext>> {
+        self.ctx.upgrade()
+    }
+
+    fn ctx(&self) -> Result<Rc<XrdmaContext>, XrdmaError> {
+        self.ctx.upgrade().ok_or(XrdmaError::ChannelClosed)
+    }
+
+    // ------------------------------------------------------------------
+    // Sending
+    // ------------------------------------------------------------------
+
+    /// Fire-and-forget message of real bytes.
+    pub fn send_oneway(self: &Rc<Self>, body: Bytes) -> Result<(), XrdmaError> {
+        self.enqueue_send(MsgKind::OneWay, BodySpec::Data(body), 0, None)
+    }
+
+    /// Fire-and-forget size-only message (performance experiments).
+    pub fn send_oneway_size(self: &Rc<Self>, len: u64) -> Result<(), XrdmaError> {
+        self.enqueue_send(MsgKind::OneWay, BodySpec::Size(len), 0, None)
+    }
+
+    /// RPC request with real bytes; `on_response` fires with the reply.
+    pub fn send_request(
+        self: &Rc<Self>,
+        body: Bytes,
+        on_response: impl FnOnce(&Rc<XrdmaChannel>, XrdmaMsg) + 'static,
+    ) -> Result<u32, XrdmaError> {
+        self.request_inner(BodySpec::Data(body), Box::new(on_response))
+    }
+
+    /// RPC request of a given size (size-only payload).
+    pub fn send_request_size(
+        self: &Rc<Self>,
+        len: u64,
+        on_response: impl FnOnce(&Rc<XrdmaChannel>, XrdmaMsg) + 'static,
+    ) -> Result<u32, XrdmaError> {
+        self.request_inner(BodySpec::Size(len), Box::new(on_response))
+    }
+
+    fn request_inner(
+        self: &Rc<Self>,
+        body: BodySpec,
+        cb: Box<dyn FnOnce(&Rc<XrdmaChannel>, XrdmaMsg)>,
+    ) -> Result<u32, XrdmaError> {
+        let ctx = self.ctx()?;
+        let rpc_id = self.next_rpc.get();
+        self.next_rpc.set(rpc_id.wrapping_add(1).max(1));
+        let trace = self.maybe_trace(&ctx);
+        self.rpc_waiters.borrow_mut().insert(
+            rpc_id,
+            RpcWaiter {
+                cb,
+                sent_at: ctx.world().now(),
+                trace_id: trace.map(|t| t.trace_id),
+                t1_ns: trace.map(|t| t.t1_ns).unwrap_or(0),
+            },
+        );
+        self.stats.borrow_mut().rpcs_outstanding += 1;
+        self.enqueue_send(MsgKind::Request, body, rpc_id, trace)?;
+        Ok(rpc_id)
+    }
+
+    /// Answer a request.
+    pub fn respond(self: &Rc<Self>, token: ReplyToken, body: Bytes) -> Result<(), XrdmaError> {
+        let trace = token.traced.map(|t| TraceHdr {
+            // Ship the receiver-side arrival time back for decomposition.
+            t1_ns: token.t2_ns,
+            trace_id: t.trace_id,
+        });
+        self.enqueue_send(MsgKind::Response, BodySpec::Data(body), token.rpc_id, trace)
+    }
+
+    /// Answer a request with a size-only payload.
+    pub fn respond_size(self: &Rc<Self>, token: ReplyToken, len: u64) -> Result<(), XrdmaError> {
+        let trace = token.traced.map(|t| TraceHdr {
+            t1_ns: token.t2_ns,
+            trace_id: t.trace_id,
+        });
+        self.enqueue_send(MsgKind::Response, BodySpec::Size(len), token.rpc_id, trace)
+    }
+
+    fn maybe_trace(&self, ctx: &Rc<XrdmaContext>) -> Option<TraceHdr> {
+        let cfg = ctx.config();
+        if cfg.msg_mode != MsgMode::ReqRsp {
+            return None;
+        }
+        let mask = cfg.trace_sample_mask;
+        if mask == u32::MAX {
+            return None;
+        }
+        let seq = self.tx.borrow().in_flight(); // cheap sampling source
+        let stats = self.stats.borrow();
+        let sample = (stats.msgs_sent as u32).wrapping_add(seq);
+        drop(stats);
+        if sample & mask != 0 {
+            return None;
+        }
+        Some(TraceHdr {
+            t1_ns: ctx.local_clock_ns(),
+            trace_id: ctx.next_trace_id(),
+        })
+    }
+
+    /// Core send path: window-gate, then eager or rendezvous.
+    pub(crate) fn enqueue_send(
+        self: &Rc<Self>,
+        kind: MsgKind,
+        body: BodySpec,
+        rpc_id: u32,
+        trace: Option<TraceHdr>,
+    ) -> Result<(), XrdmaError> {
+        if self.closed.get() {
+            if std::env::var_os("XRDMA_DEBUG").is_some() {
+                eprintln!("[debug] qp{} send {:?} on closed channel", self.qp.qpn.0, kind);
+            }
+            return Err(XrdmaError::ChannelClosed);
+        }
+        let ctx = self.ctx()?;
+        let cfg_max = ctx.config().max_msg_size;
+        if body.len() > cfg_max {
+            return Err(XrdmaError::TooLarge(body.len()));
+        }
+        if ctx.flow_saturated() {
+            // §V-C: the outstanding-WR queue buffers excess requests up to
+            // a hard cap; beyond it the caller must back off.
+            return Err(XrdmaError::Backpressure);
+        }
+        // CPU cost of the send call (§VII-A overhead calibration).
+        let mut cpu = ctx.config().cpu_send;
+        if trace.is_some() {
+            cpu += ctx.config().cpu_trace;
+        }
+        ctx.thread().charge(cpu);
+
+        if !self.tx.borrow().can_send() {
+            self.stats.borrow_mut().window_stalls += 1;
+            if self.stalled_since.get().is_none() {
+                self.stalled_since.set(Some(ctx.world().now()));
+            }
+            self.pending.borrow_mut().push_back(PendingSend {
+                kind,
+                body,
+                rpc_id,
+                trace,
+            });
+            return Ok(());
+        }
+        self.transmit(&ctx, kind, body, rpc_id, trace)
+    }
+
+    /// Window slot available: put the message on the wire.
+    fn transmit(
+        self: &Rc<Self>,
+        ctx: &Rc<XrdmaContext>,
+        kind: MsgKind,
+        body: BodySpec,
+        rpc_id: u32,
+        trace: Option<TraceHdr>,
+    ) -> Result<(), XrdmaError> {
+        let seq = self.tx.borrow_mut().next_seq();
+        let ack = self.rx.borrow_mut().take_ack();
+        let len = body.len();
+        let small = ctx.config().is_small(len);
+        let now = ctx.world().now();
+
+        let mut hdr = Header::new(kind, seq, ack, rpc_id, len);
+        hdr.trace = trace;
+
+        let mut pinned: Option<McBuf> = None;
+        if !small {
+            // Rendezvous: stage the payload in the memory cache and ship a
+            // descriptor; the receiver fetches it with RDMA Read (§IV-C
+            // "Read Replace Write").
+            let buf = ctx.memcache().alloc(len)?;
+            if let BodySpec::Data(data) = &body {
+                ctx.memcache().write(&buf, 0, data)?;
+            }
+            hdr.large = Some(LargeDesc {
+                addr: buf.addr,
+                rkey: buf.rkey,
+            });
+            pinned = Some(buf);
+        }
+        ctx.thread().charge(ctx.memcache().take_reg_cost());
+
+        let head = if small {
+            match &body {
+                BodySpec::Data(data) => {
+                    let mut b = BytesMut::from(hdr.encode().as_ref());
+                    b.extend_from_slice(data);
+                    b.freeze()
+                }
+                BodySpec::Size(_) => hdr.encode(),
+            }
+        } else {
+            hdr.encode()
+        };
+        let wire_total = if small {
+            head.len() as u64 + if matches!(body, BodySpec::Size(n) if n > 0) { len } else { 0 }
+        } else {
+            head.len() as u64
+        };
+
+        {
+            let mut st = self.stats.borrow_mut();
+            st.msgs_sent += 1;
+            st.bytes_sent += len;
+            if small {
+                st.small_msgs += 1;
+            } else {
+                st.large_msgs += 1;
+            }
+        }
+        self.outgoing.borrow_mut().insert(
+            seq,
+            OutMsg {
+                kind,
+                buf: pinned,
+                sent_at: now,
+            },
+        );
+        self.last_tx.set(now);
+
+        let wr = SendWr {
+            wr_id: wr_eager(seq),
+            op: SendOp::Send,
+            payload: Payload::Padded {
+                head,
+                total: wire_total,
+            },
+            remote: None,
+            imm: Some(ack),
+            local: None,
+            signaled: true,
+        };
+        // The doorbell rings when the CPU work of this send completes:
+        // defer the post through the thread queue so charged CPU costs
+        // actually delay the wire (and back-pressure under load).
+        let me = self.clone();
+        ctx.thread().exec(Dur::ZERO, move |_| {
+            let Some(ctx) = me.ctx.upgrade() else { return };
+            let me2 = me.clone();
+            ctx.flow_post(move || {
+                let bail = |me2: &Rc<XrdmaChannel>| {
+                    // Slot consumed but no WR will complete: hand it back.
+                    if let Some(ctx) = me2.ctx.upgrade() {
+                        ctx.flow_release();
+                    }
+                };
+                if me2.closed.get() {
+                    bail(&me2);
+                    return;
+                }
+                let Some(ctx) = me2.ctx.upgrade() else { return };
+                match ctx.rnic().post_send(&me2.qp, wr) {
+                    Ok(()) => me2.flow_slots.set(me2.flow_slots.get() + 1),
+                    Err(_) => {
+                        // QP died under us (keepalive race); tear down.
+                        bail(&me2);
+                        me2.fail(CloseReason::PeerDead);
+                    }
+                }
+            });
+        });
+        Ok(())
+    }
+
+    /// Drain pending sends while the window has room (called on ack).
+    fn drain_pending(self: &Rc<Self>) {
+        let Some(ctx) = self.ctx.upgrade() else { return };
+        loop {
+            if !self.tx.borrow().can_send() {
+                break;
+            }
+            let Some(p) = self.pending.borrow_mut().pop_front() else {
+                self.stalled_since.set(None);
+                break;
+            };
+            if self
+                .transmit(&ctx, p.kind, p.body, p.rpc_id, p.trace)
+                .is_err()
+            {
+                break;
+            }
+        }
+        if self.pending.borrow().is_empty() {
+            self.stalled_since.set(None);
+        }
+    }
+
+    /// Send a non-sequenced control message (ACK / NOP / Close).
+    pub(crate) fn send_ctrl(self: &Rc<Self>, kind: MsgKind) {
+        if self.closed.get() && kind != MsgKind::Close {
+            return;
+        }
+        if self.ctrl_outstanding.get() >= MAX_CTRL_OUTSTANDING {
+            return; // bounded; the ack will piggyback on later traffic
+        }
+        let Some(ctx) = self.ctx.upgrade() else { return };
+        let ack = self.rx.borrow_mut().take_ack();
+        let hdr = Header::new(kind, 0, ack, 0, 0);
+        {
+            let mut st = self.stats.borrow_mut();
+            match kind {
+                MsgKind::Ack => st.standalone_acks += 1,
+                MsgKind::Nop => st.nops_sent += 1,
+                _ => {}
+            }
+        }
+        self.ctrl_outstanding.set(self.ctrl_outstanding.get() + 1);
+        let wr = SendWr {
+            wr_id: wr_ctrl(),
+            op: SendOp::Send,
+            payload: Payload::Padded {
+                head: hdr.encode(),
+                total: hdr.encoded_len() as u64,
+            },
+            remote: None,
+            imm: Some(ack),
+            local: None,
+            signaled: true,
+        };
+        // Controls bypass flow control: they are tiny and bounded.
+        let _ = ctx.rnic().post_send(&self.qp, wr);
+        self.last_tx.set(ctx.world().now());
+    }
+
+    /// Post the keepalive probe: a zero-byte RDMA Write (§V-A).
+    pub(crate) fn send_probe(self: &Rc<Self>) {
+        if self.closed.get() || self.probe_outstanding.get() {
+            return;
+        }
+        let Some(ctx) = self.ctx.upgrade() else { return };
+        self.probe_outstanding.set(true);
+        self.last_probe.set(ctx.world().now());
+        self.stats.borrow_mut().keepalive_probes += 1;
+        let wr = SendWr {
+            wr_id: wr_probe(),
+            op: SendOp::Write,
+            payload: Payload::Zero(0),
+            remote: None,
+            imm: None,
+            local: None,
+            signaled: true,
+        };
+        let _ = ctx.rnic().post_send(&self.qp, wr);
+    }
+
+    // ------------------------------------------------------------------
+    // Receive path (driven by the context's poll loop)
+    // ------------------------------------------------------------------
+
+    /// A receive completion landed on this channel.
+    pub(crate) fn on_recv(self: &Rc<Self>, slot_id: u32, byte_len: u64) {
+        let Some(ctx) = self.ctx.upgrade() else { return };
+        let now = ctx.world().now();
+        self.last_rx.set(now);
+        let slot = match self.recv_slots.borrow().get(&slot_id) {
+            Some(s) => s.clone(),
+            None => return,
+        };
+        // Parse the X-RDMA header out of the landed bytes.
+        let head_bytes = ctx
+            .memcache()
+            .read(&slot.buf, 0, byte_len.min(128).max(crate::proto::BASE_LEN as u64))
+            .unwrap_or_default();
+        let Some((hdr, hdr_len)) = Header::decode(&head_bytes) else {
+            // Corrupt / foreign message: drop and repost.
+            self.repost_slot(slot_id, &slot);
+            return;
+        };
+
+        // Every header carries a cumulative ack — process it first
+        // (Algorithm 1 sender side RECV_MESSAGE).
+        self.apply_peer_ack(hdr.ack);
+
+        match hdr.kind {
+            MsgKind::Ack | MsgKind::Nop => {
+                // Pure control: ack already applied.
+            }
+            MsgKind::Close => {
+                self.repost_slot(slot_id, &slot);
+                self.teardown(CloseReason::Remote);
+                return;
+            }
+            MsgKind::KeepAlive => {}
+            MsgKind::Request | MsgKind::Response | MsgKind::OneWay => {
+                self.on_sequenced(&ctx, hdr, hdr_len as u64, &slot, now);
+            }
+        }
+        self.repost_slot(slot_id, &slot);
+        self.maybe_standalone_ack(&ctx);
+    }
+
+    fn on_sequenced(
+        self: &Rc<Self>,
+        ctx: &Rc<XrdmaContext>,
+        hdr: Header,
+        hdr_len: u64,
+        slot: &RecvSlot,
+        now: Time,
+    ) {
+        let seq = hdr.seq;
+        match self.rx.borrow_mut().on_arrival(seq) {
+            RxAccept::Duplicate => return,
+            RxAccept::Fresh => {}
+        }
+        {
+            let mut st = self.stats.borrow_mut();
+            st.msgs_received += 1;
+            st.bytes_received += hdr.body_len;
+        }
+        match hdr.large {
+            None => {
+                // Small/eager: body landed right behind the header. Copy it
+                // out of the slot now (the slot is reposted immediately);
+                // sparse backing makes this cheap for size-only payloads.
+                let body_len = hdr.body_len;
+                self.stats.borrow_mut().small_msgs += 0; // counted at sender
+                let small_loc = if body_len > 0 {
+                    // Stage into a private buffer so reposting can't race.
+                    let staged = ctx.memcache().alloc(body_len.max(1)).ok();
+                    ctx.thread().charge(ctx.memcache().take_reg_cost());
+                    if let Some(staged) = &staged {
+                        if let Ok(data) = ctx.memcache().read(&slot.buf, hdr_len, body_len) {
+                            let _ = ctx.memcache().write(staged, 0, &data);
+                        }
+                    }
+                    staged.map(|b| (b, ()))
+                } else {
+                    None
+                };
+                let (buf, small) = match small_loc {
+                    Some((b, ())) => {
+                        let loc = (b.lkey, b.addr);
+                        (Some(b), Some(loc))
+                    }
+                    None => (None, None),
+                };
+                self.inbox.borrow_mut().insert(
+                    seq,
+                    InMsg {
+                        hdr,
+                        buf,
+                        small_loc: small,
+                        t2: now,
+                    },
+                );
+                let ready = self.rx.borrow_mut().on_complete(seq);
+                self.deliver_ready(ctx, ready);
+            }
+            Some(desc) => {
+                // Rendezvous: fetch via RDMA Read (read-replace-write).
+                let len = hdr.body_len;
+                let buf = match ctx.memcache().alloc(len.max(1)) {
+                    Ok(b) => b,
+                    Err(_) => return, // out of memory: drop (peer retries via timeout semantics above our layer)
+                };
+                ctx.thread().charge(ctx.memcache().take_reg_cost());
+                self.inbox.borrow_mut().insert(
+                    seq,
+                    InMsg {
+                        hdr,
+                        buf: Some(buf.clone()),
+                        small_loc: None,
+                        t2: now,
+                    },
+                );
+                self.issue_fetch(ctx, seq, desc, len, buf);
+            }
+        }
+    }
+
+    /// Issue the RDMA Read(s) for a large payload, honouring flow-control
+    /// fragmentation (§V-C).
+    fn issue_fetch(self: &Rc<Self>, ctx: &Rc<XrdmaContext>, seq: u32, desc: LargeDesc, len: u64, buf: McBuf) {
+        let fc = ctx.config().flowctl;
+        let frag = if fc.enabled { fc.frag_bytes } else { u64::MAX };
+        let nfrags = if len == 0 {
+            1u64
+        } else {
+            len.div_ceil(frag.max(1))
+        };
+        self.fetches.borrow_mut().insert(
+            seq,
+            LargeFetch {
+                frags_left: nfrags as u32,
+            },
+        );
+        if fc.enabled && nfrags > 1 {
+            self.stats.borrow_mut().fragments += nfrags;
+        }
+        for i in 0..nfrags {
+            let off = i * frag;
+            let flen = (len - off).min(frag).max(if len == 0 { 0 } else { 1 });
+            let wr = SendWr::read(
+                wr_read(seq, i as u32),
+                buf.addr + off,
+                buf.lkey,
+                flen,
+                desc.addr + off,
+                desc.rkey,
+            );
+            let me = self.clone();
+            ctx.flow_post(move || {
+                if me.closed.get() {
+                    if let Some(ctx) = me.ctx.upgrade() {
+                        ctx.flow_release();
+                    }
+                    return;
+                }
+                let Some(ctx) = me.ctx.upgrade() else { return };
+                match ctx.rnic().post_send(&me.qp, wr) {
+                    Ok(()) => me.flow_slots.set(me.flow_slots.get() + 1),
+                    Err(_) => {
+                        ctx.flow_release();
+                        me.fail(CloseReason::PeerDead);
+                    }
+                }
+            });
+        }
+    }
+
+    /// A read fragment for `seq` completed.
+    pub(crate) fn on_read_done(self: &Rc<Self>, wr_id: u64) {
+        let Some(ctx) = self.ctx.upgrade() else { return };
+        let seq = wr_read_seq(wr_id);
+        let finished = {
+            let mut fetches = self.fetches.borrow_mut();
+            match fetches.get_mut(&seq) {
+                Some(f) => {
+                    f.frags_left -= 1;
+                    if f.frags_left == 0 {
+                        fetches.remove(&seq);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            }
+        };
+        if finished {
+            // Algorithm 1: rdma_read_done → msg.recved; rta advances over
+            // the contiguous completed prefix.
+            let ready = self.rx.borrow_mut().on_complete(seq);
+            self.deliver_ready(&ctx, ready);
+            self.maybe_standalone_ack(&ctx);
+        }
+    }
+
+    /// Deliver messages whose sequence became contiguous.
+    fn deliver_ready(self: &Rc<Self>, ctx: &Rc<XrdmaContext>, ready: Vec<u32>) {
+        for seq in ready {
+            let Some(msg) = self.inbox.borrow_mut().remove(&seq) else {
+                continue;
+            };
+            self.deliver_one(ctx, msg);
+        }
+    }
+
+    fn deliver_one(self: &Rc<Self>, ctx: &Rc<XrdmaContext>, msg: InMsg) {
+        let mut cpu = ctx.config().cpu_recv;
+        if msg.hdr.trace.is_some() {
+            cpu += ctx.config().cpu_trace;
+        }
+        ctx.thread().charge(cpu);
+
+        let hdr = msg.hdr;
+        let source = if hdr.body_len == 0 {
+            MsgSource::Empty
+        } else if let Some((lkey, addr)) = msg.small_loc {
+            MsgSource::Region {
+                rnic: ctx.rnic().clone(),
+                lkey,
+                addr,
+            }
+        } else if let Some(buf) = &msg.buf {
+            MsgSource::Region {
+                rnic: ctx.rnic().clone(),
+                lkey: buf.lkey,
+                addr: buf.addr,
+            }
+        } else {
+            MsgSource::Empty
+        };
+        let app_msg = XrdmaMsg {
+            kind: hdr.kind,
+            rpc_id: hdr.rpc_id,
+            len: hdr.body_len,
+            trace: hdr.trace,
+            source,
+        };
+
+        let before = ctx.thread().busy_until();
+        match hdr.kind {
+            MsgKind::Request | MsgKind::OneWay => {
+                let token = ReplyToken {
+                    rpc_id: hdr.rpc_id,
+                    traced: hdr.trace,
+                    t2_ns: ctx.local_clock_at(msg.t2),
+                };
+                if hdr.trace.is_some() {
+                    ctx.record_server_trace(&hdr, msg.t2);
+                }
+                let cb = self.on_request.borrow();
+                if let Some(cb) = cb.as_ref() {
+                    cb(self, app_msg, token);
+                } else if std::env::var_os("XRDMA_DEBUG").is_some() {
+                    eprintln!(
+                        "[debug] qp{} peer={} kind={:?} rpc={} dropped: no on_request handler",
+                        self.qp.qpn.0, self.peer, hdr.kind, hdr.rpc_id
+                    );
+                }
+            }
+            MsgKind::Response => {
+                let waiter = self.rpc_waiters.borrow_mut().remove(&hdr.rpc_id);
+                if waiter.is_none() && std::env::var_os("XRDMA_DEBUG").is_some() {
+                    eprintln!(
+                        "[debug] qp{} peer={} response rpc={} len={} has no waiter",
+                        self.qp.qpn.0, self.peer, hdr.rpc_id, hdr.body_len
+                    );
+                }
+                if let Some(w) = waiter {
+                    {
+                        let mut st = self.stats.borrow_mut();
+                        st.rpcs_outstanding = st.rpcs_outstanding.saturating_sub(1);
+                        st.rpcs_completed += 1;
+                    }
+                    ctx.record_rpc_latency(ctx.world().now().since(w.sent_at));
+                    if let (Some(trace_id), Some(t)) = (w.trace_id, hdr.trace) {
+                        ctx.record_client_trace(trace_id, w.t1_ns, t.t1_ns, hdr.rpc_id);
+                    }
+                    (w.cb)(self, app_msg);
+                }
+            }
+            _ => unreachable!("non-sequenced kinds handled earlier"),
+        }
+        // Slow-operation watchdog (§VI-A method III).
+        let handler_cost = ctx.thread().busy_until().since(before);
+        if handler_cost > ctx.config().slow_threshold {
+            ctx.record_slow_op("app-handler", handler_cost);
+        }
+
+        // Release the staging buffer now the handler is done.
+        if let Some(buf) = msg.buf {
+            ctx.memcache().release(&buf);
+        }
+    }
+
+    /// Process a piggybacked / standalone cumulative ack from the peer.
+    fn apply_peer_ack(self: &Rc<Self>, ack: u32) {
+        let newly: Vec<u32> = self.tx.borrow_mut().on_ack(ack).collect();
+        if newly.is_empty() {
+            return;
+        }
+        let Some(ctx) = self.ctx.upgrade() else { return };
+        for seq in newly {
+            // Algorithm 1: call on_acked(messages[i]) — release pinned
+            // buffers; the peer's application has consumed the message.
+            if let Some(out) = self.outgoing.borrow_mut().remove(&seq) {
+                if let Some(buf) = out.buf {
+                    ctx.memcache().release(&buf);
+                }
+                let _ = out.kind;
+                let _ = out.sent_at;
+            }
+        }
+        self.drain_pending();
+    }
+
+    /// §V-B: "After receiving N messages successfully but without any ACK,
+    /// a standalone ACK message will be triggered."
+    fn maybe_standalone_ack(self: &Rc<Self>, ctx: &Rc<XrdmaContext>) {
+        let after = ctx.config().ack_after;
+        if self.rx.borrow().needs_standalone_ack(after) {
+            self.send_ctrl(MsgKind::Ack);
+        }
+    }
+
+    fn repost_slot(&self, slot_id: u32, slot: &RecvSlot) {
+        let _ = self.qp.post_recv(xrdma_rnic::RecvWr::new(
+            slot_id as u64,
+            slot.buf.addr,
+            slot.buf.len,
+            slot.buf.lkey,
+        ));
+    }
+
+    /// Send-completion bookkeeping (called by the context poll loop).
+    pub(crate) fn on_send_complete(self: &Rc<Self>, wr_id: u64, ok: bool) {
+        if !ok {
+            self.fail(CloseReason::PeerDead);
+            return;
+        }
+        match wr_tag(wr_id) {
+            TAG_CTRL => {
+                self.ctrl_outstanding
+                    .set(self.ctrl_outstanding.get().saturating_sub(1));
+            }
+            TAG_PROBE => {
+                self.probe_outstanding.set(false);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Graceful close: notify the peer, then release everything locally.
+    ///
+    /// Teardown is deferred a grace period so the Close control message
+    /// actually leaves the send queue before the QP is recycled.
+    pub fn close(self: &Rc<Self>) {
+        if self.closed.get() {
+            return;
+        }
+        self.send_ctrl(MsgKind::Close);
+        if let Some(ctx) = self.ctx.upgrade() {
+            let me = self.clone();
+            ctx.world().schedule_in(Dur::micros(100), move || {
+                me.teardown(CloseReason::Local);
+            });
+        } else {
+            self.teardown(CloseReason::Local);
+        }
+    }
+
+    /// Timer hook: flush a pending ack when there has been no reverse
+    /// traffic to piggyback it on (keeps one-way senders from pinning
+    /// their buffers forever).
+    pub(crate) fn idle_ack(self: &Rc<Self>) {
+        if self.rx.borrow().unsent_acks() > 0 {
+            self.send_ctrl(MsgKind::Ack);
+        }
+    }
+
+    /// Keepalive or a data error found the peer dead.
+    pub(crate) fn fail(self: &Rc<Self>, reason: CloseReason) {
+        if self.closed.get() {
+            return;
+        }
+        self.teardown(reason);
+    }
+
+    fn teardown(self: &Rc<Self>, reason: CloseReason) {
+        if self.closed.replace(true) {
+            return;
+        }
+        // Fail every outstanding RPC: callers get a Close-kind message
+        // (`XrdmaMsg::is_error`) instead of silently hanging forever.
+        let waiters: Vec<RpcWaiter> = {
+            let mut map = self.rpc_waiters.borrow_mut();
+            let keys: Vec<u32> = map.keys().copied().collect();
+            keys.into_iter().filter_map(|k| map.remove(&k)).collect()
+        };
+        for w in waiters {
+            let err_msg = XrdmaMsg {
+                kind: MsgKind::Close,
+                rpc_id: 0,
+                len: 0,
+                trace: None,
+                source: MsgSource::Empty,
+            };
+            {
+                let mut st = self.stats.borrow_mut();
+                st.rpcs_outstanding = st.rpcs_outstanding.saturating_sub(1);
+            }
+            (w.cb)(self, err_msg);
+        }
+        if let Some(ctx) = self.ctx.upgrade() {
+            // Release the flow-control slots held by WRs that will never
+            // complete (the QP is about to be reset, wiping its queues).
+            let held = self.flow_slots.replace(0);
+            for _ in 0..held {
+                ctx.flow_release();
+            }
+            // Release receive slots and any pinned buffers.
+            for (_, slot) in self.recv_slots.borrow_mut().drain() {
+                ctx.memcache().release(&slot.buf);
+            }
+            for (_, out) in self.outgoing.borrow_mut().drain() {
+                if let Some(buf) = out.buf {
+                    ctx.memcache().release(&buf);
+                }
+            }
+            for (_, msg) in self.inbox.borrow_mut().drain() {
+                if let Some(buf) = msg.buf {
+                    ctx.memcache().release(&buf);
+                }
+            }
+            ctx.channel_closed(self, reason);
+        }
+        if let Some(cb) = self.on_close.borrow().as_ref() {
+            cb(reason);
+        }
+    }
+}

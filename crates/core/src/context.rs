@@ -1,0 +1,767 @@
+//! `xrdma_context` — the per-thread root object (§IV-A/B).
+//!
+//! One context owns one simulated CPU thread, one PD, one shared CQ, the
+//! memory cache, the QP cache and a per-context timer — all per-thread, no
+//! cross-thread sharing, exactly the run-to-complete model of §IV-B. The
+//! context's poll loop drives every channel's protocol machinery and
+//! dispatches application handlers synchronously on the thread.
+
+use std::cell::{Cell, Ref, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use xrdma_fabric::{Fabric, NodeId};
+use xrdma_rnic::cq::CqeOpcode;
+use xrdma_rnic::mem::Pd;
+use xrdma_rnic::{
+    CompletionQueue, ConnManager, Cqe, Qp, QpCaps, Rnic, RnicConfig, Srq,
+};
+use xrdma_sim::stats::Histogram;
+use xrdma_sim::{CpuThread, Dur, SimRng, Time, World};
+
+use crate::channel::{wr_tag, CloseReason, XrdmaChannel, TAG_READ};
+use crate::config::{PollMode, XrdmaConfig};
+use crate::error::XrdmaError;
+use crate::memcache::MemCache;
+use crate::proto::Header;
+use crate::qpcache::QpCache;
+use crate::stats::ContextStats;
+
+/// Emulated event descriptor (Table I: `get_event_fd`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XrdmaFd(pub u32);
+
+/// A finished trace record (what `trace_request` returns, §VI-A).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceRecord {
+    pub trace_id: u64,
+    pub rpc_id: u32,
+    /// Requester clock at send.
+    pub t1_ns: u64,
+    /// Responder clock at request arrival (shipped back in the response).
+    pub server_recv_ns: u64,
+    /// Requester clock at response arrival.
+    pub t3_ns: u64,
+}
+
+impl TraceRecord {
+    /// Estimated request one-way latency given the known clock offset
+    /// (T2 − T1 − Toff, §VI-A method I).
+    pub fn request_oneway_ns(&self, offset_ns: i64) -> i64 {
+        self.server_recv_ns as i64 - self.t1_ns as i64 - offset_ns
+    }
+
+    /// Full round-trip time as seen by the requester.
+    pub fn rtt_ns(&self) -> u64 {
+        self.t3_ns.saturating_sub(self.t1_ns)
+    }
+}
+
+/// A slow-operation log line (§VI-A method III).
+#[derive(Clone, Debug)]
+pub struct SlowOp {
+    pub at: Time,
+    pub what: &'static str,
+    pub took: Dur,
+}
+
+/// Instrumentation hooks the analysis framework attaches (crate
+/// `xrdma-analysis`); all methods default to no-ops.
+pub trait Instrument {
+    fn on_poll_gap(&self, _at: Time, _gap: Dur) {}
+    fn on_slow_op(&self, _op: &SlowOp) {}
+    fn on_trace(&self, _rec: &TraceRecord) {}
+    fn on_channel_closed(&self, _peer: NodeId, _reason: CloseReason) {}
+    fn on_timer_tick(&self, _at: Time) {}
+}
+
+/// Flow-control shared state (§V-C queuing).
+struct FlowState {
+    outstanding: usize,
+    queue: VecDeque<Box<dyn FnOnce()>>,
+}
+
+/// The per-thread middleware context.
+pub struct XrdmaContext {
+    world: Rc<World>,
+    thread: Rc<CpuThread>,
+    rnic: Rc<Rnic>,
+    cm: Rc<ConnManager>,
+    pd: Rc<Pd>,
+    cq: Rc<CompletionQueue>,
+    #[allow(dead_code)]
+    srq: Option<Rc<Srq>>,
+    config: RefCell<XrdmaConfig>,
+    memcache: MemCache,
+    qpcache: QpCache,
+    channels: RefCell<HashMap<u32, Rc<XrdmaChannel>>>, // by qpn
+    flow: RefCell<FlowState>,
+    stats: RefCell<ContextStats>,
+    rpc_latency: RefCell<Histogram>,
+    /// Clock skew of this host relative to global virtual time (ns). The
+    /// clock-sync service in the analysis crate estimates offsets between
+    /// hosts; tests inject skew here.
+    pub clock_skew_ns: Cell<i64>,
+    next_trace: Cell<u64>,
+    traces: RefCell<HashMap<u64, TraceRecord>>,
+    /// Open server-side trace halves (trace_id → server recv local ns).
+    server_traces: RefCell<HashMap<u64, u64>>,
+    slow_log: RefCell<Vec<SlowOp>>,
+    instrument: RefCell<Option<Rc<dyn Instrument>>>,
+    last_pump_end: Cell<Time>,
+    /// When the oldest un-pumped completion became ready (poll-gap base).
+    pump_requested_at: Cell<Option<Time>>,
+    pump_scheduled: Cell<bool>,
+    last_traffic: Cell<Time>,
+    fd_readable_cb: RefCell<Option<Box<dyn Fn()>>>,
+    timer_running: Cell<bool>,
+    tick_count: Cell<u64>,
+}
+
+impl XrdmaContext {
+    /// Create a context on an existing RNIC (several contexts may share
+    /// one NIC — one per thread, as in production).
+    pub fn new(
+        rnic: &Rc<Rnic>,
+        cm: &Rc<ConnManager>,
+        config: XrdmaConfig,
+        name: &str,
+    ) -> Rc<XrdmaContext> {
+        let world = rnic.world().clone();
+        let thread = CpuThread::new(world.clone(), name.to_string());
+        let pd = rnic.alloc_pd();
+        let cq = rnic.create_cq(config.cq_size);
+        let srq = if config.use_srq {
+            Some(rnic.create_srq(config.srq_size))
+        } else {
+            None
+        };
+        let memcache = MemCache::new(
+            rnic.clone(),
+            pd.clone(),
+            config.memcache,
+            config.ibqp_alloc_type,
+        );
+        let caps = QpCaps {
+            max_send_wr: config.cq_size,
+            max_recv_wr: (config.inflight_depth + crate::channel::CTRL_SLACK) as usize + 4,
+        };
+        let qpcache = QpCache::new(
+            rnic.clone(),
+            pd.clone(),
+            cq.clone(),
+            srq.clone(),
+            caps,
+            config.qp_cache,
+        );
+        let ctx = Rc::new(XrdmaContext {
+            world,
+            thread,
+            rnic: rnic.clone(),
+            cm: cm.clone(),
+            pd,
+            cq,
+            srq,
+            config: RefCell::new(config),
+            memcache,
+            qpcache,
+            channels: RefCell::new(HashMap::new()),
+            flow: RefCell::new(FlowState {
+                outstanding: 0,
+                queue: VecDeque::new(),
+            }),
+            stats: RefCell::new(ContextStats::default()),
+            rpc_latency: RefCell::new(Histogram::new()),
+            clock_skew_ns: Cell::new(0),
+            next_trace: Cell::new(1),
+            traces: RefCell::new(HashMap::new()),
+            server_traces: RefCell::new(HashMap::new()),
+            slow_log: RefCell::new(Vec::new()),
+            instrument: RefCell::new(None),
+            last_pump_end: Cell::new(Time::ZERO),
+            pump_requested_at: Cell::new(None),
+            pump_scheduled: Cell::new(false),
+            last_traffic: Cell::new(Time::ZERO),
+            fd_readable_cb: RefCell::new(None),
+            timer_running: Cell::new(false),
+            tick_count: Cell::new(0),
+        });
+        // Wire the completion channel into the poll loop.
+        {
+            let me = Rc::downgrade(&ctx);
+            ctx.cq.set_notify(move || {
+                if let Some(ctx) = me.upgrade() {
+                    ctx.schedule_pump();
+                }
+            });
+            ctx.cq.req_notify();
+        }
+        ctx.start_timer();
+        ctx
+    }
+
+    /// Convenience: create the RNIC too (one context on a fresh node).
+    pub fn on_new_node(
+        fabric: &Rc<Fabric>,
+        cm: &Rc<ConnManager>,
+        node: NodeId,
+        rnic_cfg: RnicConfig,
+        config: XrdmaConfig,
+        rng: &SimRng,
+    ) -> Rc<XrdmaContext> {
+        let rnic = Rnic::new(fabric, node, rnic_cfg, rng.fork_idx(node.0 as u64));
+        XrdmaContext::new(&rnic, cm, config, &format!("xrdma-n{}", node.0))
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors used across the crate
+    // ------------------------------------------------------------------
+
+    pub fn world(&self) -> &Rc<World> {
+        &self.world
+    }
+
+    pub fn thread(&self) -> &Rc<CpuThread> {
+        &self.thread
+    }
+
+    pub fn rnic(&self) -> &Rc<Rnic> {
+        &self.rnic
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.rnic.node()
+    }
+
+    pub fn memcache(&self) -> &MemCache {
+        &self.memcache
+    }
+
+    pub fn qpcache(&self) -> &QpCache {
+        &self.qpcache
+    }
+
+    pub fn config(&self) -> Ref<'_, XrdmaConfig> {
+        self.config.borrow()
+    }
+
+    /// Attach analysis-framework instrumentation.
+    pub fn set_instrument(&self, i: Rc<dyn Instrument>) {
+        *self.instrument.borrow_mut() = Some(i);
+    }
+
+    /// This host's local clock (global virtual time + skew).
+    pub fn local_clock_ns(&self) -> u64 {
+        self.local_clock_at(self.world.now())
+    }
+
+    pub fn local_clock_at(&self, t: Time) -> u64 {
+        (t.nanos() as i64 + self.clock_skew_ns.get()).max(0) as u64
+    }
+
+    pub(crate) fn next_trace_id(&self) -> u64 {
+        let id = self.next_trace.get();
+        self.next_trace.set(id + 1);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Table I: the eight major APIs
+    // ------------------------------------------------------------------
+
+    /// `xrdma_polling` — drain completions and run handlers. Returns the
+    /// number of completion events processed.
+    pub fn polling(self: &Rc<Self>, max: usize) -> usize {
+        let cqes = self.cq.poll(max);
+        let n = cqes.len();
+        for cqe in cqes {
+            self.dispatch(cqe);
+        }
+        self.stats.borrow_mut().events_polled += n as u64;
+        if self.cq.is_empty() {
+            self.cq.req_notify();
+        } else {
+            self.schedule_pump();
+        }
+        n
+    }
+
+    /// `xrdma_get_event_fd` — the descriptor to select/poll/epoll on.
+    pub fn get_event_fd(&self) -> XrdmaFd {
+        XrdmaFd(self.cq.id)
+    }
+
+    /// Register interest in fd readability (the epoll registration).
+    pub fn on_fd_readable(&self, f: impl Fn() + 'static) {
+        *self.fd_readable_cb.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// `xrdma_process_event` — handle events after an fd wakeup.
+    pub fn process_event(self: &Rc<Self>, _fd: XrdmaFd) -> usize {
+        self.polling(usize::MAX)
+    }
+
+    /// `xrdma_reg_mem` — register application memory for RDMA.
+    pub fn reg_mem(&self, len: u64) -> crate::memcache::McBuf {
+        let cfg = self.config();
+        let mr = self.rnic.reg_mr(
+            &self.pd,
+            len,
+            xrdma_rnic::AccessFlags::FULL,
+            cfg.ibqp_alloc_type,
+            true,
+            false,
+        );
+        self.thread
+            .charge(self.rnic.reg_mr_cost(len, cfg.ibqp_alloc_type));
+        crate::memcache::McBuf {
+            addr: mr.addr,
+            len,
+            lkey: mr.lkey,
+            rkey: mr.rkey,
+        }
+    }
+
+    /// `xrdma_dereg_mem`.
+    pub fn dereg_mem(&self, buf: &crate::memcache::McBuf) {
+        if let Some(mr) = self.rnic.mem().by_lkey(buf.lkey) {
+            self.rnic.dereg_mr(&mr);
+        }
+    }
+
+    /// `xrdma_set_flag` — online configuration change (Table III).
+    pub fn set_flag(&self, key: &str, value: &str) -> Result<(), XrdmaError> {
+        self.config.borrow_mut().set_flag(key, value)
+    }
+
+    /// `xrdma_trace_request` — fetch the trace record of a completed,
+    /// traced RPC (req-rsp mode, §VI-A).
+    pub fn trace_request(&self, trace_id: u64) -> Option<TraceRecord> {
+        self.traces.borrow().get(&trace_id).copied()
+    }
+
+    /// All completed trace records (analysis-framework export).
+    pub fn all_traces(&self) -> Vec<TraceRecord> {
+        self.traces.borrow().values().copied().collect()
+    }
+
+    /// Slow-operation log (§VI-A method III).
+    pub fn slow_log(&self) -> Vec<SlowOp> {
+        self.slow_log.borrow().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Connection management
+    // ------------------------------------------------------------------
+
+    /// Listen for inbound channels at `svc`; `on_channel` fires for each.
+    pub fn listen(self: &Rc<Self>, svc: u16, on_channel: impl Fn(Rc<XrdmaChannel>) + 'static) {
+        let me = Rc::downgrade(self);
+        let me2 = Rc::downgrade(self);
+        self.cm.listen(
+            &self.rnic,
+            svc,
+            move || {
+                let ctx = me.upgrade().expect("context alive while listening");
+                let cached = ctx.qpcache.get();
+                {
+                    let mut st = ctx.stats.borrow_mut();
+                    if cached.fresh {
+                        st.qp_cache_misses += 1;
+                    } else {
+                        st.qp_cache_hits += 1;
+                    }
+                }
+                (cached.qp, cached.fresh)
+            },
+            move |qp, peer| {
+                let Some(ctx) = me2.upgrade() else { return };
+                let ch = ctx.install_channel(qp, peer);
+                on_channel(ch);
+            },
+        );
+    }
+
+    /// `xrdma_connect` — establish a channel to `(peer, svc)`.
+    pub fn connect(
+        self: &Rc<Self>,
+        peer: NodeId,
+        svc: u16,
+        done: impl FnOnce(Result<Rc<XrdmaChannel>, XrdmaError>) + 'static,
+    ) {
+        let cached = self.qpcache.get();
+        {
+            let mut st = self.stats.borrow_mut();
+            if cached.fresh {
+                st.qp_cache_misses += 1;
+            } else {
+                st.qp_cache_hits += 1;
+            }
+        }
+        let me = Rc::downgrade(self);
+        let fresh = cached.fresh;
+        self.cm
+            .connect(&self.rnic, cached.qp, fresh, peer, svc, move |r| {
+                let Some(ctx) = me.upgrade() else {
+                    done(Err(XrdmaError::ChannelClosed));
+                    return;
+                };
+                match r {
+                    Ok(qp) => {
+                        let ch = ctx.install_channel(qp, peer);
+                        done(Ok(ch));
+                    }
+                    Err(e) => {
+                        let msg: &'static str = match e {
+                            xrdma_rnic::cm::CmError::ConnectionRefused => "refused",
+                            xrdma_rnic::cm::CmError::Timeout => "timeout",
+                            xrdma_rnic::cm::CmError::BadQpState => "bad qp state",
+                        };
+                        done(Err(XrdmaError::Connect(msg)));
+                    }
+                }
+            });
+    }
+
+    fn install_channel(self: &Rc<Self>, qp: Rc<Qp>, peer: NodeId) -> Rc<XrdmaChannel> {
+        let ch = XrdmaChannel::new(self, qp.clone(), peer);
+        self.channels.borrow_mut().insert(qp.qpn.0, ch.clone());
+        self.stats.borrow_mut().channels_open = self.channels.borrow().len();
+        ch
+    }
+
+    pub(crate) fn channel_closed(&self, ch: &Rc<XrdmaChannel>, reason: CloseReason) {
+        self.channels.borrow_mut().remove(&ch.qp.qpn.0);
+        {
+            let mut st = self.stats.borrow_mut();
+            st.channels_open = self.channels.borrow().len();
+            st.channels_closed_total += 1;
+            if reason == CloseReason::PeerDead {
+                st.keepalive_failures += 1;
+            }
+        }
+        // Recycle the QP (errored QPs are destroyed inside put()).
+        self.qpcache.put(ch.qp.clone());
+        if let Some(i) = self.instrument.borrow().as_ref() {
+            i.on_channel_closed(ch.peer, reason);
+        }
+    }
+
+    /// Open channels right now.
+    pub fn channel_count(&self) -> usize {
+        self.channels.borrow().len()
+    }
+
+    /// Iterate open channels (monitoring / XR-Stat).
+    pub fn channels(&self) -> Vec<Rc<XrdmaChannel>> {
+        self.channels.borrow().values().cloned().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Flow control (§V-C queuing)
+    // ------------------------------------------------------------------
+
+    /// Post a data WR through the outstanding-WR gate: runs `f` now if
+    /// under the limit, otherwise queues it.
+    pub(crate) fn flow_post(&self, f: impl FnOnce() + 'static) {
+        let cfg = self.config().flowctl;
+        let mut flow = self.flow.borrow_mut();
+        if !cfg.enabled || flow.outstanding < cfg.max_outstanding {
+            flow.outstanding += 1;
+            drop(flow);
+            f();
+        } else {
+            flow.queue.push_back(Box::new(f));
+        }
+    }
+
+    /// Release a slot without a completion (bail-out paths, teardown).
+    pub(crate) fn flow_release(&self) {
+        self.flow_done();
+    }
+
+    /// A data WR completed: release its slot and drain the queue.
+    fn flow_done(&self) {
+        let next = {
+            let mut flow = self.flow.borrow_mut();
+            flow.outstanding = flow.outstanding.saturating_sub(1);
+            if let Some(f) = flow.queue.pop_front() {
+                flow.outstanding += 1;
+                Some(f)
+            } else {
+                None
+            }
+        };
+        if let Some(f) = next {
+            f();
+        }
+    }
+
+    /// Outstanding + queued WRs (diagnostics).
+    pub fn flow_depths(&self) -> (usize, usize) {
+        let f = self.flow.borrow();
+        (f.outstanding, f.queue.len())
+    }
+
+    /// Is the software flow queue at its hard cap (§V-C: the queue buffers
+    /// excess requests, but not without bound)?
+    pub(crate) fn flow_saturated(&self) -> bool {
+        let cfg = self.config().flowctl;
+        cfg.enabled && self.flow.borrow().queue.len() >= cfg.queue_cap
+    }
+
+    // ------------------------------------------------------------------
+    // Poll loop
+    // ------------------------------------------------------------------
+
+    /// Schedule a pump on the context thread, honouring the polling mode's
+    /// wake-up cost (§IV-B hybrid polling).
+    fn schedule_pump(self: &Rc<Self>) {
+        if self.pump_requested_at.get().is_none() {
+            self.pump_requested_at.set(Some(self.world.now()));
+        }
+        if self.pump_scheduled.replace(true) {
+            return;
+        }
+        let delay = {
+            let cfg = self.config();
+            match cfg.poll_mode {
+                PollMode::Busy => Dur::ZERO,
+                PollMode::Event => cfg.wakeup_latency,
+                PollMode::Hybrid => {
+                    let since = self.world.now().since(self.last_traffic.get());
+                    if since <= cfg.hybrid_window {
+                        Dur::ZERO
+                    } else {
+                        cfg.wakeup_latency
+                    }
+                }
+            }
+        };
+        if let Some(cb) = self.fd_readable_cb.borrow().as_ref() {
+            cb();
+        }
+        let me = self.clone();
+        self.thread.exec(delay, move |_| {
+            me.pump_scheduled.set(false);
+            me.pump();
+        });
+    }
+
+    fn pump(self: &Rc<Self>) {
+        let now = self.world.now();
+        // Poll-gap watchdog (§VI-A method II): measure how long completed
+        // work sat waiting for this poll — the thread was off doing
+        // something slow (the Pangu allocator-lock case).
+        if let Some(ready_at) = self.pump_requested_at.take() {
+            let gap = now.since(ready_at);
+            let warn = self.config().polling_warn_cycle;
+            if gap > warn {
+                self.stats.borrow_mut().poll_gap_warnings += 1;
+                if let Some(i) = self.instrument.borrow().as_ref() {
+                    i.on_poll_gap(now, gap);
+                }
+            }
+        }
+        self.last_traffic.set(now);
+        self.polling(64);
+        self.last_pump_end.set(self.world.now().max(self.thread.busy_until()));
+    }
+
+    fn dispatch(self: &Rc<Self>, cqe: Cqe) {
+        let ch = self.channels.borrow().get(&cqe.qpn.0).cloned();
+        let ok = cqe.status.is_ok();
+        match cqe.opcode {
+            CqeOpcode::Recv | CqeOpcode::RecvWriteImm => {
+                if let Some(ch) = ch {
+                    if ok {
+                        ch.on_recv(cqe.wr_id as u32, cqe.byte_len);
+                    }
+                    // Flush errors on receive need no action: teardown is
+                    // driven from the send side / keepalive.
+                }
+            }
+            CqeOpcode::Read => {
+                // Release the slot only while the channel still owns it
+                // (teardown releases the rest in bulk; CQEs flushed after
+                // teardown must not double-release).
+                if let Some(ch) = ch {
+                    if ch.flow_slots.get() > 0 {
+                        ch.flow_slots.set(ch.flow_slots.get() - 1);
+                        self.flow_done();
+                    }
+                    if ok {
+                        debug_assert_eq!(wr_tag(cqe.wr_id), TAG_READ);
+                        ch.on_read_done(cqe.wr_id);
+                    } else {
+                        ch.on_send_complete(cqe.wr_id, false);
+                    }
+                }
+            }
+            CqeOpcode::Send => {
+                // Eager sends went through the flow gate; controls did not.
+                if let Some(ch) = ch {
+                    if wr_tag(cqe.wr_id) == crate::channel::TAG_EAGER
+                        && ch.flow_slots.get() > 0
+                    {
+                        ch.flow_slots.set(ch.flow_slots.get() - 1);
+                        self.flow_done();
+                    }
+                    ch.on_send_complete(cqe.wr_id, ok);
+                }
+            }
+            CqeOpcode::Write => {
+                // Keepalive probes (zero-byte writes).
+                if let Some(ch) = ch {
+                    ch.on_send_complete(cqe.wr_id, ok);
+                }
+            }
+            CqeOpcode::Atomic => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Context timer: keepalive, NOP deadlock probe, cache shrink
+    // ------------------------------------------------------------------
+
+    fn start_timer(self: &Rc<Self>) {
+        if self.timer_running.replace(true) {
+            return;
+        }
+        self.arm_timer();
+    }
+
+    fn arm_timer(self: &Rc<Self>) {
+        let period = self.config().timer_period;
+        let me = self.clone();
+        self.world.schedule_in(period, move || {
+            let me2 = me.clone();
+            me.thread.exec(Dur::ZERO, move |_| {
+                me2.tick();
+            });
+        });
+    }
+
+    fn tick(self: &Rc<Self>) {
+        let now = self.world.now();
+        self.tick_count.set(self.tick_count.get() + 1);
+        let (ka_intv, nop_timeout) = {
+            let cfg = self.config();
+            (cfg.keepalive_intv, cfg.nop_timeout)
+        };
+        let channels: Vec<_> = self.channels.borrow().values().cloned().collect();
+        for ch in channels {
+            if ch.closed.get() {
+                continue;
+            }
+            // KeepAlive (§V-A): probe after silence, at most one probe per
+            // interval ("a probe request will be triggered if either side
+            // fails to communicate with peer side more than S ms").
+            if now.since(ch.last_rx.get()) >= ka_intv
+                && now.since(ch.last_tx.get()) >= ka_intv
+                && now.since(ch.last_probe.get()) >= ka_intv
+            {
+                ch.send_probe();
+            }
+            // NOP deadlock breaker (§V-B): window stalled with queued work
+            // for too long — send a NOP to ferry our ACK across.
+            if let Some(since) = ch.stalled_since.get() {
+                if now.since(since) >= nop_timeout {
+                    ch.send_ctrl(crate::proto::MsgKind::Nop);
+                    ch.stalled_since.set(Some(now));
+                }
+            }
+            // Ack flush for one-way traffic with no reverse messages to
+            // piggyback on.
+            ch.idle_ack();
+        }
+        // Memory-cache shrink every 8th tick (§IV-E "if the resource
+        // utilization becomes lower, it will shrink its capacity").
+        if self.tick_count.get().is_multiple_of(8) {
+            self.memcache.shrink();
+        }
+        {
+            let mut st = self.stats.borrow_mut();
+            st.memcache_occupied = self.memcache.occupied_bytes();
+            st.memcache_in_use = self.memcache.in_use_bytes();
+        }
+        if let Some(i) = self.instrument.borrow().as_ref() {
+            i.on_timer_tick(now);
+        }
+        self.arm_timer();
+    }
+
+    // ------------------------------------------------------------------
+    // Stats & tracing plumbing
+    // ------------------------------------------------------------------
+
+    pub fn stats(&self) -> ContextStats {
+        let mut st = self.stats.borrow().clone();
+        st.channels_open = self.channels.borrow().len();
+        st.memcache_occupied = self.memcache.occupied_bytes();
+        st.memcache_in_use = self.memcache.in_use_bytes();
+        st.qp_cache_hits = self.qpcache.hits();
+        st.qp_cache_misses = self.qpcache.misses();
+        let h = self.rpc_latency.borrow();
+        st.rpc_latency = if h.count() > 0 { Some(h.summary()) } else { None };
+        st
+    }
+
+    /// Raw RPC latency histogram (benchmarks read percentiles off it).
+    pub fn rpc_latency_histogram(&self) -> Histogram {
+        self.rpc_latency.borrow().clone()
+    }
+
+    pub(crate) fn record_rpc_latency(&self, d: Dur) {
+        self.rpc_latency.borrow_mut().record(d.as_nanos());
+    }
+
+    pub(crate) fn record_slow_op(&self, what: &'static str, took: Dur) {
+        let op = SlowOp {
+            at: self.world.now(),
+            what,
+            took,
+        };
+        if let Some(i) = self.instrument.borrow().as_ref() {
+            i.on_slow_op(&op);
+        }
+        let mut log = self.slow_log.borrow_mut();
+        if log.len() < 10_000 {
+            log.push(op);
+        }
+    }
+
+    /// Server side of a traced request: remember our arrival clock.
+    pub(crate) fn record_server_trace(&self, hdr: &Header, t2: Time) {
+        if let Some(t) = hdr.trace {
+            self.server_traces
+                .borrow_mut()
+                .insert(t.trace_id, self.local_clock_at(t2));
+        }
+    }
+
+    /// Client side: the traced response arrived.
+    pub(crate) fn record_client_trace(
+        &self,
+        trace_id: u64,
+        t1_ns: u64,
+        server_recv_ns: u64,
+        rpc_id: u32,
+    ) {
+        let rec = TraceRecord {
+            trace_id,
+            rpc_id,
+            t1_ns,
+            server_recv_ns,
+            t3_ns: self.local_clock_ns(),
+        };
+        if let Some(i) = self.instrument.borrow().as_ref() {
+            i.on_trace(&rec);
+        }
+        let mut traces = self.traces.borrow_mut();
+        if traces.len() >= 100_000 {
+            traces.clear(); // bounded ring, coarse
+        }
+        traces.insert(trace_id, rec);
+    }
+}

@@ -1,0 +1,46 @@
+//! Middleware error type.
+
+use std::fmt;
+
+use xrdma_rnic::VerbsError;
+
+/// Errors surfaced by the X-RDMA API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum XrdmaError {
+    /// Connection establishment failed.
+    Connect(&'static str),
+    /// The channel is closed (peer dead, keepalive fired, or user close).
+    ChannelClosed,
+    /// The flow-control queue overflowed its hard cap.
+    Backpressure,
+    /// Message exceeds the maximum supported size.
+    TooLarge(u64),
+    /// Memory cache could not satisfy an allocation.
+    OutOfMemory,
+    /// Unknown configuration key in `set_flag`, or a value parse failure.
+    BadConfig(&'static str),
+    /// Underlying verbs error.
+    Verbs(VerbsError),
+}
+
+impl fmt::Display for XrdmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XrdmaError::Connect(s) => write!(f, "connect failed: {s}"),
+            XrdmaError::ChannelClosed => write!(f, "channel closed"),
+            XrdmaError::Backpressure => write!(f, "flow-control queue full"),
+            XrdmaError::TooLarge(n) => write!(f, "message too large: {n} bytes"),
+            XrdmaError::OutOfMemory => write!(f, "memory cache exhausted"),
+            XrdmaError::BadConfig(s) => write!(f, "bad configuration: {s}"),
+            XrdmaError::Verbs(e) => write!(f, "verbs error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XrdmaError {}
+
+impl From<VerbsError> for XrdmaError {
+    fn from(e: VerbsError) -> Self {
+        XrdmaError::Verbs(e)
+    }
+}

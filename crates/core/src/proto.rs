@@ -1,0 +1,280 @@
+//! The X-RDMA wire header: what travels inside every eager Send.
+//!
+//! Bare-data mode carries the 24-byte protocol header (kind, seq, ack,
+//! rpc id, body length). Large messages add a 20-byte descriptor so the
+//! receiver can RDMA-Read the payload. Req-rsp mode (§VI-A) appends the
+//! 16-byte tracing header — the sender's timestamp and a trace id — which
+//! is what `trace_request` decodes.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Message kind carried in the header flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    /// RPC request — expects a response with the same rpc id.
+    Request,
+    /// RPC response.
+    Response,
+    /// Fire-and-forget data message.
+    OneWay,
+    /// Standalone acknowledgment (no payload, no sequence slot).
+    Ack,
+    /// Deadlock-breaking no-op (§V-B); carries the current ACK number.
+    Nop,
+    /// Keepalive marker — never actually serialized (probes are zero-byte
+    /// writes), present for completeness of the state machines.
+    KeepAlive,
+    /// Graceful connection shutdown.
+    Close,
+}
+
+impl MsgKind {
+    fn to_bits(self) -> u8 {
+        match self {
+            MsgKind::Request => 0,
+            MsgKind::Response => 1,
+            MsgKind::OneWay => 2,
+            MsgKind::Ack => 3,
+            MsgKind::Nop => 4,
+            MsgKind::KeepAlive => 5,
+            MsgKind::Close => 6,
+        }
+    }
+
+    fn from_bits(b: u8) -> Option<MsgKind> {
+        Some(match b {
+            0 => MsgKind::Request,
+            1 => MsgKind::Response,
+            2 => MsgKind::OneWay,
+            3 => MsgKind::Ack,
+            4 => MsgKind::Nop,
+            5 => MsgKind::KeepAlive,
+            6 => MsgKind::Close,
+            _ => return None,
+        })
+    }
+
+    /// Does this kind occupy a slot in the seq-ack window?
+    pub fn sequenced(self) -> bool {
+        matches!(self, MsgKind::Request | MsgKind::Response | MsgKind::OneWay)
+    }
+}
+
+/// Descriptor for a payload the receiver must fetch via RDMA Read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LargeDesc {
+    pub addr: u64,
+    pub rkey: u32,
+}
+
+/// Tracing fields (req-rsp mode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceHdr {
+    /// Sender's clock at send time (T1 of §VI-A method I).
+    pub t1_ns: u64,
+    pub trace_id: u64,
+}
+
+/// The decoded X-RDMA header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Header {
+    pub kind: MsgKind,
+    /// Sequence number within the channel (sequenced kinds only).
+    pub seq: u32,
+    /// Piggybacked cumulative ACK (Algorithm 1's ACKED).
+    pub ack: u32,
+    /// RPC correlation id.
+    pub rpc_id: u32,
+    /// Payload length (bytes beyond the header).
+    pub body_len: u64,
+    pub large: Option<LargeDesc>,
+    pub trace: Option<TraceHdr>,
+}
+
+const MAGIC: u8 = 0xA7;
+const VERSION: u8 = 1;
+const FLAG_LARGE: u8 = 0x10;
+const FLAG_TRACE: u8 = 0x20;
+
+/// Base header length.
+pub const BASE_LEN: usize = 24;
+/// Additional bytes when a large-message descriptor is present.
+pub const LARGE_LEN: usize = 12;
+/// Additional bytes when tracing fields are present.
+pub const TRACE_LEN: usize = 16;
+
+impl Header {
+    pub fn new(kind: MsgKind, seq: u32, ack: u32, rpc_id: u32, body_len: u64) -> Header {
+        Header {
+            kind,
+            seq,
+            ack,
+            rpc_id,
+            body_len,
+            large: None,
+            trace: None,
+        }
+    }
+
+    /// Encoded length of this header.
+    pub fn encoded_len(&self) -> usize {
+        BASE_LEN
+            + self.large.map_or(0, |_| LARGE_LEN)
+            + self.trace.map_or(0, |_| TRACE_LEN)
+    }
+
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut flags = self.kind.to_bits();
+        if self.large.is_some() {
+            flags |= FLAG_LARGE;
+        }
+        if self.trace.is_some() {
+            flags |= FLAG_TRACE;
+        }
+        let mut b = BytesMut::with_capacity(self.encoded_len());
+        b.put_u8(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u8(flags);
+        b.put_u8(0); // reserved
+        b.put_u32_le(self.seq);
+        b.put_u32_le(self.ack);
+        b.put_u32_le(self.rpc_id);
+        b.put_u64_le(self.body_len);
+        if let Some(d) = self.large {
+            b.put_u64_le(d.addr);
+            b.put_u32_le(d.rkey);
+        }
+        if let Some(t) = self.trace {
+            b.put_u64_le(t.t1_ns);
+            b.put_u64_le(t.trace_id);
+        }
+        b.freeze()
+    }
+
+    /// Parse a header from the front of `buf`. Returns the header and the
+    /// number of bytes consumed.
+    pub fn decode(buf: &[u8]) -> Option<(Header, usize)> {
+        if buf.len() < BASE_LEN || buf[0] != MAGIC || buf[1] != VERSION {
+            return None;
+        }
+        let flags = buf[2];
+        let kind = MsgKind::from_bits(flags & 0x0F)?;
+        let seq = u32::from_le_bytes(buf[4..8].try_into().ok()?);
+        let ack = u32::from_le_bytes(buf[8..12].try_into().ok()?);
+        let rpc_id = u32::from_le_bytes(buf[12..16].try_into().ok()?);
+        let body_len = u64::from_le_bytes(buf[16..24].try_into().ok()?);
+        let mut off = BASE_LEN;
+        let large = if flags & FLAG_LARGE != 0 {
+            if buf.len() < off + LARGE_LEN {
+                return None;
+            }
+            let addr = u64::from_le_bytes(buf[off..off + 8].try_into().ok()?);
+            let rkey = u32::from_le_bytes(buf[off + 8..off + 12].try_into().ok()?);
+            off += LARGE_LEN;
+            Some(LargeDesc { addr, rkey })
+        } else {
+            None
+        };
+        let trace = if flags & FLAG_TRACE != 0 {
+            if buf.len() < off + TRACE_LEN {
+                return None;
+            }
+            let t1_ns = u64::from_le_bytes(buf[off..off + 8].try_into().ok()?);
+            let trace_id = u64::from_le_bytes(buf[off + 8..off + 16].try_into().ok()?);
+            off += TRACE_LEN;
+            Some(TraceHdr { t1_ns, trace_id })
+        } else {
+            None
+        };
+        Some((
+            Header {
+                kind,
+                seq,
+                ack,
+                rpc_id,
+                body_len,
+                large,
+                trace,
+            },
+            off,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(h: &Header) {
+        let enc = h.encode();
+        assert_eq!(enc.len(), h.encoded_len());
+        let (dec, used) = Header::decode(&enc).expect("decode");
+        assert_eq!(&dec, h);
+        assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn base_roundtrip() {
+        roundtrip(&Header::new(MsgKind::Request, 7, 3, 99, 1024));
+        roundtrip(&Header::new(MsgKind::Ack, 0, 55, 0, 0));
+        roundtrip(&Header::new(MsgKind::Nop, 0, 12, 0, 0));
+    }
+
+    #[test]
+    fn large_and_trace_roundtrip() {
+        let mut h = Header::new(MsgKind::Response, 1, 2, 3, 1 << 20);
+        h.large = Some(LargeDesc {
+            addr: 0xDEAD_BEEF_0000,
+            rkey: 77,
+        });
+        roundtrip(&h);
+        h.trace = Some(TraceHdr {
+            t1_ns: 123_456_789,
+            trace_id: 42,
+        });
+        roundtrip(&h);
+        assert_eq!(h.encoded_len(), BASE_LEN + LARGE_LEN + TRACE_LEN);
+    }
+
+    #[test]
+    fn sizes_match_paper_scale() {
+        // Bare header is small enough that bare-data mode stays close to
+        // raw verbs; trace adds ~16 B (the ~200 ns / 2–4 % of §VII-A).
+        assert_eq!(BASE_LEN, 24);
+        assert_eq!(TRACE_LEN, 16);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Header::decode(&[]).is_none());
+        assert!(Header::decode(&[0; 24]).is_none());
+        let mut enc = Header::new(MsgKind::Request, 1, 1, 1, 1).encode().to_vec();
+        enc[1] = 9; // bad version
+        assert!(Header::decode(&enc).is_none());
+        // Truncated large descriptor.
+        let mut h = Header::new(MsgKind::Request, 1, 1, 1, 1);
+        h.large = Some(LargeDesc { addr: 1, rkey: 2 });
+        let enc = h.encode();
+        assert!(Header::decode(&enc[..BASE_LEN + 4]).is_none());
+    }
+
+    #[test]
+    fn kind_bits_total() {
+        for k in [
+            MsgKind::Request,
+            MsgKind::Response,
+            MsgKind::OneWay,
+            MsgKind::Ack,
+            MsgKind::Nop,
+            MsgKind::KeepAlive,
+            MsgKind::Close,
+        ] {
+            assert_eq!(MsgKind::from_bits(k.to_bits()), Some(k));
+        }
+        assert_eq!(MsgKind::from_bits(15), None);
+        assert!(MsgKind::Request.sequenced());
+        assert!(!MsgKind::Ack.sequenced());
+        assert!(!MsgKind::Nop.sequenced());
+    }
+}

@@ -1,0 +1,350 @@
+//! The application-layer seq-ack window — Algorithm 1 of the paper (§V-B),
+//! as pure state machines (no I/O) so the invariants are unit- and
+//! property-testable in isolation.
+//!
+//! Why it exists: the RNIC's hardware ACK only proves a packet reached the
+//! peer NIC, not that the peer *application* consumed it and freed the
+//! buffer. X-RDMA therefore runs a message-granular window above verbs:
+//!
+//! * the **sender** may have at most `depth` unacknowledged messages; the
+//!   window is a ring buffer with one slot reserved for NOP, so a
+//!   deadlock-breaking message can always be sent;
+//! * the **receiver** tracks WTA ("wait to ack": received messages) and
+//!   RTA ("ready to ack": messages the application has consumed, advanced
+//!   in order), and piggybacks `ACKED = RTA` on every outgoing message;
+//! * because the sender never exceeds the window and the receiver pre-posts
+//!   `depth` receive buffers, the receive queue can never underflow —
+//!   **RNR-free by construction** (Fig 9).
+//!
+//! Naming follows the paper: `seq`/`acked` on the TX side; `wta`/`rta`/
+//! `acked` on the RX side.
+
+/// Sender-side window over one channel.
+#[derive(Clone, Debug)]
+pub struct TxWindow {
+    depth: u32,
+    /// Next sequence number to assign (paper: `QP.tx.seq`).
+    seq: u32,
+    /// Cumulative peer acknowledgment (paper: `QP.tx.acked`): all
+    /// sequences `< acked` are acknowledged.
+    acked: u32,
+}
+
+impl TxWindow {
+    /// `depth` is the in-flight message limit; the paper keeps it below
+    /// the CQ depth and reserves one slot for NOP.
+    pub fn new(depth: u32) -> TxWindow {
+        assert!(depth >= 2, "window needs a data slot and the NOP slot");
+        TxWindow {
+            depth,
+            seq: 0,
+            acked: 0,
+        }
+    }
+
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Sequences in flight right now.
+    pub fn in_flight(&self) -> u32 {
+        self.seq.wrapping_sub(self.acked)
+    }
+
+    /// Can another *data* message be sent? One slot stays reserved for
+    /// NOP so the deadlock breaker can always go out.
+    pub fn can_send(&self) -> bool {
+        self.in_flight() < self.depth - 1
+    }
+
+    /// Window completely stalled (not even one data slot)?
+    pub fn stalled(&self) -> bool {
+        !self.can_send()
+    }
+
+    /// Assign the next sequence number (paper: `SEND_MESSAGE: tx.seq++`).
+    /// Caller must have checked `can_send`.
+    pub fn next_seq(&mut self) -> u32 {
+        debug_assert!(self.can_send(), "window overrun");
+        let s = self.seq;
+        self.seq = self.seq.wrapping_add(1);
+        s
+    }
+
+    /// Process a cumulative ACK from the peer (paper: `RECV_MESSAGE`).
+    /// Returns the sequences newly acknowledged, in order — the caller
+    /// runs `on_acked` for each (release buffers, complete sends).
+    ///
+    /// Wrapping-safe: `ack` may lag `acked` (duplicate) but never lead
+    /// `seq`.
+    pub fn on_ack(&mut self, ack: u32) -> impl Iterator<Item = u32> + use<> {
+        // Bound the advance by what is actually in flight, so a corrupt or
+        // reordered ack can never over-advance the window; a lag in the
+        // upper half of the u32 circle is a stale (pre-wrap) duplicate.
+        let lag = ack.wrapping_sub(self.acked);
+        let newly = if lag > u32::MAX / 2 {
+            0
+        } else {
+            lag.min(self.in_flight())
+        };
+        let start = self.acked;
+        self.acked = self.acked.wrapping_add(newly);
+        (0..newly).map(move |i| start.wrapping_add(i))
+    }
+
+    /// Lowest unacknowledged sequence, if any.
+    pub fn oldest_unacked(&self) -> Option<u32> {
+        if self.in_flight() > 0 {
+            Some(self.acked)
+        } else {
+            None
+        }
+    }
+}
+
+/// What the receiver should do with an accepted message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RxAccept {
+    /// In-order fresh message: process it.
+    Fresh,
+    /// Already seen (peer retransmitted after our ack was lost): re-ack,
+    /// do not re-deliver.
+    Duplicate,
+}
+
+/// Receiver-side window over one channel.
+#[derive(Clone, Debug)]
+pub struct RxWindow {
+    depth: u32,
+    /// Highest received + 1 (paper: `QP.rx.wta` — wait-to-ack edge).
+    wta: u32,
+    /// Consumed-in-order edge (paper: `QP.rx.rta` — ready-to-ack).
+    rta: u32,
+    /// Last ACK value actually transmitted to the peer.
+    acked_sent: u32,
+    /// Completion flags for the out-of-order-completion range
+    /// [rta, wta): ring-indexed by seq % depth (paper: `msgs[i].recved`).
+    recved: Vec<bool>,
+}
+
+impl RxWindow {
+    pub fn new(depth: u32) -> RxWindow {
+        assert!(depth >= 2);
+        RxWindow {
+            depth,
+            wta: 0,
+            rta: 0,
+            acked_sent: 0,
+            recved: vec![false; depth as usize],
+        }
+    }
+
+    pub fn wta(&self) -> u32 {
+        self.wta
+    }
+
+    pub fn rta(&self) -> u32 {
+        self.rta
+    }
+
+    /// A sequenced message arrived (paper: receiver `SEND_MESSAGE`
+    /// prologue — `rx.wta++`). Returns whether it is fresh or a duplicate.
+    pub fn on_arrival(&mut self, seq: u32) -> RxAccept {
+        if seq.wrapping_sub(self.rta) >= self.depth {
+            // Behind the window (or absurdly ahead, impossible on RC):
+            // a retransmission of something we consumed.
+            return RxAccept::Duplicate;
+        }
+        let next = self.wta;
+        if seq == next {
+            self.wta = self.wta.wrapping_add(1);
+            self.recved[(seq % self.depth) as usize] = false;
+            RxAccept::Fresh
+        } else if seq.wrapping_sub(self.rta) < next.wrapping_sub(self.rta) {
+            RxAccept::Duplicate
+        } else {
+            // Ahead of wta: RC in-order delivery makes this unreachable,
+            // but accept conservatively by advancing (fills gaps as
+            // un-recved, which stalls rta — visible in tests).
+            self.wta = seq.wrapping_add(1);
+            RxAccept::Fresh
+        }
+    }
+
+    /// Mark a message completed (small message processed, or
+    /// `rdma_read_done` for a large one) and advance RTA over every
+    /// contiguous completed message (paper: `RDMA_READ_DONE`). Returns the
+    /// sequences that became deliverable *in order*.
+    pub fn on_complete(&mut self, seq: u32) -> Vec<u32> {
+        let off = seq.wrapping_sub(self.rta);
+        if off >= self.depth {
+            return Vec::new(); // stale completion
+        }
+        self.recved[(seq % self.depth) as usize] = true;
+        let mut out = Vec::new();
+        while self.rta != self.wta && self.recved[(self.rta % self.depth) as usize] {
+            self.recved[(self.rta % self.depth) as usize] = false;
+            out.push(self.rta);
+            self.rta = self.rta.wrapping_add(1);
+        }
+        out
+    }
+
+    /// The ACK number to piggyback on the next outgoing message (paper:
+    /// `msg.acked = QP.rx.acked = QP.rx.rta`). Records it as sent.
+    pub fn take_ack(&mut self) -> u32 {
+        self.acked_sent = self.rta;
+        self.rta
+    }
+
+    /// How many completions the peer has not been told about.
+    pub fn unsent_acks(&self) -> u32 {
+        self.rta.wrapping_sub(self.acked_sent)
+    }
+
+    /// Should a standalone ACK be generated (after N receptions with no
+    /// reverse traffic, §V-B)?
+    pub fn needs_standalone_ack(&self, after: u32) -> bool {
+        self.unsent_acks() >= after
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_window_opens_and_closes() {
+        let mut tx = TxWindow::new(4); // 3 data slots + NOP
+        assert!(tx.can_send());
+        let s0 = tx.next_seq();
+        let s1 = tx.next_seq();
+        let s2 = tx.next_seq();
+        assert_eq!((s0, s1, s2), (0, 1, 2));
+        assert!(!tx.can_send(), "3 in flight = data slots exhausted");
+        assert!(tx.stalled());
+        let acked: Vec<u32> = tx.on_ack(2).collect();
+        assert_eq!(acked, vec![0, 1]);
+        assert!(tx.can_send());
+        assert_eq!(tx.in_flight(), 1);
+        assert_eq!(tx.oldest_unacked(), Some(2));
+    }
+
+    #[test]
+    fn tx_duplicate_ack_is_noop() {
+        let mut tx = TxWindow::new(8);
+        tx.next_seq();
+        tx.next_seq();
+        assert_eq!(tx.on_ack(1).count(), 1);
+        assert_eq!(tx.on_ack(1).count(), 0, "duplicate");
+        assert_eq!(tx.on_ack(0).count(), 0, "stale");
+        assert_eq!(tx.in_flight(), 1);
+    }
+
+    #[test]
+    fn tx_overdriven_ack_is_clamped() {
+        let mut tx = TxWindow::new(8);
+        tx.next_seq();
+        // Ack claims 100 messages; only 1 is in flight.
+        assert_eq!(tx.on_ack(100).count(), 1);
+        assert_eq!(tx.in_flight(), 0);
+        assert_eq!(tx.oldest_unacked(), None);
+    }
+
+    #[test]
+    fn tx_wraps_around_u32() {
+        let mut tx = TxWindow::new(4);
+        tx.seq = u32::MAX - 1;
+        tx.acked = u32::MAX - 1;
+        let a = tx.next_seq();
+        let b = tx.next_seq();
+        assert_eq!(a, u32::MAX - 1);
+        assert_eq!(b, u32::MAX);
+        let acked: Vec<u32> = tx.on_ack(1).collect(); // wrapped ack value
+        assert_eq!(acked, vec![u32::MAX - 1, u32::MAX]);
+        assert_eq!(tx.next_seq(), 0, "wrapped");
+    }
+
+    #[test]
+    fn rx_in_order_flow() {
+        let mut rx = RxWindow::new(4);
+        assert_eq!(rx.on_arrival(0), RxAccept::Fresh);
+        assert_eq!(rx.on_arrival(1), RxAccept::Fresh);
+        assert_eq!(rx.wta(), 2);
+        assert_eq!(rx.rta(), 0, "nothing consumed yet");
+        assert_eq!(rx.on_complete(0), vec![0]);
+        assert_eq!(rx.on_complete(1), vec![1]);
+        assert_eq!(rx.rta(), 2);
+    }
+
+    #[test]
+    fn rx_out_of_order_completion_stalls_rta() {
+        // Large message 0 still being read while small 1 and 2 complete:
+        // rta must wait for 0 (in-order delivery guarantee).
+        let mut rx = RxWindow::new(8);
+        for s in 0..3 {
+            rx.on_arrival(s);
+        }
+        assert_eq!(rx.on_complete(1), vec![]);
+        assert_eq!(rx.on_complete(2), vec![]);
+        assert_eq!(rx.rta(), 0);
+        assert_eq!(rx.on_complete(0), vec![0, 1, 2], "releases the batch");
+        assert_eq!(rx.rta(), 3);
+    }
+
+    #[test]
+    fn rx_duplicate_detection() {
+        let mut rx = RxWindow::new(4);
+        rx.on_arrival(0);
+        rx.on_complete(0);
+        assert_eq!(rx.on_arrival(0), RxAccept::Duplicate);
+        rx.on_arrival(1);
+        assert_eq!(rx.on_arrival(1), RxAccept::Duplicate, "received, unconsumed");
+    }
+
+    #[test]
+    fn rx_ack_bookkeeping() {
+        let mut rx = RxWindow::new(8);
+        for s in 0..5 {
+            rx.on_arrival(s);
+            rx.on_complete(s);
+        }
+        assert_eq!(rx.unsent_acks(), 5);
+        assert!(rx.needs_standalone_ack(4));
+        assert!(!rx.needs_standalone_ack(6));
+        assert_eq!(rx.take_ack(), 5);
+        assert_eq!(rx.unsent_acks(), 0);
+        assert!(!rx.needs_standalone_ack(4));
+    }
+
+    #[test]
+    fn end_to_end_window_conversation() {
+        // Symmetric sender/receiver pair exchanging a full window.
+        let depth = 8;
+        let mut tx = TxWindow::new(depth);
+        let mut rx = RxWindow::new(depth);
+        let mut delivered = Vec::new();
+        // Fill the data slots.
+        let mut sent = Vec::new();
+        while tx.can_send() {
+            sent.push(tx.next_seq());
+        }
+        assert_eq!(sent.len() as u32, depth - 1);
+        for &s in &sent {
+            assert_eq!(rx.on_arrival(s), RxAccept::Fresh);
+            delivered.extend(rx.on_complete(s));
+        }
+        assert_eq!(delivered, sent);
+        // Receiver piggybacks its ack; sender fully drains.
+        let ack = rx.take_ack();
+        assert_eq!(tx.on_ack(ack).count() as u32, depth - 1);
+        assert_eq!(tx.in_flight(), 0);
+        assert!(tx.can_send());
+    }
+
+    #[test]
+    #[should_panic(expected = "window needs")]
+    fn tiny_window_rejected() {
+        TxWindow::new(1);
+    }
+}

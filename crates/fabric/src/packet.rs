@@ -1,0 +1,156 @@
+//! Packet representation and flow hashing.
+
+use std::any::Any;
+use std::fmt;
+
+/// Number of 802.1p priority classes per port.
+pub const NPRIO: usize = 8;
+
+/// Priority class carrying RoCE data traffic (lossless, PFC-protected).
+pub const PRIO_RDMA: u8 = 3;
+/// Priority class for CNPs and other control traffic (highest).
+pub const PRIO_CTRL: u8 = 0;
+/// Priority class for TCP / lossy traffic.
+pub const PRIO_TCP: u8 = 6;
+
+/// A host (server) identifier — dense indices `0..n_hosts`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A packet on the wire.
+///
+/// The fabric only interprets the header fields; `body` is owned by the
+/// layer above (the RNIC downcasts it back on delivery). Payload bytes are
+/// not materialized here — `size_bytes` carries the wire size used for
+/// serialization-delay and buffer accounting, while any actual data travels
+/// inside `body`.
+pub struct Packet {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// 802.1p class; selects the egress queue and PFC class at every hop.
+    pub prio: u8,
+    /// Wire size including all headers.
+    pub size_bytes: u32,
+    /// Whether switches may ECN-mark instead of dropping.
+    pub ecn_capable: bool,
+    /// Set by a congested switch; read by the receiving RNIC (DCQCN NP).
+    pub ecn_marked: bool,
+    /// Stable per-flow value used for ECMP path selection. All packets of
+    /// one RC queue pair share it, which preserves in-order delivery.
+    pub flow_hash: u64,
+    /// Opaque upper-layer body.
+    pub body: Box<dyn Any>,
+}
+
+impl Packet {
+    /// Convenience constructor for data packets.
+    pub fn new(
+        src: NodeId,
+        dst: NodeId,
+        prio: u8,
+        size_bytes: u32,
+        flow_hash: u64,
+        body: Box<dyn Any>,
+    ) -> Packet {
+        debug_assert!((prio as usize) < NPRIO);
+        Packet {
+            src,
+            dst,
+            prio,
+            size_bytes,
+            ecn_capable: true,
+            ecn_marked: false,
+            flow_hash,
+            body,
+        }
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Packet")
+            .field("src", &self.src)
+            .field("dst", &self.dst)
+            .field("prio", &self.prio)
+            .field("size", &self.size_bytes)
+            .field("ecn", &self.ecn_marked)
+            .finish()
+    }
+}
+
+/// Mix a flow hash with a topology stage constant to pick one of `n`
+/// equal-cost next hops. Deterministic, uniform enough for ECMP, and stable
+/// per flow so each flow pins one path.
+#[inline]
+pub fn ecmp_hash(flow_hash: u64, stage: u64, n: usize) -> usize {
+    debug_assert!(n > 0);
+    let mut h = flow_hash ^ stage.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    (h % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecmp_deterministic_and_bounded() {
+        for flow in 0..1000u64 {
+            let a = ecmp_hash(flow, 1, 7);
+            let b = ecmp_hash(flow, 1, 7);
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_flows() {
+        let n = 8;
+        let mut counts = vec![0u32; n];
+        for flow in 0..8000u64 {
+            counts[ecmp_hash(flow, 2, n)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (700..1300).contains(&c),
+                "uneven spread: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ecmp_stage_changes_choice() {
+        let same = (0..1000u64)
+            .filter(|&f| ecmp_hash(f, 1, 16) == ecmp_hash(f, 2, 16))
+            .count();
+        // Stages should decorrelate: ~1/16 collisions expected.
+        assert!(same < 150, "stages correlated: {same}");
+    }
+
+    #[test]
+    fn packet_body_downcast() {
+        let p = Packet::new(NodeId(0), NodeId(1), PRIO_RDMA, 64, 9, Box::new(42u64));
+        assert_eq!(*p.body.downcast::<u64>().unwrap(), 42);
+    }
+}

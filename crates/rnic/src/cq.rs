@@ -1,0 +1,217 @@
+//! Completion queues and completion-queue entries.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::verbs::{Qpn, WrId};
+
+/// Completion status, mirroring the interesting subset of `ibv_wc_status`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CqeStatus {
+    Success,
+    /// Receiver-not-ready retries exhausted.
+    RnrRetryExceeded,
+    /// ACK timeout retries exhausted (peer dead or unreachable).
+    RetryExceeded,
+    /// Remote access error (bad rkey / bounds / permissions).
+    RemoteAccessError,
+    /// WR flushed because the QP entered the error state.
+    WrFlushError,
+}
+
+impl CqeStatus {
+    pub fn is_ok(self) -> bool {
+        self == CqeStatus::Success
+    }
+}
+
+/// What kind of completion this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CqeOpcode {
+    Send,
+    Write,
+    Read,
+    Atomic,
+    /// Receive completion for an incoming Send.
+    Recv,
+    /// Receive completion for an incoming Write-with-immediate.
+    RecvWriteImm,
+}
+
+/// A completion-queue entry.
+#[derive(Clone, Debug)]
+pub struct Cqe {
+    pub wr_id: WrId,
+    pub status: CqeStatus,
+    pub opcode: CqeOpcode,
+    pub byte_len: u64,
+    pub imm: Option<u32>,
+    pub qpn: Qpn,
+}
+
+/// A completion queue with bounded depth and one-shot notification arming
+/// (`ibv_req_notify_cq` semantics).
+pub struct CompletionQueue {
+    pub id: u32,
+    depth: usize,
+    entries: RefCell<VecDeque<Cqe>>,
+    /// One-shot: cleared when fired; re-arm to get the next edge.
+    armed: Cell<bool>,
+    notify: RefCell<Option<Box<dyn Fn()>>>,
+    overflowed: Cell<bool>,
+    total_pushed: Cell<u64>,
+}
+
+impl CompletionQueue {
+    pub fn new(id: u32, depth: usize) -> Rc<CompletionQueue> {
+        assert!(depth > 0);
+        Rc::new(CompletionQueue {
+            id,
+            depth,
+            entries: RefCell::new(VecDeque::new()),
+            armed: Cell::new(false),
+            notify: RefCell::new(None),
+            overflowed: Cell::new(false),
+            total_pushed: Cell::new(0),
+        })
+    }
+
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Install the notification callback (the simulated completion channel).
+    pub fn set_notify(&self, f: impl Fn() + 'static) {
+        *self.notify.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Arm one notification for the next pushed CQE. If entries are already
+    /// pending the notification fires immediately (no lost wakeups).
+    pub fn req_notify(&self) {
+        if !self.entries.borrow().is_empty() {
+            self.fire();
+        } else {
+            self.armed.set(true);
+        }
+    }
+
+    fn fire(&self) {
+        self.armed.set(false);
+        if let Some(f) = self.notify.borrow().as_ref() {
+            f();
+        }
+    }
+
+    /// Push a completion. Overflow (more CQEs than depth) is a programming
+    /// error on real hardware that wedges the QP; we record it and keep the
+    /// entry so tests can assert on it.
+    pub fn push(&self, cqe: Cqe) {
+        {
+            let mut q = self.entries.borrow_mut();
+            if q.len() >= self.depth {
+                self.overflowed.set(true);
+            }
+            q.push_back(cqe);
+        }
+        self.total_pushed.set(self.total_pushed.get() + 1);
+        if self.armed.get() {
+            self.fire();
+        }
+    }
+
+    /// Poll up to `max` completions.
+    pub fn poll(&self, max: usize) -> Vec<Cqe> {
+        let mut q = self.entries.borrow_mut();
+        let n = max.min(q.len());
+        q.drain(..n).collect()
+    }
+
+    /// Poll a single completion.
+    pub fn poll_one(&self) -> Option<Cqe> {
+        self.entries.borrow_mut().pop_front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.borrow().is_empty()
+    }
+
+    pub fn overflowed(&self) -> bool {
+        self.overflowed.get()
+    }
+
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cqe(wr_id: u64) -> Cqe {
+        Cqe {
+            wr_id,
+            status: CqeStatus::Success,
+            opcode: CqeOpcode::Send,
+            byte_len: 0,
+            imm: None,
+            qpn: Qpn(1),
+        }
+    }
+
+    #[test]
+    fn fifo_poll() {
+        let cq = CompletionQueue::new(0, 16);
+        for i in 0..5 {
+            cq.push(cqe(i));
+        }
+        let got = cq.poll(3);
+        assert_eq!(got.iter().map(|c| c.wr_id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(cq.len(), 2);
+        assert_eq!(cq.poll(10).len(), 2);
+        assert!(cq.is_empty());
+        assert_eq!(cq.total_pushed(), 5);
+    }
+
+    #[test]
+    fn one_shot_notification() {
+        let cq = CompletionQueue::new(0, 16);
+        let fired = Rc::new(Cell::new(0));
+        let f = fired.clone();
+        cq.set_notify(move || f.set(f.get() + 1));
+        cq.push(cqe(1));
+        assert_eq!(fired.get(), 0, "not armed yet");
+        cq.req_notify();
+        assert_eq!(fired.get(), 1, "pending entry fires immediately");
+        cq.push(cqe(2));
+        assert_eq!(fired.get(), 1, "one-shot: no second fire without re-arm");
+        cq.poll(10);
+        cq.req_notify();
+        cq.push(cqe(3));
+        assert_eq!(fired.get(), 2);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let cq = CompletionQueue::new(0, 2);
+        cq.push(cqe(1));
+        cq.push(cqe(2));
+        assert!(!cq.overflowed());
+        cq.push(cqe(3));
+        assert!(cq.overflowed());
+        assert_eq!(cq.len(), 3, "entry kept for diagnosis");
+    }
+
+    #[test]
+    fn poll_one() {
+        let cq = CompletionQueue::new(0, 4);
+        assert!(cq.poll_one().is_none());
+        cq.push(cqe(7));
+        assert_eq!(cq.poll_one().unwrap().wr_id, 7);
+    }
+}

@@ -1,0 +1,327 @@
+//! Work-request types and errors — the vocabulary of the verbs API.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Queue-pair number, unique per node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Qpn(pub u32);
+
+impl fmt::Debug for Qpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qp{}", self.0)
+    }
+}
+
+/// Caller-chosen work-request identifier, returned in the matching CQE.
+pub type WrId = u64;
+
+/// Errors surfaced synchronously by verbs calls.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerbsError {
+    /// The QP is not in a state that allows the operation.
+    InvalidState(&'static str),
+    /// The send or receive queue is full.
+    QueueFull,
+    /// rkey/lkey unknown or access out of the registered bounds.
+    AccessError(&'static str),
+    /// Operation needs a remote address but none was given (or vice versa).
+    BadWorkRequest(&'static str),
+    /// Object was destroyed / deregistered.
+    Gone(&'static str),
+}
+
+impl fmt::Display for VerbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerbsError::InvalidState(s) => write!(f, "invalid QP state: {s}"),
+            VerbsError::QueueFull => write!(f, "work queue full"),
+            VerbsError::AccessError(s) => write!(f, "memory access error: {s}"),
+            VerbsError::BadWorkRequest(s) => write!(f, "bad work request: {s}"),
+            VerbsError::Gone(s) => write!(f, "object gone: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for VerbsError {}
+
+/// Payload of an outgoing operation.
+///
+/// `Inline` carries real bytes end-to-end (integrity tests, seq-ack headers,
+/// traced messages). `FromMr` reads from registered memory at send time.
+/// `Zero(len)` models a payload of the given size without materializing
+/// bytes — the fast path for large-scale performance experiments.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    Inline(Bytes),
+    FromMr { addr: u64, len: u64, lkey: u32 },
+    Zero(u64),
+    /// Real `head` bytes followed by `total - head.len()` simulated bytes —
+    /// the shape of every X-RDMA eager message (real protocol header,
+    /// optionally size-only body).
+    Padded { head: Bytes, total: u64 },
+}
+
+impl Payload {
+    pub fn len(&self) -> u64 {
+        match self {
+            Payload::Inline(b) => b.len() as u64,
+            Payload::FromMr { len, .. } => *len,
+            Payload::Zero(len) => *len,
+            Payload::Padded { total, .. } => *total,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The operation a send work request performs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SendOp {
+    /// Two-sided send; consumes a receive WR at the responder.
+    Send,
+    /// One-sided write into `(remote_addr, rkey)`.
+    Write,
+    /// Write that also consumes a receive WR and delivers `imm`.
+    WriteImm,
+    /// One-sided read from `(remote_addr, rkey)` into the local buffer.
+    Read,
+    /// 8-byte fetch-and-add on remote memory.
+    FetchAdd(u64),
+    /// 8-byte compare-and-swap on remote memory.
+    CompareSwap { expect: u64, swap: u64 },
+}
+
+impl SendOp {
+    /// Does this op consume a receive WR at the responder?
+    pub fn consumes_rqe(&self) -> bool {
+        matches!(self, SendOp::Send | SendOp::WriteImm)
+    }
+
+    /// Does this op move data from responder to requester?
+    pub fn is_fetch(&self) -> bool {
+        matches!(
+            self,
+            SendOp::Read | SendOp::FetchAdd(_) | SendOp::CompareSwap { .. }
+        )
+    }
+}
+
+/// A send-queue work request.
+#[derive(Clone, Debug)]
+pub struct SendWr {
+    pub wr_id: WrId,
+    pub op: SendOp,
+    pub payload: Payload,
+    /// Remote target for Write/WriteImm/Read/atomics.
+    pub remote: Option<(u64, u32)>,
+    /// Immediate data for Send/WriteImm (X-RDMA carries its seq-ack numbers
+    /// here, §V-B).
+    pub imm: Option<u32>,
+    /// Local destination for fetched data (Read/atomics).
+    pub local: Option<(u64, u32)>,
+    /// Whether a success CQE is generated (errors always complete).
+    pub signaled: bool,
+}
+
+impl SendWr {
+    pub fn send(wr_id: WrId, payload: Payload) -> SendWr {
+        SendWr {
+            wr_id,
+            op: SendOp::Send,
+            payload,
+            remote: None,
+            imm: None,
+            local: None,
+            signaled: true,
+        }
+    }
+
+    pub fn send_imm(wr_id: WrId, payload: Payload, imm: u32) -> SendWr {
+        SendWr {
+            imm: Some(imm),
+            ..SendWr::send(wr_id, payload)
+        }
+    }
+
+    pub fn write(wr_id: WrId, payload: Payload, remote_addr: u64, rkey: u32) -> SendWr {
+        SendWr {
+            wr_id,
+            op: SendOp::Write,
+            payload,
+            remote: Some((remote_addr, rkey)),
+            imm: None,
+            local: None,
+            signaled: true,
+        }
+    }
+
+    pub fn write_imm(
+        wr_id: WrId,
+        payload: Payload,
+        remote_addr: u64,
+        rkey: u32,
+        imm: u32,
+    ) -> SendWr {
+        SendWr {
+            op: SendOp::WriteImm,
+            imm: Some(imm),
+            ..SendWr::write(wr_id, payload, remote_addr, rkey)
+        }
+    }
+
+    pub fn read(
+        wr_id: WrId,
+        local_addr: u64,
+        lkey: u32,
+        len: u64,
+        remote_addr: u64,
+        rkey: u32,
+    ) -> SendWr {
+        SendWr {
+            wr_id,
+            op: SendOp::Read,
+            payload: Payload::Zero(len),
+            remote: Some((remote_addr, rkey)),
+            imm: None,
+            local: Some((local_addr, lkey)),
+            signaled: true,
+        }
+    }
+
+    pub fn unsignaled(mut self) -> SendWr {
+        self.signaled = false;
+        self
+    }
+
+    /// Validate structural requirements before accepting the post.
+    pub fn validate(&self) -> Result<(), VerbsError> {
+        match self.op {
+            SendOp::Send => Ok(()),
+            SendOp::Write | SendOp::WriteImm => {
+                // Zero-byte writes (keepalive probes) may omit the remote
+                // address; anything carrying data must name its target.
+                if self.remote.is_none() && !self.payload.is_empty() {
+                    Err(VerbsError::BadWorkRequest("write without remote"))
+                } else {
+                    Ok(())
+                }
+            }
+            SendOp::Read => {
+                if self.remote.is_none() {
+                    Err(VerbsError::BadWorkRequest("read without remote"))
+                } else if self.local.is_none() {
+                    Err(VerbsError::BadWorkRequest("read without local sink"))
+                } else {
+                    Ok(())
+                }
+            }
+            SendOp::FetchAdd(_) | SendOp::CompareSwap { .. } => {
+                if self.remote.is_none() {
+                    Err(VerbsError::BadWorkRequest("atomic without remote"))
+                } else if self.local.is_none() {
+                    Err(VerbsError::BadWorkRequest("atomic without local sink"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// A receive-queue work request: a buffer the NIC may place an incoming
+/// Send (or the immediate of a WriteImm) into.
+#[derive(Clone, Debug)]
+pub struct RecvWr {
+    pub wr_id: WrId,
+    pub addr: u64,
+    pub len: u64,
+    pub lkey: u32,
+}
+
+impl RecvWr {
+    pub fn new(wr_id: WrId, addr: u64, len: u64, lkey: u32) -> RecvWr {
+        RecvWr {
+            wr_id,
+            addr,
+            len,
+            lkey,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_properties() {
+        assert!(SendOp::Send.consumes_rqe());
+        assert!(SendOp::WriteImm.consumes_rqe());
+        assert!(!SendOp::Write.consumes_rqe());
+        assert!(!SendOp::Read.consumes_rqe());
+        assert!(SendOp::Read.is_fetch());
+        assert!(SendOp::FetchAdd(1).is_fetch());
+        assert!(!SendOp::Send.is_fetch());
+    }
+
+    #[test]
+    fn constructors_shape() {
+        let wr = SendWr::send(1, Payload::Zero(100));
+        assert!(wr.validate().is_ok());
+        let wr = SendWr::write(2, Payload::Zero(100), 0x1000, 7);
+        assert_eq!(wr.remote, Some((0x1000, 7)));
+        assert!(wr.validate().is_ok());
+        let wr = SendWr::read(3, 0x2000, 5, 64, 0x1000, 7);
+        assert!(wr.validate().is_ok());
+        assert_eq!(wr.payload.len(), 64);
+    }
+
+    #[test]
+    fn zero_byte_write_probe_is_valid_without_remote() {
+        // §V-A: the keepalive probe is a zero-payload RDMA write.
+        let wr = SendWr {
+            wr_id: 9,
+            op: SendOp::Write,
+            payload: Payload::Zero(0),
+            remote: None,
+            imm: None,
+            local: None,
+            signaled: true,
+        };
+        assert!(wr.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_requests_rejected() {
+        let wr = SendWr {
+            wr_id: 1,
+            op: SendOp::Write,
+            payload: Payload::Zero(10),
+            remote: None,
+            imm: None,
+            local: None,
+            signaled: true,
+        };
+        assert!(wr.validate().is_err());
+        let wr = SendWr {
+            wr_id: 1,
+            op: SendOp::Read,
+            payload: Payload::Zero(10),
+            remote: Some((0, 0)),
+            imm: None,
+            local: None,
+            signaled: true,
+        };
+        assert!(matches!(wr.validate(), Err(VerbsError::BadWorkRequest(_))));
+    }
+
+    #[test]
+    fn payload_lengths() {
+        assert_eq!(Payload::Zero(5).len(), 5);
+        assert_eq!(Payload::Inline(Bytes::from_static(b"abc")).len(), 3);
+        assert!(Payload::Zero(0).is_empty());
+    }
+}

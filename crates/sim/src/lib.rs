@@ -1,0 +1,33 @@
+//! # xrdma-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the foundation of the X-RDMA reproduction. Everything above
+//! it — the Clos fabric, the simulated RNIC, the X-RDMA middleware, the
+//! application models — runs inside a [`World`]: a single-threaded,
+//! deterministic discrete-event simulator with a virtual nanosecond clock.
+//!
+//! Design goals (see DESIGN.md §3):
+//!
+//! * **Determinism.** Same seed ⇒ bit-identical event order and results.
+//!   Ties in the event heap are broken by insertion sequence number, and all
+//!   randomness flows through [`SimRng`] streams forked from a root seed.
+//! * **Single-threaded worlds, parallel sweeps.** A `World` is deliberately
+//!   `!Send`/`!Sync` (it is built from `Rc`/`Cell`/`RefCell`); the benchmark
+//!   harness runs many independent worlds on separate rayon workers.
+//! * **Cheap virtual time.** [`Time`] and [`Dur`] are thin `u64` nanosecond
+//!   wrappers; the hot path (schedule/pop) does no allocation beyond the
+//!   boxed callback.
+//!
+//! The crate also provides the measurement toolkit shared by every
+//! experiment: log-linear latency [`stats::Histogram`]s, bucketed
+//! [`stats::TimeSeries`], and monotonic [`stats::Counter`]s.
+
+pub mod cpu;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod world;
+
+pub use cpu::CpuThread;
+pub use rng::SimRng;
+pub use time::{Dur, Time};
+pub use world::{EventId, World};

@@ -1,0 +1,265 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic component (workload generators, fault injection, ECMP
+//! hashing jitter, service-time noise) draws from a [`SimRng`] forked from
+//! the experiment's root seed. Forking is by label hash, so adding a new
+//! consumer never perturbs the streams of existing ones — a property the
+//! regression tests rely on.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64, the standard
+//! pairing recommended by the xoshiro authors. We implement it locally (it
+//! is ~40 lines) so the simulation core has no dependency on `rand`'s
+//! versioning; `rand` is still used in tests and property generators.
+
+/// SplitMix64 step, used for seeding and label hashing.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** stream.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Create a stream from a 64-bit seed.
+    pub fn new(seed: u64) -> SimRng {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state is the one degenerate case; splitmix64 cannot
+        // produce it from four consecutive outputs, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        SimRng { s }
+    }
+
+    /// Derive an independent child stream from a label. Children with
+    /// different labels are statistically independent; the parent stream is
+    /// not advanced.
+    pub fn fork(&self, label: &str) -> SimRng {
+        let mut h = self.s[0] ^ self.s[2].rotate_left(17);
+        for b in label.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        SimRng::new(splitmix64(&mut h))
+    }
+
+    /// Derive an independent child stream from an index (e.g. per node).
+    pub fn fork_idx(&self, idx: u64) -> SimRng {
+        let mut h = self.s[1] ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::new(splitmix64(&mut h))
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`. Panics if `bound == 0`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method: unbiased and avoids
+    /// the modulo on the fast path.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean (Poisson
+    /// inter-arrival times). Returns at least 1 to keep event times moving.
+    pub fn exp(&mut self, mean: f64) -> u64 {
+        debug_assert!(mean > 0.0);
+        let u = 1.0 - self.f64(); // (0, 1]
+        ((-u.ln()) * mean).max(1.0) as u64
+    }
+
+    /// Standard normal via Box–Muller (one value per call; simple and
+    /// adequate for service-time jitter).
+    pub fn normal(&mut self, mean: f64, stddev: f64) -> f64 {
+        let u1 = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + stddev * z
+    }
+
+    /// Bounded Pareto sample in `[min, max]` with shape `alpha` — the
+    /// classic heavy-tail model for elephant/mice flow sizes (XR-Perf).
+    pub fn pareto(&mut self, min: f64, max: f64, alpha: f64) -> f64 {
+        debug_assert!(min > 0.0 && max > min && alpha > 0.0);
+        let u = self.f64();
+        let ha = max.powf(-alpha);
+        let la = min.powf(-alpha);
+        (-(u * (la - ha) - la)).powf(-1.0 / alpha)
+    }
+
+    /// Pick a uniformly random element of a slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.next_below(items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_independent_of_parent_advance() {
+        let parent = SimRng::new(7);
+        let mut c1 = parent.fork("link");
+        let mut p2 = parent.clone();
+        p2.next_u64();
+        let mut c2 = parent.fork("link");
+        for _ in 0..100 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_labels_distinct() {
+        let parent = SimRng::new(7);
+        let mut a = parent.fork("a");
+        let mut b = parent.fork("b");
+        assert_ne!(a.next_u64(), b.next_u64());
+        let mut i0 = parent.fork_idx(0);
+        let mut i1 = parent.fork_idx(1);
+        assert_ne!(i0.next_u64(), i1.next_u64());
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_close() {
+        let mut r = SimRng::new(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let mut r = SimRng::new(13);
+        let n = 100_000u64;
+        let sum: u64 = (0..n).map(|_| r.exp(1000.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 30.0, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_within_bounds() {
+        let mut r = SimRng::new(17);
+        for _ in 0..10_000 {
+            let v = r.pareto(1.0, 1000.0, 1.2);
+            assert!((1.0..=1000.0001).contains(&v), "v {v}");
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::new(19);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(23);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(29);
+        assert!(!(0..1000).any(|_| r.chance(0.0)));
+        assert!((0..1000).all(|_| r.chance(1.0)));
+    }
+}

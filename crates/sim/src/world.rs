@@ -1,0 +1,291 @@
+//! The event loop: a binary-heap calendar of boxed callbacks over virtual
+//! time, with stable FIFO tie-breaking and O(1) logical cancellation.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::rc::Rc;
+
+use crate::time::{Dur, Time};
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+///
+/// Ids are never reused within a world, so cancelling an already-fired or
+/// already-cancelled event is a harmless no-op.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+type Callback = Box<dyn FnOnce()>;
+
+struct Entry {
+    at: Time,
+    seq: u64,
+    f: Callback,
+}
+
+// Max-heap on Reverse ordering: earliest time first, then lowest sequence
+// number, which makes same-instant events fire in insertion (FIFO) order.
+// That FIFO guarantee is what makes whole-world runs reproducible.
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap pops the "greatest", we want the earliest.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic single-threaded discrete-event world.
+///
+/// Components hold an `Rc<World>` and schedule callbacks on it; callbacks may
+/// themselves schedule further events. The world is not `Send`/`Sync` —
+/// parallelism in this project happens across worlds, never inside one.
+///
+/// ```
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+/// use xrdma_sim::{Dur, World};
+///
+/// let world = World::new();
+/// let hits = Rc::new(Cell::new(0));
+/// let h = hits.clone();
+/// world.schedule_in(Dur::micros(5), move || h.set(h.get() + 1));
+/// world.run();
+/// assert_eq!(hits.get(), 1);
+/// assert_eq!(world.now().nanos(), 5_000);
+/// ```
+pub struct World {
+    now: Cell<Time>,
+    seq: Cell<u64>,
+    queue: RefCell<BinaryHeap<Entry>>,
+    cancelled: RefCell<HashSet<u64>>,
+    executed: Cell<u64>,
+}
+
+impl World {
+    /// Create a fresh world at `t = 0`.
+    pub fn new() -> Rc<World> {
+        Rc::new(World {
+            now: Cell::new(Time::ZERO),
+            seq: Cell::new(0),
+            queue: RefCell::new(BinaryHeap::with_capacity(1024)),
+            cancelled: RefCell::new(HashSet::new()),
+            executed: Cell::new(0),
+        })
+    }
+
+    /// The current virtual instant.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now.get()
+    }
+
+    /// Total callbacks executed so far (diagnostic).
+    pub fn events_executed(&self) -> u64 {
+        self.executed.get()
+    }
+
+    /// Number of events currently pending (including logically cancelled
+    /// ones that have not been popped yet).
+    pub fn pending(&self) -> usize {
+        self.queue.borrow().len()
+    }
+
+    /// Schedule `f` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is a bug in the caller; it panics in debug
+    /// builds and clamps to `now` in release builds.
+    pub fn schedule_at(&self, at: Time, f: impl FnOnce() + 'static) -> EventId {
+        debug_assert!(
+            at >= self.now(),
+            "scheduling into the past: {:?} < {:?}",
+            at,
+            self.now()
+        );
+        let at = at.max(self.now());
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        self.queue.borrow_mut().push(Entry {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+        EventId(seq)
+    }
+
+    /// Schedule `f` to run after delay `d`.
+    pub fn schedule_in(&self, d: Dur, f: impl FnOnce() + 'static) -> EventId {
+        self.schedule_at(self.now().saturating_add(d), f)
+    }
+
+    /// Cancel a pending event. No-op if it already fired or was cancelled.
+    pub fn cancel(&self, id: EventId) {
+        self.cancelled.borrow_mut().insert(id.0);
+    }
+
+    /// Pop and execute the next event. Returns `false` when the calendar is
+    /// empty (cancelled events are skipped transparently).
+    pub fn step(&self) -> bool {
+        loop {
+            let entry = match self.queue.borrow_mut().pop() {
+                Some(e) => e,
+                None => return false,
+            };
+            if self.cancelled.borrow_mut().remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now());
+            self.now.set(entry.at);
+            self.executed.set(self.executed.get() + 1);
+            (entry.f)();
+            return true;
+        }
+    }
+
+    /// Run until the calendar is empty.
+    ///
+    /// Most experiments instead use [`World::run_until`] because keepalive
+    /// timers and monitors re-arm themselves forever.
+    pub fn run(&self) {
+        while self.step() {}
+    }
+
+    /// Run every event scheduled at or before `deadline`, then advance the
+    /// clock to exactly `deadline`.
+    pub fn run_until(&self, deadline: Time) {
+        loop {
+            let next_at = {
+                let q = self.queue.borrow();
+                match q.peek() {
+                    Some(e) => e.at,
+                    None => break,
+                }
+            };
+            if next_at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now() < deadline {
+            self.now.set(deadline);
+        }
+    }
+
+    /// Run for a span of virtual time from the current instant.
+    pub fn run_for(&self, d: Dur) {
+        let deadline = self.now().saturating_add(d);
+        self.run_until(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn fifo_at_same_instant() {
+        let w = World::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..10 {
+            let o = order.clone();
+            w.schedule_at(Time(100), move || o.borrow_mut().push(i));
+        }
+        w.run();
+        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_ordering() {
+        let w = World::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, t) in [(0u32, 300u64), (1, 100), (2, 200)] {
+            let o = order.clone();
+            w.schedule_at(Time(t), move || o.borrow_mut().push(i));
+        }
+        w.run();
+        assert_eq!(*order.borrow(), vec![1, 2, 0]);
+        assert_eq!(w.now(), Time(300));
+    }
+
+    #[test]
+    fn cancellation() {
+        let w = World::new();
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        let id = w.schedule_in(Dur::nanos(5), move || h.set(h.get() + 1));
+        let h2 = hits.clone();
+        w.schedule_in(Dur::nanos(6), move || h2.set(h2.get() + 10));
+        w.cancel(id);
+        w.cancel(id); // double-cancel is a no-op
+        w.run();
+        assert_eq!(hits.get(), 10);
+    }
+
+    #[test]
+    fn nested_scheduling() {
+        let w = World::new();
+        let hits = Rc::new(Cell::new(0u32));
+        let wc = w.clone();
+        let h = hits.clone();
+        w.schedule_in(Dur::nanos(1), move || {
+            let h2 = h.clone();
+            wc.schedule_in(Dur::nanos(1), move || h2.set(h2.get() + 1));
+        });
+        w.run();
+        assert_eq!(hits.get(), 1);
+        assert_eq!(w.now(), Time(2));
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let w = World::new();
+        w.schedule_at(Time(50), || {});
+        w.schedule_at(Time(5000), || {});
+        w.run_until(Time(100));
+        assert_eq!(w.now(), Time(100));
+        assert_eq!(w.pending(), 1, "later event still queued");
+        w.run();
+        assert_eq!(w.now(), Time(5000));
+    }
+
+    #[test]
+    fn run_for_periodic_timer() {
+        // A self-rearming timer must be stoppable via run_for.
+        let w = World::new();
+        let count = Rc::new(Cell::new(0u64));
+        fn arm(w: &Rc<World>, count: Rc<Cell<u64>>) {
+            let wc = w.clone();
+            w.schedule_in(Dur::micros(10), move || {
+                count.set(count.get() + 1);
+                arm(&wc.clone(), count);
+            });
+        }
+        arm(&w, count.clone());
+        w.run_for(Dur::millis(1));
+        assert_eq!(count.get(), 100);
+        assert_eq!(w.now(), Time(1_000_000));
+    }
+
+    #[test]
+    fn events_executed_counts() {
+        let w = World::new();
+        for _ in 0..7 {
+            w.schedule_in(Dur::nanos(1), || {});
+        }
+        w.run();
+        assert_eq!(w.events_executed(), 7);
+    }
+}

@@ -1,0 +1,119 @@
+//! Pangu cluster demo: deploy block + chunk servers, drive ESSD and X-DB
+//! front-ends, survive a chunk-server crash, and print the monitoring
+//! views the production systems rely on (XR-Stat, health rows).
+//!
+//! Run with: `cargo run --example pangu_cluster`
+
+use std::rc::Rc;
+
+use xrdma_analysis::monitor::Monitor;
+use xrdma_analysis::xrstat;
+use xrdma_apps::essd::EssdConfig;
+use xrdma_apps::pangu::{Pangu, PanguConfig};
+use xrdma_apps::xdb::XdbConfig;
+use xrdma_apps::{EssdFrontend, LoadSchedule, XdbFrontend};
+use xrdma_core::XrdmaConfig;
+use xrdma_fabric::{Fabric, FabricConfig};
+use xrdma_rnic::{CmConfig, ConnManager, RnicConfig};
+use xrdma_sim::{Dur, SimRng, World};
+
+fn main() {
+    let world = World::new();
+    let rng = SimRng::new(7);
+    // A pod: 4 racks × 4 hosts behind 2 leaves.
+    let fabric = Fabric::new(world.clone(), FabricConfig::pod(4, 4, 2), &rng);
+    let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
+
+    let pangu = Pangu::deploy(
+        &fabric,
+        &cm,
+        PanguConfig {
+            block_servers: 4,
+            chunk_servers: 8,
+            ..Default::default()
+        },
+        RnicConfig::default(),
+        XrdmaConfig::default(),
+        &rng,
+    );
+    world.run_for(Dur::millis(300));
+    assert!(pangu.mesh_complete());
+    println!(
+        "cluster up: {} block × {} chunk servers, {} QPs on block side",
+        pangu.blocks.len(),
+        pangu.chunk_ctxs.len(),
+        pangu.block_qp_count()
+    );
+
+    // Monitoring.
+    let monitor = Monitor::new(world.clone(), Dur::millis(100));
+    for b in &pangu.blocks {
+        monitor.track(&b.ctx);
+    }
+
+    // Front-ends: ESSD on blocks 0-1, X-DB on blocks 2-3.
+    let mut frontends = Vec::new();
+    for b in &pangu.blocks[..2] {
+        let fe = EssdFrontend::new(
+            b,
+            EssdConfig::default(),
+            LoadSchedule::steady(),
+            rng.fork(&format!("essd-{}", b.ctx.node())),
+        );
+        fe.run_for(Dur::secs(2));
+        frontends.push(fe);
+    }
+    let mut xdbs = Vec::new();
+    for b in &pangu.blocks[2..] {
+        let fe = XdbFrontend::new(
+            b,
+            XdbConfig::default(),
+            LoadSchedule::steady(),
+            rng.fork(&format!("xdb-{}", b.ctx.node())),
+        );
+        fe.run_for(Dur::secs(2));
+        xdbs.push(fe);
+    }
+
+    // Let it run, then kill a chunk server mid-flight.
+    world.run_for(Dur::millis(800));
+    println!("crashing chunk server {} ...", pangu.chunk_nodes[3]);
+    pangu.chunk_ctxs[3].rnic().crash();
+    world.run_for(Dur::millis(1500));
+
+    // Report.
+    let essd_ios: u64 = frontends.iter().map(|f| f.completed.get()).sum();
+    let xdb_tx: u64 = xdbs.iter().map(|f| f.completed.get()).sum();
+    println!(
+        "ESSD completed {} × 128KiB writes (p99 {:.0} µs)",
+        essd_ios,
+        frontends[0].p99_us()
+    );
+    println!(
+        "X-DB completed {} transactions (p99 {:.0} µs)",
+        xdb_tx,
+        xdbs[0].p99_us()
+    );
+    println!(
+        "cluster total {} replicated writes, {} chunk ops",
+        pangu.total_completed(),
+        pangu.chunk_writes.get()
+    );
+
+    // The dead chunk server was detected by keepalive and removed.
+    let b0 = &pangu.blocks[0];
+    println!(
+        "block 0 live chunk channels after crash: {} (keepalive failures: {})",
+        b0.chunk_channels(),
+        b0.ctx.stats().keepalive_failures
+    );
+
+    // XR-Stat connection table for block server 0.
+    let rows = xrstat::connection_table(&b0.ctx);
+    print!("{}", xrstat::render_table(&rows));
+    println!("{}", xrstat::fabric_health(&fabric));
+    let _ = Rc::strong_count(&monitor);
+    println!("pangu_cluster OK");
+    assert!(essd_ios > 100, "ESSD made progress");
+    assert!(xdb_tx > 500, "X-DB made progress");
+}

@@ -1,0 +1,1 @@
+//! Example-only crate; the runnable examples live in this directory.

@@ -1,0 +1,289 @@
+//! Property-based tests over the core data structures and protocol
+//! invariants (DESIGN.md §6): the seq-ack window, the wire header, the
+//! sparse memory backing, fragmentation arithmetic, ECMP bounds, and the
+//! histogram.
+
+use proptest::prelude::*;
+
+use xrdma_core::proto::{Header, LargeDesc, MsgKind, TraceHdr};
+use xrdma_core::seqack::{RxAccept, RxWindow, TxWindow};
+use xrdma_fabric::ecmp_hash;
+use xrdma_rnic::mem::MemTable;
+use xrdma_rnic::{AccessFlags, PageKind, RnicConfig};
+use xrdma_sim::stats::Histogram;
+
+proptest! {
+    /// The seq-ack pair never deadlocks, never delivers out of order or
+    /// twice, and the sender window never exceeds its depth — under any
+    /// interleaving of send / complete / ack actions.
+    #[test]
+    fn seqack_window_invariants(
+        depth in 2u32..32,
+        actions in proptest::collection::vec(0u8..4, 1..400),
+    ) {
+        let mut tx = TxWindow::new(depth);
+        let mut rx = RxWindow::new(depth);
+        // Messages sent but not yet "arrived" at the receiver.
+        let mut wire: std::collections::VecDeque<u32> = Default::default();
+        // Arrived but not yet completed (e.g. large reads in flight).
+        let mut pending: Vec<u32> = Vec::new();
+        let mut delivered: Vec<u32> = Vec::new();
+
+        for a in actions {
+            match a {
+                // Sender: send if window open.
+                0 => {
+                    if tx.can_send() {
+                        wire.push_back(tx.next_seq());
+                    }
+                }
+                // Receiver: accept the next arrival.
+                1 => {
+                    if let Some(seq) = wire.pop_front() {
+                        match rx.on_arrival(seq) {
+                            RxAccept::Fresh => pending.push(seq),
+                            RxAccept::Duplicate => prop_assert!(false, "no dups on a loss-free wire"),
+                        }
+                    }
+                }
+                // Receiver: complete a random pending message (out of order).
+                2 => {
+                    if !pending.is_empty() {
+                        let i = pending.len() / 2;
+                        let seq = pending.remove(i);
+                        delivered.extend(rx.on_complete(seq));
+                    }
+                }
+                // Ack flows back to the sender.
+                _ => {
+                    let ack = rx.take_ack();
+                    let _ = tx.on_ack(ack).count();
+                }
+            }
+            prop_assert!(tx.in_flight() < depth, "window bound");
+        }
+        // Deliveries are exactly 0,1,2,... in order.
+        for (i, &seq) in delivered.iter().enumerate() {
+            prop_assert_eq!(seq, i as u32, "in-order exactly-once delivery");
+        }
+        // Drain everything: no deadlock at quiescence.
+        while let Some(seq) = wire.pop_front() {
+            rx.on_arrival(seq);
+            pending.push(seq);
+        }
+        pending.sort_unstable();
+        for seq in pending.drain(..) {
+            delivered.extend(rx.on_complete(seq));
+        }
+        let _ = tx.on_ack(rx.take_ack()).count();
+        prop_assert_eq!(tx.in_flight(), 0, "all acked at quiescence");
+    }
+
+    /// Header encode/decode is a bijection over its field space.
+    #[test]
+    fn header_roundtrip(
+        kind in 0u8..6,
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        rpc in any::<u32>(),
+        len in any::<u64>(),
+        large in proptest::option::of((any::<u64>(), any::<u32>())),
+        trace in proptest::option::of((any::<u64>(), any::<u64>())),
+    ) {
+        let kind = match kind {
+            0 => MsgKind::Request,
+            1 => MsgKind::Response,
+            2 => MsgKind::OneWay,
+            3 => MsgKind::Ack,
+            4 => MsgKind::Nop,
+            _ => MsgKind::Close,
+        };
+        let mut h = Header::new(kind, seq, ack, rpc, len);
+        h.large = large.map(|(addr, rkey)| LargeDesc { addr, rkey });
+        h.trace = trace.map(|(t1_ns, trace_id)| TraceHdr { t1_ns, trace_id });
+        let enc = h.encode();
+        let (dec, used) = Header::decode(&enc).expect("decode");
+        prop_assert_eq!(used, enc.len());
+        prop_assert_eq!(dec, h);
+    }
+
+    /// Decoding arbitrary bytes never panics, and never "succeeds" on
+    /// garbage without the magic byte.
+    #[test]
+    fn header_decode_garbage(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        if let Some((_, used)) = Header::decode(&data) {
+            prop_assert!(data[0] == 0xA7);
+            prop_assert!(used <= data.len());
+        }
+    }
+
+    /// Sparse MR backing behaves exactly like a flat byte array under any
+    /// sequence of overlapping writes and reads.
+    #[test]
+    fn sparse_memory_matches_reference(
+        ops in proptest::collection::vec(
+            (0u64..900, proptest::collection::vec(any::<u8>(), 1..64)),
+            1..60
+        ),
+    ) {
+        let table = MemTable::new(0);
+        let pd = table.alloc_pd();
+        let mr = table.reg_mr(&pd, 1024, AccessFlags::FULL, PageKind::Anonymous, true, false);
+        let mut reference = vec![0u8; 1024];
+        for (off, data) in &ops {
+            let off = (*off).min(1024 - data.len() as u64);
+            mr.write(mr.addr + off, data).unwrap();
+            reference[off as usize..off as usize + data.len()].copy_from_slice(data);
+        }
+        let got = mr.read(mr.addr, 1024).unwrap();
+        prop_assert_eq!(got, reference);
+    }
+
+    /// Segmentation covers the message exactly with no gap or overlap.
+    #[test]
+    fn fragmentation_partitions_message(len in 0u64..10_000_000, mtu in 256u32..65536) {
+        let mut cfg = RnicConfig::default();
+        cfg.mtu = mtu;
+        let nsegs = cfg.segments(len);
+        if len == 0 {
+            prop_assert_eq!(nsegs, 1);
+        } else {
+            prop_assert_eq!(nsegs, len.div_ceil(mtu as u64));
+            // Reconstruct the fragment sizes as the engine does.
+            let mut covered = 0u64;
+            for _ in 0..nsegs {
+                let frag = (len - covered).min(mtu as u64);
+                prop_assert!(frag > 0);
+                covered += frag;
+            }
+            prop_assert_eq!(covered, len);
+        }
+    }
+
+    /// ECMP hashing is always in bounds and deterministic.
+    #[test]
+    fn ecmp_bounds(flow in any::<u64>(), stage in any::<u64>(), n in 1usize..64) {
+        let a = ecmp_hash(flow, stage, n);
+        prop_assert!(a < n);
+        prop_assert_eq!(a, ecmp_hash(flow, stage, n));
+    }
+
+    /// Histogram percentiles are monotone and bounded by min/max; the mean
+    /// is exact.
+    #[test]
+    fn histogram_properties(values in proptest::collection::vec(0u64..1_000_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(h.min(), min);
+        prop_assert_eq!(h.max(), max);
+        let exact_mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - exact_mean).abs() < 1e-6);
+        let mut last = 0;
+        for p in [1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= last, "percentiles monotone");
+            prop_assert!(v >= h.min() && v <= h.max());
+            last = v;
+        }
+    }
+
+    /// Bounded-window ack arithmetic survives arbitrary (even hostile) ack
+    /// values without over-advancing.
+    #[test]
+    fn tx_window_hostile_acks(depth in 2u32..64, acks in proptest::collection::vec(any::<u32>(), 1..100)) {
+        let mut tx = TxWindow::new(depth);
+        let mut sent = 0u64;
+        let mut acked = 0u64;
+        for ack in acks {
+            while tx.can_send() {
+                tx.next_seq();
+                sent += 1;
+            }
+            acked += tx.on_ack(ack).count() as u64;
+            prop_assert!(acked <= sent, "never acks the unsent");
+            prop_assert!(tx.in_flight() < depth);
+        }
+    }
+}
+
+mod more_invariants {
+    use proptest::prelude::*;
+    use xrdma_apps::workload::{LoadSchedule, Phase};
+    use xrdma_rnic::dcqcn::{DcqcnConfig, DcqcnRp};
+    use xrdma_sim::{Dur, Time};
+
+    proptest! {
+        /// DCQCN's reaction point stays within physical bounds under any
+        /// interleaving of CNPs, byte progress and timer ticks.
+        #[test]
+        fn dcqcn_bounds(
+            events in proptest::collection::vec((0u8..3, 1u64..1000), 1..400),
+        ) {
+            let cfg = DcqcnConfig::default();
+            let mut rp = DcqcnRp::new(cfg);
+            let mut t = Time::ZERO;
+            for (kind, step) in events {
+                t = t + Dur::micros(step);
+                match kind {
+                    0 => rp.on_cnp(t),
+                    1 => rp.on_bytes_sent(t, step * 4096),
+                    _ => rp.on_timer(t),
+                }
+                prop_assert!(rp.rate_gbps() >= cfg.min_rate_gbps - 1e-9);
+                prop_assert!(rp.rate_gbps() <= cfg.line_rate_gbps + 1e-9);
+                prop_assert!((0.0..=1.0).contains(&rp.alpha()));
+            }
+        }
+
+        /// A cut then sustained quiet always recovers to (near) line rate.
+        #[test]
+        fn dcqcn_always_recovers(cnps in 1u32..20) {
+            let cfg = DcqcnConfig::default();
+            let mut rp = DcqcnRp::new(cfg);
+            let mut t = Time::ZERO;
+            for _ in 0..cnps {
+                t = t + Dur::micros(55);
+                rp.on_cnp(t);
+            }
+            for _ in 0..2000 {
+                t = t + Dur::micros(55);
+                rp.on_timer(t);
+            }
+            prop_assert!(
+                rp.rate_gbps() > cfg.line_rate_gbps * 0.95,
+                "recovered to {}",
+                rp.rate_gbps()
+            );
+        }
+
+        /// Load schedules are total functions: the multiplier is always a
+        /// configured phase multiplier, and interval scaling is inverse.
+        #[test]
+        fn load_schedule_total(
+            phases in proptest::collection::vec((1u64..5000, 1u32..50), 1..6),
+            probes in proptest::collection::vec(any::<u64>(), 1..50),
+        ) {
+            let phase_list: Vec<Phase> = phases
+                .iter()
+                .map(|&(ms, mx)| Phase {
+                    duration: Dur::millis(ms),
+                    multiplier: mx as f64 / 10.0,
+                })
+                .collect();
+            let allowed: Vec<f64> = phase_list.iter().map(|p| p.multiplier).collect();
+            let s = LoadSchedule::new(phase_list);
+            for p in probes {
+                let m = s.multiplier_at(Time(p % (10 * s.cycle().as_nanos())));
+                prop_assert!(allowed.iter().any(|&a| (a - m).abs() < 1e-12));
+                let base = Dur::micros(100);
+                let iv = s.interval_at(Time(p % s.cycle().as_nanos()), base);
+                let expect = base.as_nanos() as f64 / m;
+                prop_assert!((iv.as_nanos() as f64 - expect).abs() <= 1.0);
+            }
+        }
+    }
+}

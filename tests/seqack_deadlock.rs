@@ -1,0 +1,125 @@
+//! §V-B deadlock avoidance: when both sides exhaust their windows
+//! simultaneously, a NOP message must ferry the ACK numbers across and
+//! break the stall (DESIGN.md per-experiment index).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use xrdma_core::{XrdmaChannel, XrdmaConfig, XrdmaContext};
+use xrdma_fabric::{Fabric, FabricConfig, NodeId};
+use xrdma_rnic::{CmConfig, ConnManager, RnicConfig};
+use xrdma_sim::{Dur, SimRng, World};
+
+fn pair(
+    cfg: XrdmaConfig,
+    seed: u64,
+) -> (
+    Rc<World>,
+    Rc<XrdmaContext>,
+    Rc<XrdmaContext>,
+    Rc<XrdmaChannel>,
+    Rc<XrdmaChannel>,
+) {
+    let world = World::new();
+    let rng = SimRng::new(seed);
+    let fabric = Fabric::new(world.clone(), FabricConfig::pair(), &rng);
+    let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
+    let a = XrdmaContext::on_new_node(&fabric, &cm, NodeId(0), RnicConfig::default(), cfg.clone(), &rng);
+    let b = XrdmaContext::on_new_node(&fabric, &cm, NodeId(1), RnicConfig::default(), cfg, &rng);
+    let sch: Rc<RefCell<Option<Rc<XrdmaChannel>>>> = Rc::new(RefCell::new(None));
+    let s2 = sch.clone();
+    b.listen(7, move |ch| *s2.borrow_mut() = Some(ch));
+    let cch: Rc<RefCell<Option<Rc<XrdmaChannel>>>> = Rc::new(RefCell::new(None));
+    let c2 = cch.clone();
+    a.connect(NodeId(1), 7, move |r| *c2.borrow_mut() = Some(r.unwrap()));
+    world.run_for(Dur::millis(20));
+    let ca = cch.borrow().clone().unwrap();
+    let cb = sch.borrow().clone().unwrap();
+    (world, a, b, ca, cb)
+}
+
+/// Tiny windows, very slow consumers on both sides: both windows jam with
+/// queued sends. The per-context timer's NOP probe must keep acks flowing
+/// so the exchange completes.
+#[test]
+fn bidirectional_window_jam_resolves_via_nop() {
+    let mut cfg = XrdmaConfig::default();
+    cfg.inflight_depth = 4; // 3 data slots
+    cfg.ack_after = 64; // standalone-ack threshold too high to help
+    cfg.nop_timeout = Dur::millis(2);
+    cfg.timer_period = Dur::millis(1);
+    let (world, _a, _b, ca, cb) = pair(cfg, 1);
+
+    let got_a = Rc::new(Cell::new(0u32));
+    let got_b = Rc::new(Cell::new(0u32));
+    let ga = got_a.clone();
+    ca.set_on_request(move |_, _, _| ga.set(ga.get() + 1));
+    let gb = got_b.clone();
+    cb.set_on_request(move |_, _, _| gb.set(gb.get() + 1));
+
+    // Both sides enqueue far more one-ways than their windows hold.
+    let n = 200;
+    for _ in 0..n {
+        ca.send_oneway_size(128).unwrap();
+        cb.send_oneway_size(128).unwrap();
+    }
+    assert!(ca.stats().window_stalls > 0, "a jammed");
+    assert!(cb.stats().window_stalls > 0, "b jammed");
+
+    world.run_for(Dur::secs(5));
+    assert_eq!(got_b.get(), n, "a→b all delivered despite the jam");
+    assert_eq!(got_a.get(), n, "b→a all delivered despite the jam");
+    // The breaker fired at least once on some side.
+    let nops = ca.stats().nops_sent + cb.stats().nops_sent;
+    let acks = ca.stats().standalone_acks + cb.stats().standalone_acks;
+    assert!(
+        nops + acks > 0,
+        "some control message carried the acks (nops={nops} acks={acks})"
+    );
+}
+
+/// The reserved slot: a NOP can always be sent even when the data window
+/// is exhausted (depth-1 data slots, 1 reserved).
+#[test]
+fn window_reserves_nop_slot() {
+    let mut cfg = XrdmaConfig::default();
+    cfg.inflight_depth = 2; // exactly one data slot + NOP slot
+    cfg.nop_timeout = Dur::millis(1);
+    cfg.timer_period = Dur::millis(1);
+    let (world, _a, _b, ca, cb) = pair(cfg, 2);
+    let got = Rc::new(Cell::new(0u32));
+    let g = got.clone();
+    cb.set_on_request(move |_, _, _| g.set(g.get() + 1));
+    for _ in 0..50 {
+        ca.send_oneway_size(64).unwrap();
+    }
+    world.run_for(Dur::secs(3));
+    assert_eq!(got.get(), 50, "single-slot window still drains");
+    assert_eq!(
+        xrdma_rnic::QpState::Rts,
+        ca.qp.state(),
+        "QP healthy throughout"
+    );
+}
+
+/// RNR-freedom holds even at the smallest windows under bidirectional
+/// pressure — the invariant Figure 9 plots.
+#[test]
+fn rnr_free_under_bidirectional_jam() {
+    let mut cfg = XrdmaConfig::default();
+    cfg.inflight_depth = 4;
+    cfg.nop_timeout = Dur::millis(2);
+    cfg.timer_period = Dur::millis(1);
+    let (world, a, b, ca, cb) = pair(cfg, 3);
+    cb.set_on_request(|_, _, _| {});
+    ca.set_on_request(|_, _, _| {});
+    for _ in 0..300 {
+        ca.send_oneway_size(256).unwrap();
+        cb.send_oneway_size(256).unwrap();
+    }
+    world.run_for(Dur::secs(5));
+    assert_eq!(a.rnic().stats().rnr_naks_sent, 0);
+    assert_eq!(b.rnic().stats().rnr_naks_sent, 0);
+    assert_eq!(a.rnic().stats().rnr_naks_received, 0);
+    assert_eq!(b.rnic().stats().rnr_naks_received, 0);
+}
