@@ -89,7 +89,8 @@ impl ClockSync {
             if msg.body().as_ref() == b"clocksync" {
                 let ctx = ch.context().expect("context alive");
                 let stamp = ctx.local_clock_ns().to_le_bytes();
-                ch.respond(token, bytes::Bytes::copy_from_slice(&stamp)).ok();
+                ch.respond(token, bytes::Bytes::copy_from_slice(&stamp))
+                    .ok();
             }
         });
     }

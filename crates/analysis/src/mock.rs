@@ -141,10 +141,12 @@ impl MockTransport {
                 match ch.as_ref() {
                     Some(ch) if !ch.is_closed() => {
                         let ctx = ch.context();
-                        let cnps = ctx
-                            .map(|c| c.rnic().stats().cnps_received)
-                            .unwrap_or(0);
-                        let prev = if last_cnps.get() == u64::MAX { cnps } else { last_cnps.get() };
+                        let cnps = ctx.map(|c| c.rnic().stats().cnps_received).unwrap_or(0);
+                        let prev = if last_cnps.get() == u64::MAX {
+                            cnps
+                        } else {
+                            last_cnps.get()
+                        };
                         last_cnps.set(cnps);
                         cnps - prev > cnp_threshold
                     }
@@ -159,11 +161,7 @@ impl MockTransport {
                 }
                 (Transport::Tcp, false) => {
                     quiet_periods.set(quiet_periods.get() + 1);
-                    let rdma_alive = me
-                        .rdma
-                        .borrow()
-                        .as_ref()
-                        .is_some_and(|ch| !ch.is_closed());
+                    let rdma_alive = me.rdma.borrow().as_ref().is_some_and(|ch| !ch.is_closed());
                     if quiet_periods.get() >= 2 && rdma_alive {
                         me.switch_to_rdma();
                     }
@@ -176,7 +174,14 @@ impl MockTransport {
                 tick(me, w2, period, cnp_threshold, last_cnps, quiet_periods)
             });
         }
-        tick(me, world.clone(), period, cnp_threshold, last_cnps, quiet_periods);
+        tick(
+            me,
+            world.clone(),
+            period,
+            cnp_threshold,
+            last_cnps,
+            quiet_periods,
+        );
     }
 
     /// Send a size-only message (performance paths).

@@ -115,11 +115,7 @@ impl XrPerf {
         match self.model {
             FlowModel::Uniform { interval, .. } | FlowModel::ElephantMice { interval, .. } => {
                 // Poisson arrivals around the configured mean.
-                Dur::nanos(
-                    self.rng
-                        .borrow_mut()
-                        .exp(interval.as_nanos() as f64),
-                )
+                Dur::nanos(self.rng.borrow_mut().exp(interval.as_nanos() as f64))
             }
             FlowModel::ClosedLoop { .. } => Dur::ZERO,
         }
@@ -132,7 +128,8 @@ impl XrPerf {
         }
         self.fire_once();
         let me = self.clone();
-        self.world.schedule_in(self.interval(), move || me.tick_open());
+        self.world
+            .schedule_in(self.interval(), move || me.tick_open());
     }
 
     fn fire_once(self: &Rc<Self>) {

@@ -301,7 +301,11 @@ fn filter_delay_slows_but_delivers() {
     c.send_request_size(64, move |_, _| d2.set(w.now().since(t0).as_nanos()))
         .unwrap();
     net.world.run_for(Dur::millis(50));
-    assert!(done.get() > 1_000_000, "rtt {}ns includes injected delay", done.get());
+    assert!(
+        done.get() > 1_000_000,
+        "rtt {}ns includes injected delay",
+        done.get()
+    );
     assert!(filter.delayed.get() >= 1);
 }
 
@@ -426,7 +430,11 @@ fn xrserver_answers_echo_sink_generate() {
     let ch = cch.borrow().clone().unwrap();
 
     let sizes: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
-    for body in [&b"Echo-payload"[..], &b"S-upload"[..], &b"G\x04download"[..]] {
+    for body in [
+        &b"Echo-payload"[..],
+        &b"S-upload"[..],
+        &b"G\x04download"[..],
+    ] {
         let s2 = sizes.clone();
         ch.send_request(Bytes::copy_from_slice(body), move |_, resp| {
             s2.borrow_mut().push(resp.len);
@@ -434,7 +442,11 @@ fn xrserver_answers_echo_sink_generate() {
         .unwrap();
     }
     net.world.run_for(Dur::millis(10));
-    assert_eq!(*sizes.borrow(), vec![12, 16, 4096], "echo / sink / generate");
+    assert_eq!(
+        *sizes.borrow(),
+        vec![12, 16, 4096],
+        "echo / sink / generate"
+    );
     assert_eq!(server.stats.requests.get(), 3);
     assert!(server.report().contains("3 requests"));
 }
@@ -467,8 +479,10 @@ fn mock_auto_switch_on_dead_rdma_path() {
     let mock = xrdma_analysis::MockTransport::new();
     mock.attach_rdma(c.clone());
     // TCP fallback path.
-    let ta = xrdma_rnic::tcp::TcpStack::new(&fabric, a.rnic(), xrdma_rnic::tcp::TcpConfig::default());
-    let tb = xrdma_rnic::tcp::TcpStack::new(&fabric, b.rnic(), xrdma_rnic::tcp::TcpConfig::default());
+    let ta =
+        xrdma_rnic::tcp::TcpStack::new(&fabric, a.rnic(), xrdma_rnic::tcp::TcpConfig::default());
+    let tb =
+        xrdma_rnic::tcp::TcpStack::new(&fabric, b.rnic(), xrdma_rnic::tcp::TcpConfig::default());
     let g = got.clone();
     let mock_b = xrdma_analysis::MockTransport::new();
     let mb = mock_b.clone();

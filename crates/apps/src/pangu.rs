@@ -135,9 +135,7 @@ impl BlockServer {
                             bs.completed.set(bs.completed.get() + 1);
                             let lat = world.now().since(t0);
                             bs.latency.borrow_mut().record(lat.as_nanos());
-                            bs.iops_series
-                                .borrow_mut()
-                                .record(world.now().nanos(), 1.0);
+                            bs.iops_series.borrow_mut().record(world.now().nanos(), 1.0);
                         } else {
                             bs.failed.set(bs.failed.get() + 1);
                         }
@@ -250,7 +248,8 @@ impl Pangu {
         let mut chunk_nodes = Vec::new();
         for i in 0..cfg.chunk_servers {
             let node = NodeId(cfg.block_servers + i);
-            let ctx = XrdmaContext::on_new_node(fabric, cm, node, rnic_cfg.clone(), xcfg.clone(), rng);
+            let ctx =
+                XrdmaContext::on_new_node(fabric, cm, node, rnic_cfg.clone(), xcfg.clone(), rng);
             let writes = chunk_writes.clone();
             let cctx = ctx.clone();
             ctx.listen(cfg.svc, move |ch| {
@@ -272,7 +271,8 @@ impl Pangu {
         let mut blocks = Vec::new();
         for b in 0..cfg.block_servers {
             let node = NodeId(b);
-            let ctx = XrdmaContext::on_new_node(fabric, cm, node, rnic_cfg.clone(), xcfg.clone(), rng);
+            let ctx =
+                XrdmaContext::on_new_node(fabric, cm, node, rnic_cfg.clone(), xcfg.clone(), rng);
             let bs = BlockServer::new(ctx, cfg.series_bucket);
             bs.connect_all_dup(chunk_nodes.clone(), cfg.svc, cfg.channels_per_peer, || {});
             blocks.push(bs);
@@ -339,11 +339,7 @@ mod tests {
     fn deploy(cfg: PanguConfig) -> (Rc<World>, Pangu) {
         let world = World::new();
         let rng = SimRng::new(9);
-        let fabric = Fabric::new(
-            world.clone(),
-            FabricConfig::pod(4, 4, 2),
-            &rng,
-        );
+        let fabric = Fabric::new(world.clone(), FabricConfig::pod(4, 4, 2), &rng);
         let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
         let pangu = Pangu::deploy(
             &fabric,

@@ -23,9 +23,7 @@ pub struct LoadSchedule {
 impl LoadSchedule {
     pub fn new(phases: Vec<Phase>) -> LoadSchedule {
         assert!(!phases.is_empty());
-        let total = phases
-            .iter()
-            .fold(Dur::ZERO, |acc, p| acc + p.duration);
+        let total = phases.iter().fold(Dur::ZERO, |acc, p| acc + p.duration);
         assert!(total.as_nanos() > 0);
         LoadSchedule { phases, total }
     }

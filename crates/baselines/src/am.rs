@@ -5,14 +5,14 @@
 //! (descriptor + RDMA Read) above `eager_max`.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::{Rc, Weak};
 
+use xrdma_rnic::cq::CqeOpcode;
 use xrdma_rnic::verbs::Payload;
 use xrdma_rnic::{
     AccessFlags, CompletionQueue, Cqe, PageKind, Qp, QpCaps, RecvWr, Rnic, SendOp, SendWr,
 };
-use xrdma_rnic::cq::CqeOpcode;
 use xrdma_sim::{CpuThread, Dur};
 
 use crate::profile::StackProfile;
@@ -33,7 +33,7 @@ pub struct AmEndpoint {
     pub thread: Rc<CpuThread>,
     profile: StackProfile,
     recv_buf_len: u64,
-    recv_bufs: RefCell<HashMap<u64, (u64, u32)>>, // wr_id -> (addr, lkey)
+    recv_bufs: RefCell<BTreeMap<u64, (u64, u32)>>, // wr_id -> (addr, lkey)
     mr_pool: RefCell<Vec<Rc<xrdma_rnic::Mr>>>,
     on_msg: RefCell<Option<Box<dyn Fn(&Rc<AmEndpoint>, u64)>>>,
     inflight: Cell<usize>,
@@ -61,7 +61,10 @@ impl AmEndpoint {
             },
             None,
         );
-        let thread = CpuThread::new(rnic.world().clone(), format!("{}-n{}", profile.name, rnic.node().0));
+        let thread = CpuThread::new(
+            rnic.world().clone(),
+            format!("{}-n{}", profile.name, rnic.node().0),
+        );
         let recv_buf_len = profile.hdr_bytes as u64 + profile.eager_max.min(max_msg) + 64;
         let ep = Rc::new(AmEndpoint {
             rnic: rnic.clone(),
@@ -70,7 +73,7 @@ impl AmEndpoint {
             thread,
             profile,
             recv_buf_len,
-            recv_bufs: RefCell::new(HashMap::new()),
+            recv_bufs: RefCell::new(BTreeMap::new()),
             mr_pool: RefCell::new(Vec::new()),
             on_msg: RefCell::new(None),
             inflight: Cell::new(0),

@@ -46,7 +46,7 @@ pub fn pingpong_am(profile: StackProfile, size: u64, iters: u32, seed: u64) -> P
     let b_nic = Rnic::new(&fabric, NodeId(1), RnicConfig::default(), rng.fork("b"));
     let a = AmEndpoint::new(&a_nic, profile, size.max(4096) * 2);
     let b = AmEndpoint::new(&b_nic, profile, size.max(4096) * 2);
-    Rnic::connect_pair(&a_nic, &a.qp, &b_nic, &b.qp);
+    Rnic::connect_pair(&a_nic, &a.qp, &b_nic, &b.qp).expect("fresh QPs wire cleanly");
     a.start();
     b.start();
 

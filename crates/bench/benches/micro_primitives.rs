@@ -67,7 +67,9 @@ fn bench_histogram(c: &mut Criterion) {
     for v in 0..100_000u64 {
         h.record(v * 37 % 1_000_000);
     }
-    g.bench_function("percentile_p99", |b| b.iter(|| black_box(h.percentile(99.0))));
+    g.bench_function("percentile_p99", |b| {
+        b.iter(|| black_box(h.percentile(99.0)))
+    });
     g.finish();
 }
 

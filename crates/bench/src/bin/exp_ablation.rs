@@ -110,10 +110,7 @@ fn main() {
     rep.row(
         "window depth drives pipelining",
         "deeper window → higher message rate",
-        format!(
-            "depth 2: {:.0}/s, 64: {:.0}/s, 256: {:.0}/s",
-            t2, t64, t256
-        ),
+        format!("depth 2: {:.0}/s, 64: {:.0}/s, 256: {:.0}/s", t2, t64, t256),
         t64 > t2 * 2.0,
     );
     rep.row(

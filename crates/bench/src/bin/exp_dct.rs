@@ -66,14 +66,10 @@ fn rc_mesh(n_targets: u32, msgs: u32, seed: u64) -> (usize, f64) {
     let cq = c.initiator.create_cq(1 << 15);
     let mut qps = Vec::new();
     for (nic, tqp, _) in &c.targets {
-        let qp = c.initiator.create_qp(
-            &pd,
-            cq.clone(),
-            cq.clone(),
-            QpCaps::default(),
-            None,
-        );
-        Rnic::connect_pair(&c.initiator, &qp, nic, tqp);
+        let qp = c
+            .initiator
+            .create_qp(&pd, cq.clone(), cq.clone(), QpCaps::default(), None);
+        Rnic::connect_pair(&c.initiator, &qp, nic, tqp).expect("fresh QPs wire cleanly");
         for i in 0..1024 {
             tqp.post_recv(RecvWr::new(i, 0, 4096, 0)).unwrap();
         }
@@ -121,7 +117,7 @@ fn dct(n_targets: u32, msgs: u32, seed: u64) -> (usize, f64) {
             // The responder side of DCT is created on demand by hardware;
             // our model rewires the pre-provisioned responder stream.
             tqp.modify_to_reset();
-            Rnic::connect_pair(&c.initiator, &qp, nic, tqp);
+            Rnic::connect_pair(&c.initiator, &qp, nic, tqp).expect("fresh QPs wire cleanly");
             for i in 0..1024 {
                 tqp.post_recv(RecvWr::new(i, 0, 4096, 0)).unwrap();
             }
@@ -151,7 +147,7 @@ fn main() {
     // Round-robin over targets in blocks: m%n picks target; with msgs sent
     // in target-major order the switch count is n_targets.
     let msgs_local = n_targets * 64; // 64 consecutive messages per target
-    // The RC mesh doesn't care about order; DCT pays one attach per block.
+                                     // The RC mesh doesn't care about order; DCT pays one attach per block.
     let (rc_qps, rc_per_msg) = rc_mesh(n_targets, msgs_local, 1);
 
     // For DCT locality, send per-target blocks: emulate by making m%n

@@ -24,10 +24,8 @@ fn main() {
     fc.flowctl.enabled = true;
     fc.flowctl.max_outstanding = 2;
 
-    let runs: Vec<(&str, XrdmaConfig, u64)> = vec![
-        ("raw-1MB", raw, 1024 * 1024),
-        ("fc-1MB", fc, 1024 * 1024),
-    ];
+    let runs: Vec<(&str, XrdmaConfig, u64)> =
+        vec![("raw-1MB", raw, 1024 * 1024), ("fc-1MB", fc, 1024 * 1024)];
     let outcomes: Vec<_> = runs
         .into_par_iter()
         .map(|(label, cfg, size)| (label, run_incast(cfg, senders, size, 3, span, 33)))

@@ -44,7 +44,12 @@ fn run(pfc: bool, flow_control: bool, seed: u64) -> Outcome {
     cfg.flowctl.max_outstanding = 2;
 
     let sink = XrdmaContext::on_new_node(
-        &fabric, &cm, NodeId(0), RnicConfig::default(), cfg.clone(), &rng,
+        &fabric,
+        &cm,
+        NodeId(0),
+        RnicConfig::default(),
+        cfg.clone(),
+        &rng,
     );
     let received = Rc::new(Cell::new(0u64));
     let r = received.clone();
@@ -58,11 +63,18 @@ fn run(pfc: bool, flow_control: bool, seed: u64) -> Outcome {
     let mut all = Vec::new();
     for i in 1..=senders {
         let c = XrdmaContext::on_new_node(
-            &fabric, &cm, NodeId(i), RnicConfig::default(), cfg.clone(), &rng,
+            &fabric,
+            &cm,
+            NodeId(i),
+            RnicConfig::default(),
+            cfg.clone(),
+            &rng,
         );
         let slot: Rc<RefCell<Option<Rc<XrdmaChannel>>>> = Rc::new(RefCell::new(None));
         let s2 = slot.clone();
-        c.connect(NodeId(0), 9, move |r| *s2.borrow_mut() = Some(r.expect("connect")));
+        c.connect(NodeId(0), 9, move |r| {
+            *s2.borrow_mut() = Some(r.expect("connect"))
+        });
         all.push((c, slot));
     }
     world.run_for(Dur::millis(100));

@@ -44,9 +44,7 @@ fn main() {
     let reg_huge = nic.reg_mr_cost(mb4, PageKind::Huge).as_micros_f64();
 
     // Data-path latency per mode (4 KiB ping-pong through the middleware).
-    let lat = |kind: PageKind| {
-        pingpong_xrdma("memmode", cfg(kind), 4096, 150, 9).mean_us()
-    };
+    let lat = |kind: PageKind| pingpong_xrdma("memmode", cfg(kind), 4096, 150, 9).mean_us();
     let lat_anon = lat(PageKind::Anonymous);
     let lat_cont = lat(PageKind::Continuous);
     let lat_huge = lat(PageKind::Huge);

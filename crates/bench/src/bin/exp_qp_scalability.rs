@@ -35,7 +35,7 @@ fn latency_with_qps(n_qps: u32, rounds: u32, seed: u64) -> f64 {
     for _ in 0..n_qps {
         let qa = a.create_qp(&pd_a, cq_a.clone(), cq_a.clone(), caps, None);
         let qb = b.create_qp(&pd_b, cq_b.clone(), cq_b.clone(), caps, None);
-        Rnic::connect_pair(&a, &qa, &b, &qb);
+        Rnic::connect_pair(&a, &qa, &b, &qb).expect("fresh QPs wire cleanly");
         for i in 0..4 {
             qb.post_recv(RecvWr::new(i, 0, 4096, 0)).unwrap();
         }
@@ -91,10 +91,7 @@ fn main() {
         println!("{n:>8}  {lat:>14.3}");
     }
     let base = results[0].1;
-    let worst = results
-        .iter()
-        .map(|&(_, l, _, _)| l)
-        .fold(0.0f64, f64::max);
+    let worst = results.iter().map(|&(_, l, _, _)| l).fold(0.0f64, f64::max);
     let degradation = worst / base - 1.0;
 
     let mut rep = Report::new(

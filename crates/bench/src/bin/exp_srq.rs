@@ -79,7 +79,7 @@ fn run(use_srq: bool, seed: u64) -> Outcome {
             },
             srq.clone(),
         );
-        Rnic::connect_pair(&nic, &sqp, &rx, &rqp);
+        Rnic::connect_pair(&nic, &sqp, &rx, &rqp).expect("fresh QPs wire cleanly");
         if srq.is_none() {
             for k in 0..per_qp {
                 rqp.post_recv(RecvWr::new(k, 0, 4096, 0)).unwrap();
@@ -136,8 +136,7 @@ fn run(use_srq: bool, seed: u64) -> Outcome {
             if burst_rng.chance(0.2) {
                 let k = burst_rng.range(20, 60);
                 for _ in 0..k {
-                    let _ =
-                        nic.post_send(qp, SendWr::send(1, Payload::Zero(512)).unsignaled());
+                    let _ = nic.post_send(qp, SendWr::send(1, Payload::Zero(512)).unsignaled());
                 }
             }
         }

@@ -38,9 +38,8 @@ fn main() {
         .map(|(label, cfg, size)| (label, run_incast(cfg, senders, size, 4, span, 42)))
         .collect();
 
-    let get = |label: &str| -> &IncastOutcome {
-        &outcomes.iter().find(|(l, _)| *l == label).unwrap().1
-    };
+    let get =
+        |label: &str| -> &IncastOutcome { &outcomes.iter().find(|(l, _)| *l == label).unwrap().1 };
     let k64 = get("64KB");
     let k128 = get("128KB");
     let k128fc = get("128KB-fc");
@@ -81,7 +80,12 @@ fn main() {
     rep.row(
         "CNP count with fc",
         "1-2% of baseline",
-        format!("{:.1}% ({} -> {})", cnp_ratio * 100.0, k128.cnps, k128fc.cnps),
+        format!(
+            "{:.1}% ({} -> {})",
+            cnp_ratio * 100.0,
+            k128.cnps,
+            k128fc.cnps
+        ),
         cnp_ratio < 0.10,
     );
     rep.row(

@@ -126,9 +126,7 @@ fn main() {
     rep.row(
         "IOPS holds through upgrade",
         "no harm / no jitter (Fig 11b)",
-        format!(
-            "steady {steady_mean:.0}, upgrade mean {upgrade_mean:.0}, min {upgrade_min:.0}"
-        ),
+        format!("steady {steady_mean:.0}, upgrade mean {upgrade_mean:.0}, min {upgrade_min:.0}"),
         upgrade_mean > steady_mean * 0.75,
     );
     let occ_mean = mean(&window(&occ_series, 1.0, 6.0));

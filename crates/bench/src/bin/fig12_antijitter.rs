@@ -64,7 +64,8 @@ fn main() {
     n.world.run_for(Dur::millis(500));
     assert!(pangu.mesh_complete());
 
-    let schedule = LoadSchedule::surge(Dur::millis(1500), Dur::millis(1500), Dur::millis(1500), 3.0);
+    let schedule =
+        LoadSchedule::surge(Dur::millis(1500), Dur::millis(1500), Dur::millis(1500), 3.0);
 
     // ESSD on blocks 0..3, X-DB on blocks 3..6.
     let essds: Vec<_> = pangu.blocks[..3]
@@ -159,8 +160,7 @@ fn main() {
         })
         .collect());
     let xdb_lat = {
-        let all: Vec<Vec<(f64, f64)>> =
-            xdbs.iter().map(|f| f.lat_series.borrow().rows()).collect();
+        let all: Vec<Vec<(f64, f64)>> = xdbs.iter().map(|f| f.lat_series.borrow().rows()).collect();
         let mut out = all[0].clone();
         for s in &all[1..] {
             for (i, &(_, v)) in s.iter().enumerate() {
@@ -180,7 +180,12 @@ fn main() {
     rep.row(
         "ESSD throughput surge",
         "~300% (≈3x)",
-        format!("{:.1}x ({:.0} -> {:.0} MB/s)", e.surge_rate / e.base_rate, e.base_rate, e.surge_rate),
+        format!(
+            "{:.1}x ({:.0} -> {:.0} MB/s)",
+            e.surge_rate / e.base_rate,
+            e.base_rate,
+            e.surge_rate
+        ),
         e.surge_rate / e.base_rate > 2.0,
     );
     rep.row(
@@ -197,7 +202,12 @@ fn main() {
     rep.row(
         "X-DB throughput surge",
         "~3x",
-        format!("{:.1}x ({:.0} -> {:.0} tps)", x.surge_rate / x.base_rate, x.base_rate, x.surge_rate),
+        format!(
+            "{:.1}x ({:.0} -> {:.0} tps)",
+            x.surge_rate / x.base_rate,
+            x.base_rate,
+            x.surge_rate
+        ),
         x.surge_rate / x.base_rate > 2.0,
     );
     rep.row(

@@ -92,7 +92,12 @@ fn run(qp_cache: usize, seed: u64) -> Outcome {
     let t_restart = n.world.now();
     let nodes = pangu.chunk_nodes.clone();
     for b in &pangu.blocks {
-        b.connect_all_dup(nodes.clone(), pangu.cfg.svc, pangu.cfg.channels_per_peer, || {});
+        b.connect_all_dup(
+            nodes.clone(),
+            pangu.cfg.svc,
+            pangu.cfg.channels_per_peer,
+            || {},
+        );
     }
     n.world.run_for(Dur::secs(6));
 
@@ -159,13 +164,21 @@ fn main() {
     rep.row(
         "throughput during establishment",
         "~65% below steady",
-        format!("{:.0}% below", (1.0 - warm.ramp_iops / warm.steady_iops) * 100.0),
+        format!(
+            "{:.0}% below",
+            (1.0 - warm.ramp_iops / warm.steady_iops) * 100.0
+        ),
         warm.ramp_iops < warm.steady_iops * 0.8,
     );
     rep.row(
         "cold restart slower than warm",
         "~3.3x (3 s vs 10 s for 4096 conns)",
-        format!("{:.1}x ({:.1}s vs {:.1}s)", cold.recovery_s / warm.recovery_s.max(0.01), warm.recovery_s, cold.recovery_s),
+        format!(
+            "{:.1}x ({:.1}s vs {:.1}s)",
+            cold.recovery_s / warm.recovery_s.max(0.01),
+            warm.recovery_s,
+            cold.recovery_s
+        ),
         cold.recovery_s > warm.recovery_s,
     );
     rep.series("iops_warm", warm.series);

@@ -37,7 +37,7 @@ fn run_native(seed: u64, intervals: u32) -> Vec<u64> {
     };
     let qa = tx.create_qp(&pd_t, cq_t.clone(), cq_t.clone(), caps, None);
     let qb = rx.create_qp(&pd_r, cq_r.clone(), cq_r.clone(), caps, None);
-    Rnic::connect_pair(&tx, &qa, &rx, &qb);
+    Rnic::connect_pair(&tx, &qa, &rx, &qb).expect("fresh QPs wire cleanly");
 
     // Receiver: 48 receives posted, replenished every 150 µs (the app
     // thread is busy doing storage work between polls). Most bursts fit;
@@ -50,11 +50,7 @@ fn run_native(seed: u64, intervals: u32) -> Vec<u64> {
         let qb2 = qb.clone();
         let cq = cq_r.clone();
         let w = world.clone();
-        fn replenish(
-            qb: Rc<xrdma_rnic::Qp>,
-            cq: Rc<xrdma_rnic::CompletionQueue>,
-            w: Rc<World>,
-        ) {
+        fn replenish(qb: Rc<xrdma_rnic::Qp>, cq: Rc<xrdma_rnic::CompletionQueue>, w: Rc<World>) {
             let drained = cq.poll(usize::MAX).len();
             for i in 0..drained {
                 let _ = qb.post_recv(RecvWr::new(i as u64, 0, 4096, 0));
@@ -122,11 +118,7 @@ fn run_xrdma(seed: u64, intervals: u32) -> (Vec<u64>, u64) {
     {
         let w = n.world.clone();
         let mut burst_rng = n.rng.fork("bursts");
-        fn burst(
-            c: Rc<xrdma_core::XrdmaChannel>,
-            w: Rc<World>,
-            mut rng: SimRng,
-        ) {
+        fn burst(c: Rc<xrdma_core::XrdmaChannel>, w: Rc<World>, mut rng: SimRng) {
             let k = rng.range(4, 40);
             for _ in 0..k {
                 let _ = c.send_oneway_size(1024);

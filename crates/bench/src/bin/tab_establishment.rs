@@ -27,8 +27,7 @@ fn isolated_connect_us(warm: bool, seed: u64) -> f64 {
     if warm {
         // Prime both QP caches and the resolution cache with a
         // connect/close cycle...
-        let done: Rc<RefCell<Option<Rc<xrdma_core::XrdmaChannel>>>> =
-            Rc::new(RefCell::new(None));
+        let done: Rc<RefCell<Option<Rc<xrdma_core::XrdmaChannel>>>> = Rc::new(RefCell::new(None));
         let d = done.clone();
         client.connect(NodeId(1), 7, move |r| *d.borrow_mut() = Some(r.unwrap()));
         n.world.run_for(Dur::millis(20));
@@ -165,13 +164,19 @@ fn main() {
     rep.row(
         "4096-conn storm, X-RDMA (extrapolated)",
         "~3 s",
-        format!("{:.1} s ({count} conns took {warm_storm:.2}s)", warm_storm * scale),
+        format!(
+            "{:.1} s ({count} conns took {warm_storm:.2}s)",
+            warm_storm * scale
+        ),
         (1.5..6.0).contains(&(warm_storm * scale)),
     );
     rep.row(
         "4096-conn storm, rdma_cm only (extrapolated)",
         "~10 s",
-        format!("{:.1} s ({count} conns took {cold_storm:.2}s)", cold_storm * scale),
+        format!(
+            "{:.1} s ({count} conns took {cold_storm:.2}s)",
+            cold_storm * scale
+        ),
         (6.0..16.0).contains(&(cold_storm * scale)),
     );
     rep.row(

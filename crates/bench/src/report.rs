@@ -39,7 +39,13 @@ impl Report {
     }
 
     /// Add a compared metric.
-    pub fn row(&mut self, metric: &str, paper: impl ToString, measured: impl ToString, holds: bool) {
+    pub fn row(
+        &mut self,
+        metric: &str,
+        paper: impl ToString,
+        measured: impl ToString,
+        holds: bool,
+    ) {
         self.rows.push(Row {
             metric: metric.to_string(),
             paper: paper.to_string(),
@@ -64,7 +70,13 @@ impl Report {
             .max()
             .unwrap_or(10)
             .max(6);
-        let pw = self.rows.iter().map(|r| r.paper.len()).max().unwrap_or(8).max(5);
+        let pw = self
+            .rows
+            .iter()
+            .map(|r| r.paper.len())
+            .max()
+            .unwrap_or(8)
+            .max(5);
         let mw = self
             .rows
             .iter()

@@ -112,7 +112,9 @@ pub fn run_incast(
         let c = ctx(&net, i, cfg.clone());
         let slot: Rc<RefCell<Option<Rc<XrdmaChannel>>>> = Rc::new(RefCell::new(None));
         let s2 = slot.clone();
-        c.connect(NodeId(0), 9, move |r| *s2.borrow_mut() = Some(r.expect("connect")));
+        c.connect(NodeId(0), 9, move |r| {
+            *s2.borrow_mut() = Some(r.expect("connect"))
+        });
         all.push((c, slot));
     }
     net.world.run_for(Dur::millis(100));
@@ -131,7 +133,10 @@ pub fn run_incast(
     net.world.run_for(span);
     let elapsed = net.world.now().since(start);
     let c = net.fabric.stats().snapshot();
-    let cnps: u64 = all.iter().map(|(c, _)| c.rnic().stats().cnps_received).sum();
+    let cnps: u64 = all
+        .iter()
+        .map(|(c, _)| c.rnic().stats().cnps_received)
+        .sum();
     let bw_series = series.borrow().rows();
     IncastOutcome {
         delivered_bytes: received.get(),

@@ -3,7 +3,7 @@
 //! per-connection statistics (XR-Stat, §VI-B).
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::{Rc, Weak};
 
 use bytes::{Bytes, BytesMut};
@@ -77,7 +77,11 @@ pub struct XrdmaMsg {
 enum MsgSource {
     Empty,
     /// Body lives in registered memory (receive buffer or memcache).
-    Region { rnic: Rc<Rnic>, lkey: u32, addr: u64 },
+    Region {
+        rnic: Rc<Rnic>,
+        lkey: u32,
+        addr: u64,
+    },
 }
 
 impl XrdmaMsg {
@@ -177,16 +181,16 @@ pub struct XrdmaChannel {
     pub(crate) tx: RefCell<TxWindow>,
     pub(crate) rx: RefCell<RxWindow>,
     /// Sent sequenced messages awaiting the peer's window ack.
-    outgoing: RefCell<HashMap<u32, OutMsg>>,
+    outgoing: RefCell<BTreeMap<u32, OutMsg>>,
     /// Sends blocked on the window.
     pending: RefCell<VecDeque<PendingSend>>,
     /// Received messages awaiting in-order delivery / large fetch.
-    inbox: RefCell<HashMap<u32, InMsg>>,
-    fetches: RefCell<HashMap<u32, LargeFetch>>,
+    inbox: RefCell<BTreeMap<u32, InMsg>>,
+    fetches: RefCell<BTreeMap<u32, LargeFetch>>,
     /// Pre-posted receive slots by wr_id low bits.
-    recv_slots: RefCell<HashMap<u32, RecvSlot>>,
+    recv_slots: RefCell<BTreeMap<u32, RecvSlot>>,
     next_slot: Cell<u32>,
-    rpc_waiters: RefCell<HashMap<u32, RpcWaiter>>,
+    rpc_waiters: RefCell<BTreeMap<u32, RpcWaiter>>,
     next_rpc: Cell<u32>,
     on_request: RefCell<Option<Box<dyn Fn(&Rc<XrdmaChannel>, XrdmaMsg, ReplyToken)>>>,
     on_close: RefCell<Option<Box<dyn Fn(CloseReason)>>>,
@@ -231,13 +235,13 @@ impl XrdmaChannel {
             peer,
             tx: RefCell::new(TxWindow::new(depth)),
             rx: RefCell::new(RxWindow::new(depth)),
-            outgoing: RefCell::new(HashMap::new()),
+            outgoing: RefCell::new(BTreeMap::new()),
             pending: RefCell::new(VecDeque::new()),
-            inbox: RefCell::new(HashMap::new()),
-            fetches: RefCell::new(HashMap::new()),
-            recv_slots: RefCell::new(HashMap::new()),
+            inbox: RefCell::new(BTreeMap::new()),
+            fetches: RefCell::new(BTreeMap::new()),
+            recv_slots: RefCell::new(BTreeMap::new()),
             next_slot: Cell::new(0),
-            rpc_waiters: RefCell::new(HashMap::new()),
+            rpc_waiters: RefCell::new(BTreeMap::new()),
             next_rpc: Cell::new(1),
             on_request: RefCell::new(None),
             on_close: RefCell::new(None),
@@ -421,7 +425,10 @@ impl XrdmaChannel {
     ) -> Result<(), XrdmaError> {
         if self.closed.get() {
             if std::env::var_os("XRDMA_DEBUG").is_some() {
-                eprintln!("[debug] qp{} send {:?} on closed channel", self.qp.qpn.0, kind);
+                eprintln!(
+                    "[debug] qp{} send {:?} on closed channel",
+                    self.qp.qpn.0, kind
+                );
             }
             return Err(XrdmaError::ChannelClosed);
         }
@@ -506,7 +513,12 @@ impl XrdmaChannel {
             hdr.encode()
         };
         let wire_total = if small {
-            head.len() as u64 + if matches!(body, BodySpec::Size(n) if n > 0) { len } else { 0 }
+            head.len() as u64
+                + if matches!(body, BodySpec::Size(n) if n > 0) {
+                    len
+                } else {
+                    0
+                }
         } else {
             head.len() as u64
         };
@@ -577,7 +589,9 @@ impl XrdmaChannel {
 
     /// Drain pending sends while the window has room (called on ack).
     fn drain_pending(self: &Rc<Self>) {
-        let Some(ctx) = self.ctx.upgrade() else { return };
+        let Some(ctx) = self.ctx.upgrade() else {
+            return;
+        };
         loop {
             if !self.tx.borrow().can_send() {
                 break;
@@ -606,7 +620,9 @@ impl XrdmaChannel {
         if self.ctrl_outstanding.get() >= MAX_CTRL_OUTSTANDING {
             return; // bounded; the ack will piggyback on later traffic
         }
-        let Some(ctx) = self.ctx.upgrade() else { return };
+        let Some(ctx) = self.ctx.upgrade() else {
+            return;
+        };
         let ack = self.rx.borrow_mut().take_ack();
         let hdr = Header::new(kind, 0, ack, 0, 0);
         {
@@ -640,7 +656,9 @@ impl XrdmaChannel {
         if self.closed.get() || self.probe_outstanding.get() {
             return;
         }
-        let Some(ctx) = self.ctx.upgrade() else { return };
+        let Some(ctx) = self.ctx.upgrade() else {
+            return;
+        };
         self.probe_outstanding.set(true);
         self.last_probe.set(ctx.world().now());
         self.stats.borrow_mut().keepalive_probes += 1;
@@ -662,7 +680,9 @@ impl XrdmaChannel {
 
     /// A receive completion landed on this channel.
     pub(crate) fn on_recv(self: &Rc<Self>, slot_id: u32, byte_len: u64) {
-        let Some(ctx) = self.ctx.upgrade() else { return };
+        let Some(ctx) = self.ctx.upgrade() else {
+            return;
+        };
         let now = ctx.world().now();
         self.last_rx.set(now);
         let slot = match self.recv_slots.borrow().get(&slot_id) {
@@ -672,7 +692,11 @@ impl XrdmaChannel {
         // Parse the X-RDMA header out of the landed bytes.
         let head_bytes = ctx
             .memcache()
-            .read(&slot.buf, 0, byte_len.min(128).max(crate::proto::BASE_LEN as u64))
+            .read(
+                &slot.buf,
+                0,
+                byte_len.min(128).max(crate::proto::BASE_LEN as u64),
+            )
             .unwrap_or_default();
         let Some((hdr, hdr_len)) = Header::decode(&head_bytes) else {
             // Corrupt / foreign message: drop and repost.
@@ -783,7 +807,14 @@ impl XrdmaChannel {
 
     /// Issue the RDMA Read(s) for a large payload, honouring flow-control
     /// fragmentation (§V-C).
-    fn issue_fetch(self: &Rc<Self>, ctx: &Rc<XrdmaContext>, seq: u32, desc: LargeDesc, len: u64, buf: McBuf) {
+    fn issue_fetch(
+        self: &Rc<Self>,
+        ctx: &Rc<XrdmaContext>,
+        seq: u32,
+        desc: LargeDesc,
+        len: u64,
+        buf: McBuf,
+    ) {
         let fc = ctx.config().flowctl;
         let frag = if fc.enabled { fc.frag_bytes } else { u64::MAX };
         let nfrags = if len == 0 {
@@ -833,7 +864,9 @@ impl XrdmaChannel {
 
     /// A read fragment for `seq` completed.
     pub(crate) fn on_read_done(self: &Rc<Self>, wr_id: u64) {
-        let Some(ctx) = self.ctx.upgrade() else { return };
+        let Some(ctx) = self.ctx.upgrade() else {
+            return;
+        };
         let seq = wr_read_seq(wr_id);
         let finished = {
             let mut fetches = self.fetches.borrow_mut();
@@ -964,7 +997,9 @@ impl XrdmaChannel {
         if newly.is_empty() {
             return;
         }
-        let Some(ctx) = self.ctx.upgrade() else { return };
+        let Some(ctx) = self.ctx.upgrade() else {
+            return;
+        };
         for seq in newly {
             // Algorithm 1: call on_acked(messages[i]) — release pinned
             // buffers; the peer's application has consumed the message.
@@ -1088,15 +1123,15 @@ impl XrdmaChannel {
                 ctx.flow_release();
             }
             // Release receive slots and any pinned buffers.
-            for (_, slot) in self.recv_slots.borrow_mut().drain() {
+            for (_, slot) in std::mem::take(&mut *self.recv_slots.borrow_mut()) {
                 ctx.memcache().release(&slot.buf);
             }
-            for (_, out) in self.outgoing.borrow_mut().drain() {
+            for (_, out) in std::mem::take(&mut *self.outgoing.borrow_mut()) {
                 if let Some(buf) = out.buf {
                     ctx.memcache().release(&buf);
                 }
             }
-            for (_, msg) in self.inbox.borrow_mut().drain() {
+            for (_, msg) in std::mem::take(&mut *self.inbox.borrow_mut()) {
                 if let Some(buf) = msg.buf {
                     ctx.memcache().release(&buf);
                 }

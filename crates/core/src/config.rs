@@ -254,7 +254,10 @@ mod tests {
         assert_eq!(c.flowctl.frag_bytes, 64 * 1024, "§V-C: 64 KB fragments");
         assert_eq!(c.memcache.mr_bytes, 4 * 1024 * 1024, "§IV-E: 4 MB MRs");
         assert!(!c.use_srq, "§VII-F: SRQ supported but disabled by default");
-        assert!(c.inflight_depth < c.cq_size as u32, "§IV-D depth < CQ depth");
+        assert!(
+            c.inflight_depth < c.cq_size as u32,
+            "§IV-D depth < CQ depth"
+        );
     }
 
     #[test]

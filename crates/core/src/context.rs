@@ -7,15 +7,13 @@
 //! dispatches application handlers synchronously on the thread.
 
 use std::cell::{Cell, Ref, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use xrdma_fabric::{Fabric, NodeId};
 use xrdma_rnic::cq::CqeOpcode;
 use xrdma_rnic::mem::Pd;
-use xrdma_rnic::{
-    CompletionQueue, ConnManager, Cqe, Qp, QpCaps, Rnic, RnicConfig, Srq,
-};
+use xrdma_rnic::{CompletionQueue, ConnManager, Cqe, Qp, QpCaps, Rnic, RnicConfig, Srq};
 use xrdma_sim::stats::Histogram;
 use xrdma_sim::{CpuThread, Dur, SimRng, Time, World};
 
@@ -94,7 +92,7 @@ pub struct XrdmaContext {
     config: RefCell<XrdmaConfig>,
     memcache: MemCache,
     qpcache: QpCache,
-    channels: RefCell<HashMap<u32, Rc<XrdmaChannel>>>, // by qpn
+    channels: RefCell<BTreeMap<u32, Rc<XrdmaChannel>>>, // by qpn
     flow: RefCell<FlowState>,
     stats: RefCell<ContextStats>,
     rpc_latency: RefCell<Histogram>,
@@ -103,9 +101,9 @@ pub struct XrdmaContext {
     /// hosts; tests inject skew here.
     pub clock_skew_ns: Cell<i64>,
     next_trace: Cell<u64>,
-    traces: RefCell<HashMap<u64, TraceRecord>>,
+    traces: RefCell<BTreeMap<u64, TraceRecord>>,
     /// Open server-side trace halves (trace_id → server recv local ns).
-    server_traces: RefCell<HashMap<u64, u64>>,
+    server_traces: RefCell<BTreeMap<u64, u64>>,
     slow_log: RefCell<Vec<SlowOp>>,
     instrument: RefCell<Option<Rc<dyn Instrument>>>,
     last_pump_end: Cell<Time>,
@@ -165,7 +163,7 @@ impl XrdmaContext {
             config: RefCell::new(config),
             memcache,
             qpcache,
-            channels: RefCell::new(HashMap::new()),
+            channels: RefCell::new(BTreeMap::new()),
             flow: RefCell::new(FlowState {
                 outstanding: 0,
                 queue: VecDeque::new(),
@@ -174,8 +172,8 @@ impl XrdmaContext {
             rpc_latency: RefCell::new(Histogram::new()),
             clock_skew_ns: Cell::new(0),
             next_trace: Cell::new(1),
-            traces: RefCell::new(HashMap::new()),
-            server_traces: RefCell::new(HashMap::new()),
+            traces: RefCell::new(BTreeMap::new()),
+            server_traces: RefCell::new(BTreeMap::new()),
             slow_log: RefCell::new(Vec::new()),
             instrument: RefCell::new(None),
             last_pump_end: Cell::new(Time::ZERO),
@@ -362,7 +360,9 @@ impl XrdmaContext {
             &self.rnic,
             svc,
             move || {
-                let ctx = me.upgrade().expect("context alive while listening");
+                // A dropped context declines instead of panicking; the
+                // connecting side sees ConnectionRefused.
+                let ctx = me.upgrade()?;
                 let cached = ctx.qpcache.get();
                 {
                     let mut st = ctx.stats.borrow_mut();
@@ -372,7 +372,7 @@ impl XrdmaContext {
                         st.qp_cache_hits += 1;
                     }
                 }
-                (cached.qp, cached.fresh)
+                Some((cached.qp, cached.fresh))
             },
             move |qp, peer| {
                 let Some(ctx) = me2.upgrade() else { return };
@@ -565,7 +565,8 @@ impl XrdmaContext {
         }
         self.last_traffic.set(now);
         self.polling(64);
-        self.last_pump_end.set(self.world.now().max(self.thread.busy_until()));
+        self.last_pump_end
+            .set(self.world.now().max(self.thread.busy_until()));
     }
 
     fn dispatch(self: &Rc<Self>, cqe: Cqe) {
@@ -601,9 +602,7 @@ impl XrdmaContext {
             CqeOpcode::Send => {
                 // Eager sends went through the flow gate; controls did not.
                 if let Some(ch) = ch {
-                    if wr_tag(cqe.wr_id) == crate::channel::TAG_EAGER
-                        && ch.flow_slots.get() > 0
-                    {
+                    if wr_tag(cqe.wr_id) == crate::channel::TAG_EAGER && ch.flow_slots.get() > 0 {
                         ch.flow_slots.set(ch.flow_slots.get() - 1);
                         self.flow_done();
                     }
@@ -703,7 +702,11 @@ impl XrdmaContext {
         st.qp_cache_hits = self.qpcache.hits();
         st.qp_cache_misses = self.qpcache.misses();
         let h = self.rpc_latency.borrow();
-        st.rpc_latency = if h.count() > 0 { Some(h.summary()) } else { None };
+        st.rpc_latency = if h.count() > 0 {
+            Some(h.summary())
+        } else {
+            None
+        };
         st
     }
 

@@ -128,23 +128,22 @@ impl MemCache {
             self.cfg.isolation,
         );
         self.pending_reg_cost.set(
-            self.pending_reg_cost.get()
-                + self.rnic.reg_mr_cost(mr_len, self.page_kind).as_nanos(),
+            self.pending_reg_cost.get() + self.rnic.reg_mr_cost(mr_len, self.page_kind).as_nanos(),
         );
         self.grows.set(self.grows.get() + 1);
         let addr = mr.addr;
+        let (lkey, rkey) = (mr.lkey, mr.rkey);
         arenas.push(Arena {
             mr,
             bump: len,
             live: 1,
         });
         self.in_use.set(self.in_use.get() + len);
-        let a = arenas.last().unwrap();
         Ok(McBuf {
             addr,
             len,
-            lkey: a.mr.lkey,
-            rkey: a.mr.rkey,
+            lkey,
+            rkey,
         })
     }
 

@@ -118,9 +118,7 @@ impl Header {
 
     /// Encoded length of this header.
     pub fn encoded_len(&self) -> usize {
-        BASE_LEN
-            + self.large.map_or(0, |_| LARGE_LEN)
-            + self.trace.map_or(0, |_| TRACE_LEN)
+        BASE_LEN + self.large.map_or(0, |_| LARGE_LEN) + self.trace.map_or(0, |_| TRACE_LEN)
     }
 
     /// Serialize to bytes.

@@ -19,6 +19,8 @@
 //! Naming follows the paper: `seq`/`acked` on the TX side; `wta`/`rta`/
 //! `acked` on the RX side.
 
+use xrdma_sim::invariant;
+
 /// Sender-side window over one channel.
 #[derive(Clone, Debug)]
 pub struct TxWindow {
@@ -65,6 +67,9 @@ impl TxWindow {
     /// Assign the next sequence number (paper: `SEND_MESSAGE: tx.seq++`).
     /// Caller must have checked `can_send`.
     pub fn next_seq(&mut self) -> u32 {
+        // No sequence reuse: a slot is only re-assigned after the previous
+        // occupant was cumulatively acked, which `can_send` guarantees.
+        invariant!(self.can_send(), "window overrun: seq reuse at {}", self.seq);
         debug_assert!(self.can_send(), "window overrun");
         let s = self.seq;
         self.seq = self.seq.wrapping_add(1);
@@ -89,6 +94,15 @@ impl TxWindow {
         };
         let start = self.acked;
         self.acked = self.acked.wrapping_add(newly);
+        // Monotonicity: the cumulative-ack edge never regresses past `seq`
+        // and the window never holds more than `depth` messages.
+        invariant!(
+            self.in_flight() <= self.depth,
+            "ack regression: acked {} seq {} depth {}",
+            self.acked,
+            self.seq,
+            self.depth
+        );
         (0..newly).map(move |i| start.wrapping_add(i))
     }
 
@@ -156,7 +170,7 @@ impl RxWindow {
             return RxAccept::Duplicate;
         }
         let next = self.wta;
-        if seq == next {
+        let verdict = if seq == next {
             self.wta = self.wta.wrapping_add(1);
             self.recved[(seq % self.depth) as usize] = false;
             RxAccept::Fresh
@@ -168,7 +182,29 @@ impl RxWindow {
             // un-recved, which stalls rta — visible in tests).
             self.wta = seq.wrapping_add(1);
             RxAccept::Fresh
-        }
+        };
+        self.check_edges();
+        verdict
+    }
+
+    /// Window-edge invariants (checked under `debug_invariants`):
+    /// `rta ≤ wta ≤ rta + depth` and the last transmitted ack never leads
+    /// `rta` — an ack for an unconsumed message would break the RNR-free
+    /// construction.
+    fn check_edges(&self) {
+        invariant!(
+            self.wta.wrapping_sub(self.rta) <= self.depth,
+            "rx window wider than depth: rta {} wta {} depth {}",
+            self.rta,
+            self.wta,
+            self.depth
+        );
+        invariant!(
+            self.rta.wrapping_sub(self.acked_sent) <= self.depth,
+            "transmitted ack {} leads rta {}",
+            self.acked_sent,
+            self.rta
+        );
     }
 
     /// Mark a message completed (small message processed, or
@@ -187,6 +223,7 @@ impl RxWindow {
             out.push(self.rta);
             self.rta = self.rta.wrapping_add(1);
         }
+        self.check_edges();
         out
     }
 
@@ -299,7 +336,11 @@ mod tests {
         rx.on_complete(0);
         assert_eq!(rx.on_arrival(0), RxAccept::Duplicate);
         rx.on_arrival(1);
-        assert_eq!(rx.on_arrival(1), RxAccept::Duplicate, "received, unconsumed");
+        assert_eq!(
+            rx.on_arrival(1),
+            RxAccept::Duplicate,
+            "received, unconsumed"
+        );
     }
 
     #[test]
@@ -346,5 +387,31 @@ mod tests {
     #[should_panic(expected = "window needs")]
     fn tiny_window_rejected() {
         TxWindow::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window overrun")]
+    fn invariant_rejects_seq_reuse() {
+        let mut tx = TxWindow::new(2);
+        tx.next_seq(); // the single data slot
+        tx.next_seq(); // overrun: would reuse a live slot
+    }
+
+    #[test]
+    fn rx_edges_hold_under_sustained_traffic() {
+        // Many full window cycles of in-order traffic: `check_edges` runs
+        // on every arrival/completion and must never trip.
+        let depth = 4u32;
+        let mut rx = RxWindow::new(depth);
+        let mut tx = TxWindow::new(depth);
+        for _ in 0..20 {
+            while tx.can_send() {
+                let s = tx.next_seq();
+                assert_eq!(rx.on_arrival(s), RxAccept::Fresh);
+                rx.on_complete(s);
+            }
+            tx.on_ack(rx.take_ack()).count();
+        }
+        assert_eq!(tx.in_flight(), 0);
     }
 }

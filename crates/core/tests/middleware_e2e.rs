@@ -110,7 +110,11 @@ fn large_message_uses_read_replace_write() {
         assert_eq!(msg.len, 256 * 1024);
         let body = msg.body();
         assert_eq!(body.len(), expect.len());
-        assert_eq!(body.as_ref(), expect.as_slice(), "bytes survived the read path");
+        assert_eq!(
+            body.as_ref(),
+            expect.as_slice(),
+            "bytes survived the read path"
+        );
         ch.respond_size(token, 100).unwrap();
     });
     c.send_request(Bytes::from(payload), move |_, _| g.set(true))
@@ -143,7 +147,10 @@ fn rnr_free_under_window_pressure() {
     assert_eq!(count.get(), 2000, "all delivered");
     assert_eq!(server.rnic().stats().rnr_naks_sent, 0, "RNR-free");
     assert_eq!(client.rnic().stats().rnr_naks_received, 0);
-    assert!(c.stats().window_stalls > 0, "window actually gated the burst");
+    assert!(
+        c.stats().window_stalls > 0,
+        "window actually gated the burst"
+    );
 }
 
 #[test]
@@ -158,16 +165,9 @@ fn keepalive_detects_dead_peer_and_releases_channel() {
     let rng = SimRng::new(4);
     let fabric = Fabric::new(world.clone(), FabricConfig::pair(), &rng);
     let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
-    let client = XrdmaContext::on_new_node(
-        &fabric,
-        &cm,
-        NodeId(0),
-        rnic_cfg.clone(),
-        cfg.clone(),
-        &rng,
-    );
-    let server =
-        XrdmaContext::on_new_node(&fabric, &cm, NodeId(1), rnic_cfg, cfg, &rng);
+    let client =
+        XrdmaContext::on_new_node(&fabric, &cm, NodeId(0), rnic_cfg.clone(), cfg.clone(), &rng);
+    let server = XrdmaContext::on_new_node(&fabric, &cm, NodeId(1), rnic_cfg, cfg, &rng);
     let net = Net {
         world: world.clone(),
         fabric,
@@ -492,7 +492,10 @@ fn backpressure_error_at_flow_queue_cap() {
     // Back off and drain: the channel recovers fully.
     net.world.run_for(Dur::secs(1));
     assert_eq!(s.stats().msgs_received, accepted, "accepted all delivered");
-    assert!(c.send_oneway_size(1024).is_ok(), "accepts again after drain");
+    assert!(
+        c.send_oneway_size(1024).is_ok(),
+        "accepts again after drain"
+    );
 }
 
 #[test]

@@ -35,8 +35,7 @@ impl EcnConfig {
         } else if q >= self.kmax_bytes {
             1.0
         } else {
-            self.pmax * (q - self.kmin_bytes) as f64
-                / (self.kmax_bytes - self.kmin_bytes) as f64
+            self.pmax * (q - self.kmin_bytes) as f64 / (self.kmax_bytes - self.kmin_bytes) as f64
         }
     }
 }

@@ -98,12 +98,7 @@ impl Fabric {
         for h in 0..topo.n_hosts() {
             let t = topo.tor_of(NodeId(h)) as usize;
             // Up direction: host NIC egress into the ToR.
-            let up = mk_port_into_switch(
-                format!("host{h}->tor{t}"),
-                cfg.link_gbps,
-                &tors[t],
-                true,
-            );
+            let up = mk_port_into_switch(format!("host{h}->tor{t}"), cfg.link_gbps, &tors[t], true);
             host_ports.push(up);
             // Down direction: ToR egress to the host.
             let down = Port::new(
@@ -135,12 +130,8 @@ impl Fabric {
                     false,
                 );
                 tor_ports[t].push(up);
-                let down = mk_port_into_switch(
-                    format!("leaf{l}->tor{t}"),
-                    cfg.uplink_gbps,
-                    tor,
-                    false,
-                );
+                let down =
+                    mk_port_into_switch(format!("leaf{l}->tor{t}"), cfg.uplink_gbps, tor, false);
                 // Leaf down-ports are laid out per-ToR-within-pod.
                 leaf_ports[l].push(down);
             }
@@ -160,12 +151,8 @@ impl Fabric {
                     false,
                 );
                 leaf_ports[l].push(up);
-                let down = mk_port_into_switch(
-                    format!("spine{s}->leaf{l}"),
-                    cfg.uplink_gbps,
-                    leaf,
-                    false,
-                );
+                let down =
+                    mk_port_into_switch(format!("spine{s}->leaf{l}"), cfg.uplink_gbps, leaf, false);
                 spine_ports[s].push(down);
             }
         }
@@ -409,7 +396,10 @@ mod tests {
             }
         }
         w.run();
-        assert!(f.stats().snapshot().drops > 0, "lossy class should tail-drop");
+        assert!(
+            f.stats().snapshot().drops > 0,
+            "lossy class should tail-drop"
+        );
     }
 
     #[test]

@@ -132,10 +132,7 @@ mod tests {
             counts[ecmp_hash(flow, 2, n)] += 1;
         }
         for &c in &counts {
-            assert!(
-                (700..1300).contains(&c),
-                "uneven spread: {counts:?}"
-            );
+            assert!((700..1300).contains(&c), "uneven spread: {counts:?}");
         }
     }
 

@@ -12,10 +12,10 @@ use std::rc::{Rc, Weak};
 
 use xrdma_sim::{time::wire_time, Dur, World};
 
+use crate::fabric::NicSink;
 use crate::packet::{Packet, NPRIO};
 use crate::stats::FabricStats;
 use crate::switch::Switch;
-use crate::fabric::NicSink;
 
 /// Where packets leaving this port arrive.
 pub(crate) enum PortDest {
@@ -24,7 +24,9 @@ pub(crate) enum PortDest {
     Switch { sw: Weak<Switch>, ingress: usize },
     /// Arrive at a host NIC. Held weakly: the NIC owns the fabric, not
     /// the other way around.
-    Host { sink: RefCell<Option<Weak<dyn NicSink>>> },
+    Host {
+        sink: RefCell<Option<Weak<dyn NicSink>>>,
+    },
 }
 
 /// A queued packet plus the ingress index it entered the owning switch by
@@ -148,7 +150,8 @@ impl Port {
             return false;
         }
         self.queued_bytes[prio].set(self.queued_bytes[prio].get() + size);
-        self.stats.observe_queue_depth(self.queued_bytes[prio].get());
+        self.stats
+            .observe_queue_depth(self.queued_bytes[prio].get());
         self.queues.borrow_mut()[prio].push_back(QEntry { pkt, ingress });
         self.kick();
         true
@@ -193,6 +196,13 @@ impl Port {
             .pop_front()
             .expect("non-empty checked");
         let size = entry.pkt.size_bytes as u64;
+        xrdma_sim::invariant!(
+            self.queued_bytes[prio].get() >= size,
+            "port queue underflow: prio {} has {} bytes, dequeuing {}",
+            prio,
+            self.queued_bytes[prio].get(),
+            size
+        );
         self.queued_bytes[prio].set(self.queued_bytes[prio].get() - size);
         self.busy.set(true);
         let ser = wire_time(size, self.rate_gbps);
@@ -273,7 +283,9 @@ mod tests {
     }
     impl NicSink for Collect {
         fn deliver(&self, pkt: Packet) {
-            self.got.borrow_mut().push((self.world.now().nanos(), pkt.size_bytes));
+            self.got
+                .borrow_mut()
+                .push((self.world.now().nanos(), pkt.size_bytes));
         }
         fn pfc_pause(&self, _prio: u8, _paused: bool) {}
     }
@@ -301,7 +313,14 @@ mod tests {
     }
 
     fn pkt(size: u32, prio: u8) -> Packet {
-        Packet::new(NodeId(0), NodeId(1), prio, size, 1, Box::new(()) as Box<dyn Any>)
+        Packet::new(
+            NodeId(0),
+            NodeId(1),
+            prio,
+            size,
+            1,
+            Box::new(()) as Box<dyn Any>,
+        )
     }
 
     #[test]
@@ -362,7 +381,10 @@ mod tests {
         let (port, _sink) = host_port(&w, 25.0);
         // Limit is 10_000 bytes.
         assert!(port.enqueue(pkt(6000, 3), usize::MAX));
-        assert!(port.enqueue(pkt(6000, 3), usize::MAX), "first is in flight, queue has room");
+        assert!(
+            port.enqueue(pkt(6000, 3), usize::MAX),
+            "first is in flight, queue has room"
+        );
         // Now ~6000 queued (one transmitting); next 6000 would exceed.
         assert!(!port.enqueue(pkt(6000, 3), usize::MAX));
     }

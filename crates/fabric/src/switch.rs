@@ -11,10 +11,10 @@
 use std::cell::RefCell;
 use std::rc::{Rc, Weak};
 
-use xrdma_sim::{Dur, SimRng, World};
+use xrdma_sim::{invariant, Dur, SimRng, World};
 
 use crate::config::{EcnConfig, PfcConfig};
-use crate::packet::{Packet, NodeId, NPRIO, PRIO_TCP};
+use crate::packet::{NodeId, Packet, NPRIO, PRIO_TCP};
 use crate::port::Port;
 use crate::stats::FabricStats;
 use crate::topology::{NextHop, SwitchAddr, Topology};
@@ -93,7 +93,9 @@ impl Switch {
     pub(crate) fn reserve_ingress(&self) -> usize {
         let mut ups = self.upstream.borrow_mut();
         ups.push(Weak::new());
-        self.ingress.borrow_mut().push([IngressState::default(); NPRIO]);
+        self.ingress
+            .borrow_mut()
+            .push([IngressState::default(); NPRIO]);
         ups.len() - 1
     }
 
@@ -187,7 +189,16 @@ impl Switch {
         let send_xon = {
             let mut ing = self.ingress.borrow_mut();
             let st = &mut ing[ingress][prio as usize];
-            debug_assert!(st.bytes >= size as u64, "ingress accounting underflow");
+            // PFC pause/resume decisions key off this counter; an underflow
+            // here would wedge an XOFF on (or never send one) forever.
+            invariant!(
+                st.bytes >= size as u64,
+                "PFC ingress accounting underflow: ingress {} prio {} has {} bytes, releasing {}",
+                ingress,
+                prio,
+                st.bytes,
+                size
+            );
             st.bytes = st.bytes.saturating_sub(size as u64);
             if st.xoff_sent && st.bytes <= self.pfc.xon_bytes {
                 st.xoff_sent = false;
@@ -206,7 +217,9 @@ impl Switch {
     /// them as a scheduled flag change after the control flight time.
     fn send_pfc(&self, ingress: usize, prio: u8, xoff: bool) {
         let upstream = self.upstream.borrow()[ingress].clone();
-        let Some(upstream) = upstream.upgrade() else { return };
+        let Some(upstream) = upstream.upgrade() else {
+            return;
+        };
         if xoff {
             self.stats.on_pause(self.world.now(), upstream.host_owned);
         } else {

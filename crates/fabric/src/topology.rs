@@ -190,7 +190,13 @@ mod tests {
     fn same_rack_path_is_single_tor() {
         let t = topo();
         let p = t.path(NodeId(0), NodeId(1), 7);
-        assert_eq!(p, vec![SwitchAddr { tier: Tier::Tor, idx: 0 }]);
+        assert_eq!(
+            p,
+            vec![SwitchAddr {
+                tier: Tier::Tor,
+                idx: 0
+            }]
+        );
         assert_eq!(t.hop_count(NodeId(0), NodeId(1)), 1);
     }
 
@@ -202,7 +208,13 @@ mod tests {
         assert_eq!(p[0].tier, Tier::Tor);
         assert_eq!(p[1].tier, Tier::Leaf);
         assert!(t.pod_of_leaf(p[1].idx) == 0, "stays in pod 0");
-        assert_eq!(p[2], SwitchAddr { tier: Tier::Tor, idx: 1 });
+        assert_eq!(
+            p[2],
+            SwitchAddr {
+                tier: Tier::Tor,
+                idx: 1
+            }
+        );
         assert_eq!(t.hop_count(NodeId(0), NodeId(9)), 3);
     }
 
@@ -212,14 +224,23 @@ mod tests {
         let p = t.path(NodeId(0), NodeId(63), 7);
         assert_eq!(p.len(), 5);
         assert_eq!(p[2].tier, Tier::Spine);
-        assert_eq!(p[4], SwitchAddr { tier: Tier::Tor, idx: 7 });
+        assert_eq!(
+            p[4],
+            SwitchAddr {
+                tier: Tier::Tor,
+                idx: 7
+            }
+        );
         assert_eq!(t.hop_count(NodeId(0), NodeId(63)), 5);
     }
 
     #[test]
     fn path_stable_per_flow() {
         let t = topo();
-        assert_eq!(t.path(NodeId(0), NodeId(63), 99), t.path(NodeId(0), NodeId(63), 99));
+        assert_eq!(
+            t.path(NodeId(0), NodeId(63), 99),
+            t.path(NodeId(0), NodeId(63), 99)
+        );
     }
 
     #[test]

@@ -1,0 +1,993 @@
+//! `xrdma-lint` — source-level enforcement of the determinism contract
+//! (DESIGN.md "Determinism contract").
+//!
+//! The whole reproduction rests on the discrete-event simulation being
+//! deterministic: same seed, same CQE timings, same Figure-10 CNP/PFC
+//! dynamics. Nothing in the type system enforces that — a stray
+//! `Instant::now()`, an unseeded `thread_rng()`, or one iteration over a
+//! `HashMap` in an event-scheduling path silently destroys
+//! reproducibility. This crate is a std-only static-analysis pass (the
+//! build environment is offline, so no syn/rustc plumbing) that walks the
+//! workspace sources and enforces:
+//!
+//! * **D1 `wall-clock`** — no `std::time::{Instant, SystemTime}` in the
+//!   simulation crates; virtual time comes from `World::now()` only.
+//! * **D2 `ambient-randomness`** — no `rand::thread_rng` / `rand::random`;
+//!   all randomness flows through `xrdma_sim::rng::SimRng` forks.
+//! * **D3 `nondeterministic-iter`** — no order-dependent iteration over
+//!   `HashMap`/`HashSet` in simulation crates; use `BTreeMap`/`BTreeSet`
+//!   or sort keys first. Lookup-only maps keep `HashMap` with an
+//!   explicit allow annotation.
+//! * **D4 `intra-world-parallelism`** — no `thread::spawn` / `static mut`
+//!   inside a world; parallelism in this project happens across worlds.
+//! * **D5 `unwrap-in-api`** — `unwrap()`/`expect()` on public API paths
+//!   of `xrdma-core`/`xrdma-rnic` must become `XrdmaError`/`VerbsError`
+//!   results (internal invariants go through `debug_invariants`).
+//!
+//! The escape hatch, for reviewed exceptions, is a line annotation in the
+//! source comment — it must carry a reason:
+//!
+//! ```text
+//! // xrdma-lint: allow(nondeterministic-iter) -- lookup-only map, never iterated for scheduling
+//! ```
+//!
+//! placed either on the offending line or on the line directly above it.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The determinism-contract rules, D1–D5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// D1: wall-clock time sources in simulation crates.
+    WallClock,
+    /// D2: ambient (unseeded, order-dependent) randomness.
+    AmbientRandomness,
+    /// D3: order-dependent iteration over hash containers.
+    NondeterministicIter,
+    /// D4: threads or mutable globals inside a world.
+    IntraWorldParallelism,
+    /// D5: unwrap/expect on public API paths.
+    UnwrapInApi,
+}
+
+impl Rule {
+    /// The annotation name, as written in `allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRandomness => "ambient-randomness",
+            Rule::NondeterministicIter => "nondeterministic-iter",
+            Rule::IntraWorldParallelism => "intra-world-parallelism",
+            Rule::UnwrapInApi => "unwrap-in-api",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Rule> {
+        Some(match s {
+            "wall-clock" => Rule::WallClock,
+            "ambient-randomness" => Rule::AmbientRandomness,
+            "nondeterministic-iter" => Rule::NondeterministicIter,
+            "intra-world-parallelism" => Rule::IntraWorldParallelism,
+            "unwrap-in-api" => Rule::UnwrapInApi,
+            _ => return None,
+        })
+    }
+
+    pub const ALL: [Rule; 5] = [
+        Rule::WallClock,
+        Rule::AmbientRandomness,
+        Rule::NondeterministicIter,
+        Rule::IntraWorldParallelism,
+        Rule::UnwrapInApi,
+    ];
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One finding.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub rule: Rule,
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    pub snippet: String,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message,
+            self.snippet.trim()
+        )
+    }
+}
+
+/// An allow annotation that matched no violation (stale escape hatch).
+#[derive(Clone, Debug)]
+pub struct UnusedAllow {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: Rule,
+}
+
+/// Which rules apply to a crate, derived from its role in the system.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleSet {
+    pub rules: &'static [Rule],
+}
+
+/// Simulation crates: everything that runs inside a `World` must be fully
+/// deterministic, so D1–D4 all apply.
+pub const SIM_RULES: RuleSet = RuleSet {
+    rules: &[
+        Rule::WallClock,
+        Rule::AmbientRandomness,
+        Rule::NondeterministicIter,
+        Rule::IntraWorldParallelism,
+    ],
+};
+
+/// `xrdma-core` / `xrdma-rnic` additionally expose the public verbs and
+/// middleware API, where panicking on caller input is a contract bug (D5).
+pub const API_RULES: RuleSet = RuleSet {
+    rules: &[
+        Rule::WallClock,
+        Rule::AmbientRandomness,
+        Rule::NondeterministicIter,
+        Rule::IntraWorldParallelism,
+        Rule::UnwrapInApi,
+    ],
+};
+
+/// Crates the pass walks, with their rule sets. `src/` only: test code may
+/// use whatever it likes (tests run outside worlds).
+pub fn workspace_targets() -> Vec<(&'static str, RuleSet)> {
+    vec![
+        ("crates/sim", SIM_RULES),
+        ("crates/fabric", SIM_RULES),
+        ("crates/core", API_RULES),
+        ("crates/rnic", API_RULES),
+        // The layers above the middleware also run inside worlds; they get
+        // the determinism rules (not D5 — they are experiment drivers, not
+        // a public API).
+        ("crates/apps", SIM_RULES),
+        ("crates/analysis", SIM_RULES),
+        ("crates/baselines", SIM_RULES),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Source model: comment/string stripping with line fidelity
+// ---------------------------------------------------------------------------
+
+/// A source file after lexical preprocessing: `code` has comments and
+/// string/char literal *contents* blanked (structure and line numbers
+/// preserved), `raw` is the original, and `allows` records the escape-hatch
+/// annotations found in comments.
+pub struct PreparedSource {
+    pub code_lines: Vec<String>,
+    pub raw_lines: Vec<String>,
+    /// (line, rule) pairs: annotation on line N covers lines N and N+1.
+    pub allows: Vec<(usize, Rule)>,
+    /// Annotations with a missing/empty reason: hard errors.
+    pub malformed_allows: Vec<usize>,
+}
+
+/// Strip comments and literal contents from Rust source, preserving line
+/// structure so findings carry accurate line numbers. Handles nested block
+/// comments, raw strings with hashes, char literals vs. lifetimes.
+pub fn prepare(source: &str) -> PreparedSource {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                // Line comment: blank to end of line.
+                while i < n && bytes[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let mut depth = 1;
+                out.push_str("  ");
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < n {
+                    if bytes[i] == '\\' && i + 1 < n {
+                        out.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == '"' {
+                        out.push('"');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            'r' if is_raw_string_start(&bytes, i) => {
+                // r"..." or r#"..."# etc.
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < n && bytes[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                // bytes[j] == '"'
+                out.push('r');
+                for _ in 0..hashes {
+                    out.push('#');
+                }
+                out.push('"');
+                i = j + 1;
+                while i < n {
+                    if bytes[i] == '"' && closes_raw(&bytes, i, hashes) {
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push('#');
+                        }
+                        i += 1 + hashes;
+                        break;
+                    }
+                    out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime. A char literal closes within a
+                // few chars; a lifetime has no closing quote.
+                if let Some(close) = char_literal_end(&bytes, i) {
+                    out.push('\'');
+                    for &b in &bytes[i + 1..close] {
+                        out.push(if b == '\n' { '\n' } else { ' ' });
+                    }
+                    out.push('\'');
+                    i = close + 1;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+
+    let code_lines: Vec<String> = out.lines().map(str::to_string).collect();
+    let raw_lines: Vec<String> = source.lines().map(str::to_string).collect();
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for (idx, raw) in raw_lines.iter().enumerate() {
+        if let Some(pos) = raw.find("xrdma-lint:") {
+            let rest = raw[pos + "xrdma-lint:".len()..].trim_start();
+            if let Some(args) = rest.strip_prefix("allow(") {
+                if let Some(end) = args.find(')') {
+                    let name = args[..end].trim();
+                    let tail = args[end + 1..].trim_start();
+                    let has_reason = tail
+                        .strip_prefix("--")
+                        .map(|r| !r.trim().is_empty())
+                        .unwrap_or(false);
+                    match (Rule::from_name(name), has_reason) {
+                        (Some(rule), true) => allows.push((idx + 1, rule)),
+                        _ => malformed.push(idx + 1),
+                    }
+                } else {
+                    malformed.push(idx + 1);
+                }
+            } else {
+                malformed.push(idx + 1);
+            }
+        }
+    }
+
+    PreparedSource {
+        code_lines,
+        raw_lines,
+        allows,
+        malformed_allows: malformed,
+    }
+}
+
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    // Preceded by an identifier char? Then it's part of a name like `for`.
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == '#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == '"'
+}
+
+fn closes_raw(bytes: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// If `bytes[i]` starts a char literal, return the index of its closing
+/// quote; `None` for lifetimes.
+fn char_literal_end(bytes: &[char], i: usize) -> Option<usize> {
+    let n = bytes.len();
+    if i + 1 >= n {
+        return None;
+    }
+    if bytes[i + 1] == '\\' {
+        // Escaped: scan to the next '\'' within a small window.
+        (i + 2..n.min(i + 12)).find(|&j| bytes[j] == '\'' && bytes[j - 1] != '\\')
+    } else if i + 2 < n && bytes[i + 2] == '\'' && bytes[i + 1] != '\'' {
+        Some(i + 2)
+    } else {
+        None
+    }
+}
+
+/// Mark which lines fall inside a `#[cfg(test)]` module. The determinism
+/// contract governs code that runs inside a `World`; unit tests run outside
+/// worlds (and through the harness) and may use whatever std offers.
+pub fn test_mod_lines(code_lines: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code_lines.len()];
+    let mut depth: i32 = 0;
+    // Depths at which a #[cfg(test)] mod body is open.
+    let mut test_depths: Vec<i32> = Vec::new();
+    let mut armed = false;
+    for (idx, line) in code_lines.iter().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.contains("#[cfg(test)]") {
+            armed = true;
+        }
+        let opens_test_mod = armed && (trimmed.starts_with("mod ") || trimmed.contains(" mod "));
+        if !test_depths.is_empty() {
+            in_test[idx] = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if opens_test_mod && test_depths.is_empty() {
+                        test_depths.push(depth);
+                        armed = false;
+                        in_test[idx] = true;
+                    }
+                }
+                '}' => {
+                    if test_depths.last() == Some(&depth) {
+                        test_depths.pop();
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    in_test
+}
+
+// ---------------------------------------------------------------------------
+// The rules
+// ---------------------------------------------------------------------------
+
+/// Identifier-boundary substring search: `needle` must not be embedded in a
+/// longer identifier.
+fn contains_ident(line: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !line[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + needle.len();
+        let after_ok = after >= line.len()
+            || !line[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
+}
+
+/// Per-file analysis context.
+struct FileCtx<'a> {
+    prepared: &'a PreparedSource,
+    /// Identifiers known (by declaration or construction) to be
+    /// `HashMap`/`HashSet` values in this file.
+    hash_idents: Vec<String>,
+}
+
+fn collect_hash_idents(prepared: &PreparedSource) -> Vec<String> {
+    let mut idents = Vec::new();
+    for line in &prepared.code_lines {
+        // Field or binding declarations whose type mentions a hash
+        // container: `name: HashMap<..>`, `name: RefCell<HashMap<..>>`,
+        // `let name: HashSet<..>`, and constructions `name = HashMap::new()`.
+        for marker in ["HashMap", "HashSet"] {
+            if !line.contains(marker) {
+                continue;
+            }
+            if let Some(colon) = line.find(':') {
+                let (head, tail) = line.split_at(colon);
+                if tail.contains(marker) {
+                    if let Some(name) = trailing_ident(head) {
+                        push_unique(&mut idents, name);
+                    }
+                }
+            }
+            if let Some(eq) = line.find('=') {
+                let (head, tail) = line.split_at(eq);
+                if tail.contains(&format!("{marker}::")) {
+                    if let Some(name) = trailing_ident(head.trim_end()) {
+                        push_unique(&mut idents, name);
+                    }
+                }
+            }
+        }
+    }
+    idents
+}
+
+fn push_unique(v: &mut Vec<String>, s: String) {
+    if !v.contains(&s) {
+        v.push(s);
+    }
+}
+
+/// The last identifier in `s` (e.g. the field/binding name before `:`).
+fn trailing_ident(s: &str) -> Option<String> {
+    let s = s.trim_end();
+    let end = s.len();
+    let start = s
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    if start < end {
+        let id = &s[start..end];
+        if id
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            return Some(id.to_string());
+        }
+    }
+    None
+}
+
+/// Iteration-shaped method calls whose order leaks into behavior.
+const ITER_METHODS: [&str; 8] = [
+    ".iter()",
+    ".iter_mut()",
+    ".values()",
+    ".values_mut()",
+    ".keys()",
+    ".drain()",
+    ".retain(",
+    ".into_iter()",
+];
+
+/// The identifier a method chain like `self.qps.borrow().values()` hangs
+/// off: strips interior-mutability adapters, then takes the last path
+/// segment.
+fn chain_base_ident(prefix: &str) -> Option<String> {
+    let mut p = prefix.trim_end();
+    for adapter in [
+        ".borrow()",
+        ".borrow_mut()",
+        ".lock()",
+        ".as_ref()",
+        ".as_mut()",
+    ] {
+        if let Some(stripped) = p.strip_suffix(adapter) {
+            p = stripped;
+        }
+    }
+    trailing_ident(p)
+}
+
+fn check_line(rule: Rule, line_no: usize, ctx: &FileCtx, file: &Path, out: &mut Vec<Violation>) {
+    let line = &ctx.prepared.code_lines[line_no - 1];
+    let mut hit = |message: String| {
+        out.push(Violation {
+            rule,
+            file: file.to_path_buf(),
+            line: line_no,
+            snippet: ctx.prepared.raw_lines[line_no - 1].clone(),
+            message,
+        });
+    };
+    match rule {
+        Rule::WallClock => {
+            for pat in ["Instant", "SystemTime"] {
+                if contains_ident(line, pat) {
+                    hit(format!(
+                        "wall-clock `{pat}` in a simulation crate; use `World::now()` \
+                         (virtual time) instead"
+                    ));
+                    return;
+                }
+            }
+        }
+        Rule::AmbientRandomness => {
+            for pat in ["thread_rng", "from_entropy", "OsRng", "getrandom"] {
+                if contains_ident(line, pat) {
+                    hit(format!(
+                        "ambient randomness `{pat}`; draw from a forked `xrdma_sim::SimRng` \
+                         stream instead"
+                    ));
+                    return;
+                }
+            }
+            if line.contains("rand::random") {
+                hit("ambient randomness `rand::random`; draw from a forked \
+                     `xrdma_sim::SimRng` stream instead"
+                    .to_string());
+            }
+        }
+        Rule::NondeterministicIter => {
+            for m in ITER_METHODS {
+                let mut search = 0;
+                while let Some(pos) = line[search..].find(m) {
+                    let abs = search + pos;
+                    if let Some(base) = chain_base_ident(&line[..abs]) {
+                        if ctx.hash_idents.contains(&base) {
+                            hit(format!(
+                                "order-dependent iteration over hash container `{base}` \
+                                 (`{}`); use BTreeMap/BTreeSet or sort keys first",
+                                m.trim_end_matches('(')
+                            ));
+                            return;
+                        }
+                    }
+                    search = abs + m.len();
+                }
+            }
+            // `for x in &map` / `for x in map` over a known hash ident.
+            if let Some(pos) = line.find("for ") {
+                if let Some(inpos) = line[pos..].find(" in ") {
+                    let expr = line[pos + inpos + 4..].trim();
+                    let expr = expr.split('{').next().unwrap_or(expr).trim();
+                    let expr = expr
+                        .trim_start_matches('&')
+                        .trim_start_matches("mut ")
+                        .trim();
+                    if let Some(base) = trailing_ident(expr) {
+                        if expr
+                            .chars()
+                            .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+                            && ctx.hash_idents.contains(&base)
+                        {
+                            hit(format!(
+                                "order-dependent `for` loop over hash container `{base}`; \
+                                 use BTreeMap/BTreeSet or sort keys first"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Rule::IntraWorldParallelism => {
+            if contains_ident(line, "spawn")
+                && (line.contains("thread::spawn") || line.contains("std::thread::spawn"))
+            {
+                hit(
+                    "`thread::spawn` inside a simulation crate; parallelism happens across \
+                     worlds, never inside one"
+                        .to_string(),
+                );
+            } else if line.contains("static mut ") {
+                hit(
+                    "`static mut` shared state breaks world isolation; thread state through \
+                     the `World`"
+                        .to_string(),
+                );
+            }
+        }
+        Rule::UnwrapInApi => {
+            // Handled by the pub-fn scanner (needs function context).
+        }
+    }
+}
+
+/// Scan for D5: `.unwrap()` / `.expect(` inside the body of a `pub fn`
+/// (not `pub(crate)`), outside `#[cfg(test)]` modules.
+fn check_unwrap_in_api(ctx: &FileCtx, file: &Path, out: &mut Vec<Violation>) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Region {
+        Normal,
+        PubFn,
+        TestMod,
+    }
+    // Stack of (region kind, brace depth at entry).
+    let mut stack: Vec<(Region, i32)> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut pending: Option<Region> = None;
+    let mut cfg_test_armed = false;
+
+    for (idx, line) in ctx.prepared.code_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim_start();
+
+        if trimmed.contains("#[cfg(test)]") {
+            cfg_test_armed = true;
+        }
+        // A `pub fn` signature opens a public region at its `{`. The
+        // signature may span lines; arm and resolve at the next `{`.
+        let is_pub_fn = (trimmed.starts_with("pub fn ") || trimmed.contains(" pub fn "))
+            && !trimmed.starts_with("pub(crate)");
+        if is_pub_fn && pending.is_none() {
+            pending = Some(Region::PubFn);
+        }
+        if cfg_test_armed && trimmed.starts_with("mod ") {
+            pending = Some(Region::TestMod);
+            cfg_test_armed = false;
+        }
+
+        let in_pub_api = stack
+            .iter()
+            .rev()
+            .find(|(r, _)| *r != Region::Normal)
+            .map(|(r, _)| *r == Region::PubFn)
+            .unwrap_or(false);
+
+        // A one-line `pub fn api() { x.unwrap() }` opens and closes its
+        // region within this line, so also check the line body directly.
+        let in_test = stack.iter().any(|(r, _)| *r == Region::TestMod);
+        let check_here = !in_test && (in_pub_api || (is_pub_fn && line.contains('{')));
+        if check_here {
+            let from = if in_pub_api {
+                0
+            } else {
+                line.find('{').unwrap_or(0)
+            };
+            for pat in [".unwrap()", ".expect("] {
+                if line[from..].contains(pat) && !line.contains("unwrap_or") {
+                    out.push(Violation {
+                        rule: Rule::UnwrapInApi,
+                        file: file.to_path_buf(),
+                        line: line_no,
+                        snippet: ctx.prepared.raw_lines[idx].clone(),
+                        message: format!(
+                            "`{}` on a public API path; return an error (XrdmaError / \
+                             VerbsError) or assert via debug_invariants",
+                            pat.trim_end_matches('(')
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    let region = pending.take().unwrap_or(Region::Normal);
+                    stack.push((region, depth));
+                }
+                '}' => {
+                    while let Some(&(_, d)) = stack.last() {
+                        if d >= depth {
+                            stack.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    depth -= 1;
+                }
+                ';' => {
+                    // `pub fn f(...);` in a trait: the pending region never
+                    // opens.
+                    pending = None;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Result of analyzing one source file.
+pub struct FileReport {
+    pub violations: Vec<Violation>,
+    pub unused_allows: Vec<UnusedAllow>,
+    pub malformed_allows: Vec<(PathBuf, usize)>,
+}
+
+/// Analyze one file's source text under a rule set.
+pub fn analyze_source(file: &Path, source: &str, rules: RuleSet) -> FileReport {
+    let prepared = prepare(source);
+    let ctx = FileCtx {
+        hash_idents: collect_hash_idents(&prepared),
+        prepared: &prepared,
+    };
+
+    let in_test = test_mod_lines(&prepared.code_lines);
+    let mut raw_violations = Vec::new();
+    for rule in rules.rules {
+        if *rule == Rule::UnwrapInApi {
+            check_unwrap_in_api(&ctx, file, &mut raw_violations);
+        } else {
+            for line_no in 1..=ctx.prepared.code_lines.len() {
+                check_line(*rule, line_no, &ctx, file, &mut raw_violations);
+            }
+        }
+    }
+    raw_violations.retain(|v| !in_test.get(v.line - 1).copied().unwrap_or(false));
+
+    // Apply allow annotations: an allow on line N suppresses matching
+    // violations on N (trailing comment) and N+1 (comment-above).
+    let mut used = vec![false; prepared.allows.len()];
+    raw_violations.sort_by(|a, b| (a.line, a.rule.name()).cmp(&(b.line, b.rule.name())));
+    let violations: Vec<Violation> = raw_violations
+        .into_iter()
+        .filter(|v| {
+            for (ai, (aline, arule)) in prepared.allows.iter().enumerate() {
+                if *arule == v.rule && (v.line == *aline || v.line == *aline + 1) {
+                    used[ai] = true;
+                    return false;
+                }
+            }
+            true
+        })
+        .collect();
+
+    let unused_allows = prepared
+        .allows
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|((line, rule), _)| UnusedAllow {
+            file: file.to_path_buf(),
+            line: *line,
+            rule: *rule,
+        })
+        .collect();
+
+    let malformed_allows = prepared
+        .malformed_allows
+        .iter()
+        .map(|l| (file.to_path_buf(), *l))
+        .collect();
+
+    FileReport {
+        violations,
+        unused_allows,
+        malformed_allows,
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`.
+pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        let mut children: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        // Deterministic walk order — the lint practices what it preaches.
+        children.sort();
+        for path in children {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Walk the workspace at `root` and analyze every target crate's `src/`.
+pub fn analyze_workspace(root: &Path) -> FileReport {
+    let mut report = FileReport {
+        violations: Vec::new(),
+        unused_allows: Vec::new(),
+        malformed_allows: Vec::new(),
+    };
+    for (rel, rules) in workspace_targets() {
+        let src = root.join(rel).join("src");
+        for file in rust_files(&src) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let display = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            let mut r = analyze_source(&display, &text, rules);
+            report.violations.append(&mut r.violations);
+            report.unused_allows.append(&mut r.unused_allows);
+            report.malformed_allows.append(&mut r.malformed_allows);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, rules: RuleSet) -> Vec<Violation> {
+        analyze_source(Path::new("test.rs"), src, rules).violations
+    }
+
+    #[test]
+    fn d1_catches_instant_now() {
+        let v = run("fn f() { let t = Instant::now(); }", SIM_RULES);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::WallClock);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn d1_catches_use_and_qualified_paths() {
+        assert_eq!(run("use std::time::Instant;", SIM_RULES).len(), 1);
+        assert_eq!(
+            run("let t = std::time::SystemTime::now();", SIM_RULES).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn d1_ignores_comments_strings_and_longer_idents() {
+        assert!(run("// the Instant the window stalled", SIM_RULES).is_empty());
+        assert!(run("let m = \"Instant::now\";", SIM_RULES).is_empty());
+        assert!(run("struct InstantaneousRate;", SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn d2_catches_thread_rng() {
+        let v = run("let x = rand::thread_rng().gen::<u64>();", SIM_RULES);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::AmbientRandomness);
+    }
+
+    #[test]
+    fn d3_catches_hashmap_iteration() {
+        let src = "struct S { qps: RefCell<HashMap<u32, Qp>> }\n\
+                   fn f(s: &S) { for qp in s.qps.borrow().values() { qp.reset(); } }";
+        let v = run(src, SIM_RULES);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::NondeterministicIter);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn d3_catches_for_loop_over_hashset() {
+        let src = "fn f() { let congested = HashSet::new();\n\
+                   for q in &congested { go(q); } }";
+        let v = run(src, SIM_RULES);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn d3_ignores_lookups_and_btreemap() {
+        let src = "struct S { m: HashMap<u32, u64> }\n\
+                   fn f(s: &S) { s.m.get(&1); s.m.insert(2, 3); s.m.contains_key(&4); }";
+        assert!(run(src, SIM_RULES).is_empty());
+        let src2 = "struct S { m: BTreeMap<u32, u64> }\n\
+                    fn f(s: &S) { for v in s.m.values() { use_it(v); } }";
+        assert!(run(src2, SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn d3_allow_annotation_suppresses() {
+        let src = "struct S { m: HashMap<u32, u64> }\n\
+                   // xrdma-lint: allow(nondeterministic-iter) -- lookup cache, order-free sum\n\
+                   fn f(s: &S) -> u64 { s.m.values().sum() }";
+        let report = analyze_source(Path::new("t.rs"), src, SIM_RULES);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.unused_allows.is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let src = "// xrdma-lint: allow(nondeterministic-iter)\nfn f() {}";
+        let report = analyze_source(Path::new("t.rs"), src, SIM_RULES);
+        assert_eq!(report.malformed_allows.len(), 1);
+    }
+
+    #[test]
+    fn unused_allow_reported() {
+        let src = "// xrdma-lint: allow(wall-clock) -- no longer needed\nfn f() {}";
+        let report = analyze_source(Path::new("t.rs"), src, SIM_RULES);
+        assert_eq!(report.unused_allows.len(), 1);
+    }
+
+    #[test]
+    fn d4_catches_thread_spawn_and_static_mut() {
+        assert_eq!(
+            run("fn f() { std::thread::spawn(|| {}); }", SIM_RULES).len(),
+            1
+        );
+        assert_eq!(run("static mut COUNTER: u64 = 0;", SIM_RULES).len(), 1);
+    }
+
+    #[test]
+    fn d5_catches_unwrap_in_pub_fn_only() {
+        let src = "pub fn api(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n\
+                   fn internal(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n\
+                   pub(crate) fn semi(x: Option<u32>) -> u32 {\n    x.unwrap()\n}";
+        let v = run(src, API_RULES);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnwrapInApi);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn determinism_rules_skip_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        let s = HashSet::new();\n        for x in s.iter() { go(x); }\n        let t = Instant::now();\n    }\n}";
+        assert!(run(src, SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn d5_skips_test_modules() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    pub fn helper(x: Option<u32>) -> u32 { x.unwrap() }\n}";
+        assert!(run(src, API_RULES).is_empty());
+    }
+
+    #[test]
+    fn d5_not_applied_under_sim_rules() {
+        let src = "pub fn api(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(run(src, SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_do_not_confuse() {
+        let src = "fn f() { let s = r#\"Instant::now() \"quoted\"\"#; let c = '\"'; let l: &'static str = \"x\"; }";
+        assert!(run(src, SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn planting_instant_in_fabric_like_source_fails() {
+        // The acceptance criterion: an Instant::now() planted in a
+        // simulation crate must produce a violation.
+        let src = "use std::time::Instant;\npub fn now_ns() -> u64 { Instant::now().elapsed().as_nanos() as u64 }";
+        let v = run(src, SIM_RULES);
+        assert!(v.iter().any(|v| v.rule == Rule::WallClock));
+    }
+}

@@ -1,0 +1,76 @@
+//! CLI driver: `cargo run -p xrdma-lint [workspace-root]`.
+//!
+//! Exit status 0 when the workspace is clean; 1 when any determinism-
+//! contract violation (or malformed allow annotation) is found. Unused
+//! allow annotations are reported as warnings but do not fail the run,
+//! so a fix that removes the last offending line doesn't immediately
+//! break CI before the annotation is cleaned up.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    if let Some(arg) = std::env::args().nth(1) {
+        return PathBuf::from(arg);
+    }
+    // crates/lint/../.. is the workspace root when run via `cargo run -p`.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "xrdma-lint: no Cargo.toml at {} — pass the workspace root as the first argument",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = xrdma_lint::analyze_workspace(&root);
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for (file, line) in &report.malformed_allows {
+        println!(
+            "{}:{}: [allow-syntax] malformed annotation; expected \
+             `// xrdma-lint: allow(<rule>) -- <reason>` with a non-empty reason",
+            file.display(),
+            line
+        );
+    }
+    for u in &report.unused_allows {
+        println!(
+            "{}:{}: warning: unused `allow({})` annotation — remove it",
+            u.file.display(),
+            u.line,
+            u.rule
+        );
+    }
+
+    let failures = report.violations.len() + report.malformed_allows.len();
+    if failures == 0 {
+        println!(
+            "xrdma-lint: workspace clean ({} unused allow warning{})",
+            report.unused_allows.len(),
+            if report.unused_allows.len() == 1 {
+                ""
+            } else {
+                "s"
+            }
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xrdma-lint: {failures} violation{} of the determinism contract (see DESIGN.md)",
+            if failures == 1 { "" } else { "s" }
+        );
+        ExitCode::FAILURE
+    }
+}

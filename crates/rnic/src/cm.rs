@@ -101,8 +101,9 @@ impl std::error::Error for CmError {}
 struct Listener {
     rnic: Rc<Rnic>,
     /// Produce a QP for an incoming request: `(qp, fresh)` — `fresh` means
-    /// it was just created (pays `create_qp`); recycled QPs don't.
-    accept: Box<dyn Fn() -> (Rc<Qp>, bool)>,
+    /// it was just created (pays `create_qp`); recycled QPs don't. `None`
+    /// declines the connection (e.g. the owning context is shutting down).
+    accept: Box<dyn Fn() -> Option<(Rc<Qp>, bool)>>,
     /// Invoked once the connection is fully established.
     established: Box<dyn Fn(Rc<Qp>, NodeId)>,
 }
@@ -138,7 +139,7 @@ impl ConnManager {
         &self,
         rnic: &Rc<Rnic>,
         svc: u16,
-        accept: impl Fn() -> (Rc<Qp>, bool) + 'static,
+        accept: impl Fn() -> Option<(Rc<Qp>, bool)> + 'static,
         established: impl Fn(Rc<Qp>, NodeId) + 'static,
     ) {
         self.listeners.borrow_mut().insert(
@@ -193,10 +194,7 @@ impl ConnManager {
         let rnic = rnic.clone();
         // Phase 1+2: address + route resolution (+ client QP creation).
         // Resolution results are cached per (src, dst) pair.
-        let first_time = self
-            .resolved
-            .borrow_mut()
-            .insert((rnic.node(), server));
+        let first_time = self.resolved.borrow_mut().insert((rnic.node(), server));
         let mut lead = if first_time {
             self.jittered(self.cfg.resolve_addr) + self.jittered(self.cfg.resolve_route)
         } else {
@@ -251,18 +249,18 @@ impl ConnManager {
         // server QP extends it.
         let half = exchange / 2;
         self.world.schedule_in(half, move || {
-            let (server_qp, server_fresh, server_node) = {
+            let accepted = {
                 let listeners = me.listeners.borrow();
-                let Some(l) = listeners.get(&(server, svc)) else {
-                    // Listener went away mid-handshake.
-                    drop(listeners);
-                    me.world.schedule_in(half, move || {
-                        done(Err(CmError::ConnectionRefused));
-                    });
-                    return;
-                };
-                let (sqp, fresh) = (l.accept)();
-                (sqp, fresh, l.rnic.node())
+                listeners
+                    .get(&(server, svc))
+                    .and_then(|l| (l.accept)().map(|(sqp, fresh)| (sqp, fresh, l.rnic.node())))
+            };
+            let Some((server_qp, server_fresh, server_node)) = accepted else {
+                // Listener went away mid-handshake, or it declined.
+                me.world.schedule_in(half, move || {
+                    done(Err(CmError::ConnectionRefused));
+                });
+                return;
             };
             debug_assert_eq!(server_node, server);
             let mut rest = half;
@@ -272,7 +270,9 @@ impl ConnManager {
             // Server transitions its QP to RTR immediately (so it can
             // receive as soon as the client's first packet lands) and RTS
             // on the implicit RTU.
-            server_qp.modify_to_init().expect("accept returned non-RESET qp");
+            server_qp
+                .modify_to_init()
+                .expect("accept returned non-RESET qp");
             server_qp.modify_to_rtr(rnic.node(), qp.qpn).unwrap();
             server_qp.modify_to_rts().unwrap();
             // Connection token agreement (starting PSN exchange in the
@@ -347,7 +347,7 @@ mod tests {
         let (w, _f, a, b, cm) = setup();
         let server_qp = mk_qp(&b);
         let sq = server_qp.clone();
-        cm.listen(&b, 7, move || (sq.clone(), true), |_qp, _peer| {});
+        cm.listen(&b, 7, move || Some((sq.clone(), true)), |_qp, _peer| {});
         let client_qp = mk_qp(&a);
         let got: Rc<Cell<Option<bool>>> = Rc::new(Cell::new(None));
         let g = got.clone();
@@ -367,7 +367,7 @@ mod tests {
         let (w, _f, a, b, cm) = setup();
         let server_qp = mk_qp(&b);
         let sq = server_qp.clone();
-        cm.listen(&b, 7, move || (sq.clone(), true), |_, _| {});
+        cm.listen(&b, 7, move || Some((sq.clone(), true)), |_, _| {});
         let t_done: Rc<Cell<Time>> = Rc::new(Cell::new(Time::ZERO));
         let td = t_done.clone();
         let w2 = w.clone();
@@ -387,7 +387,7 @@ mod tests {
         cm.forget_resolution();
         server_qp.modify_to_reset();
         let sq2 = server_qp.clone();
-        cm.listen(&b, 8, move || (sq2.clone(), false), |_, _| {});
+        cm.listen(&b, 8, move || Some((sq2.clone(), false)), |_, _| {});
         let start = w.now();
         let td2 = t_done.clone();
         let w3 = w.clone();
@@ -421,7 +421,7 @@ mod tests {
     fn timeout_when_server_crashed() {
         let (w, _f, a, b, cm) = setup();
         let sq = mk_qp(&b);
-        cm.listen(&b, 7, move || (sq.clone(), true), |_, _| {});
+        cm.listen(&b, 7, move || Some((sq.clone(), true)), |_, _| {});
         b.crash();
         let got = Rc::new(Cell::new(None));
         let g = got.clone();

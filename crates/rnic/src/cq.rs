@@ -171,7 +171,10 @@ mod tests {
             cq.push(cqe(i));
         }
         let got = cq.poll(3);
-        assert_eq!(got.iter().map(|c| c.wr_id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            got.iter().map(|c| c.wr_id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(cq.len(), 2);
         assert_eq!(cq.poll(10).len(), 2);
         assert!(cq.is_empty());

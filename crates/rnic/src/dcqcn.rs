@@ -19,7 +19,7 @@
 //! control coexists with — and is evaluated against — this implementation.
 
 use serde::Serialize;
-use xrdma_sim::{Dur, Time};
+use xrdma_sim::{invariant, Dur, Time};
 
 /// DCQCN tunables (reaction-point unless noted).
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -128,6 +128,33 @@ impl DcqcnRp {
         self.last_alpha_update = now;
         self.last_increase = now;
         self.cut_count += 1;
+        self.check_bounds();
+    }
+
+    /// Rate/alpha bounds (checked under `debug_invariants`): the RP must
+    /// keep `rate` within `[min_rate, line_rate]` and the congestion
+    /// estimate within `[0, 1]` — a rate outside the envelope would let a
+    /// single mis-ordered CNP stall a QP forever or burst past the line.
+    fn check_bounds(&self) {
+        invariant!(
+            self.rate >= self.cfg.min_rate_gbps && self.rate <= self.cfg.line_rate_gbps,
+            "DCQCN rate {} outside [{}, {}]",
+            self.rate,
+            self.cfg.min_rate_gbps,
+            self.cfg.line_rate_gbps
+        );
+        invariant!(
+            (0.0..=1.0).contains(&self.alpha),
+            "DCQCN alpha {} outside [0, 1]",
+            self.alpha
+        );
+        invariant!(
+            self.target >= self.cfg.min_rate_gbps && self.target <= self.cfg.line_rate_gbps,
+            "DCQCN target {} outside [{}, {}]",
+            self.target,
+            self.cfg.min_rate_gbps,
+            self.cfg.line_rate_gbps
+        );
     }
 
     /// Account transmitted bytes (drives the byte-counter stage).
@@ -159,6 +186,7 @@ impl DcqcnRp {
             self.t_stage += 1;
             self.increase(now);
         }
+        self.check_bounds();
     }
 
     /// One increase step; the stage counts select the phase.
@@ -180,6 +208,7 @@ impl DcqcnRp {
             self.rate = (self.rate + self.target) / 2.0;
         }
         self.rate = self.rate.min(self.cfg.line_rate_gbps);
+        self.check_bounds();
     }
 }
 
@@ -247,7 +276,12 @@ mod tests {
             t += Dur::micros(55);
             rp.on_timer(t);
         }
-        assert!(rp.alpha() < a0 * 0.5, "alpha {} !< {}", rp.alpha(), a0 * 0.5);
+        assert!(
+            rp.alpha() < a0 * 0.5,
+            "alpha {} !< {}",
+            rp.alpha(),
+            a0 * 0.5
+        );
     }
 
     #[test]
@@ -295,5 +329,16 @@ mod tests {
         assert!(np.should_send_cnp(Time(0), &c));
         assert!(!np.should_send_cnp(Time(10_000), &c), "within 50us window");
         assert!(np.should_send_cnp(Time(51_000), &c));
+    }
+
+    #[test]
+    #[should_panic(expected = "DCQCN rate")]
+    fn invariant_rejects_rate_outside_envelope() {
+        // A nonsensical config (min above line) makes the CNP cut clamp
+        // the rate above the line: the bounds checker must catch it.
+        let mut c = cfg();
+        c.min_rate_gbps = c.line_rate_gbps * 2.0;
+        let mut rp = DcqcnRp::new(c);
+        rp.on_cnp(Time(0));
     }
 }

@@ -24,8 +24,8 @@
 
 use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -55,7 +55,7 @@ pub enum FilterVerdict {
 use crate::wire::{Bth, FragData, NakKind, TokenedBth, WireOp};
 
 /// Aggregate per-NIC counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
 pub struct RnicStats {
     pub data_pkts_tx: u64,
     pub data_bytes_tx: u64,
@@ -175,13 +175,13 @@ pub struct Rnic {
     /// Weak self-reference so trait-object callbacks can recover `Rc<Self>`.
     me: RefCell<std::rc::Weak<Rnic>>,
     mem: MemTable,
-    qps: RefCell<HashMap<Qpn, Rc<Qp>>>,
+    qps: RefCell<BTreeMap<Qpn, Rc<Qp>>>,
     next_qpn: Cell<u32>,
     next_cq: Cell<u32>,
     next_srq: Cell<u32>,
     injector: RefCell<Injector>,
     /// QPs recovering from a rate cut, ticked by the DCQCN timer.
-    congested: RefCell<HashSet<Qpn>>,
+    congested: RefCell<BTreeSet<Qpn>>,
     dcqcn_tick_armed: Cell<bool>,
     qp_cache: RefCell<TouchCache>,
     mr_cache: RefCell<TouchCache>,
@@ -215,12 +215,12 @@ impl Rnic {
             port: RefCell::new(None),
             me: RefCell::new(std::rc::Weak::new()),
             mem: MemTable::new(node.0),
-            qps: RefCell::new(HashMap::new()),
+            qps: RefCell::new(BTreeMap::new()),
             next_qpn: Cell::new(1),
             next_cq: Cell::new(1),
             next_srq: Cell::new(1),
             injector: RefCell::new(Injector::new()),
-            congested: RefCell::new(HashSet::new()),
+            congested: RefCell::new(BTreeSet::new()),
             dcqcn_tick_armed: Cell::new(false),
             stats: RefCell::new(RnicStats::default()),
             alive: Cell::new(true),
@@ -241,11 +241,13 @@ impl Rnic {
 
     /// The fabric this NIC is attached to.
     pub fn fabric(&self) -> Rc<Fabric> {
+        // xrdma-lint: allow(unwrap-in-api) -- set unconditionally in Rnic::new before the Rc escapes
         self.fabric.borrow().as_ref().expect("attached").clone()
     }
 
     /// The host uplink port (available after construction).
     pub fn port(&self) -> Rc<Port> {
+        // xrdma-lint: allow(unwrap-in-api) -- set unconditionally in Rnic::new before the Rc escapes
         self.port.borrow().as_ref().expect("port installed").clone()
     }
 
@@ -1668,7 +1670,10 @@ impl Rnic {
             return;
         }
         // msg_seq <= next: (re-)execute — reads are idempotent.
-        match self.mem.resolve_remote(rkey, remote_addr, len, false, false) {
+        match self
+            .mem
+            .resolve_remote(rkey, remote_addr, len, false, false)
+        {
             Ok(mr) => {
                 let miss = !self.mr_cache.borrow_mut().touch(rkey);
                 if miss {
@@ -1859,14 +1864,20 @@ impl Rnic {
 
     /// Wire two QPs on (possibly different) RNICs directly to each other,
     /// bypassing connection-establishment latency. Tests and the connection
-    /// manager's final step both use this.
-    pub fn connect_pair(a_nic: &Rc<Rnic>, a: &Rc<Qp>, b_nic: &Rc<Rnic>, b: &Rc<Qp>) {
-        a.modify_to_init().unwrap();
-        a.modify_to_rtr(b_nic.node(), b.qpn).unwrap();
-        a.modify_to_rts().unwrap();
-        b.modify_to_init().unwrap();
-        b.modify_to_rtr(a_nic.node(), a.qpn).unwrap();
-        b.modify_to_rts().unwrap();
+    /// manager's final step both use this. Fails if either QP is not in
+    /// RESET (e.g. already wired or in ERROR after a fault).
+    pub fn connect_pair(
+        a_nic: &Rc<Rnic>,
+        a: &Rc<Qp>,
+        b_nic: &Rc<Rnic>,
+        b: &Rc<Qp>,
+    ) -> Result<(), VerbsError> {
+        a.modify_to_init()?;
+        a.modify_to_rtr(b_nic.node(), b.qpn)?;
+        a.modify_to_rts()?;
+        b.modify_to_init()?;
+        b.modify_to_rtr(a_nic.node(), a.qpn)?;
+        b.modify_to_rts()?;
         // Agree on the connection token (negotiated starting PSN).
         let token = Self::derive_token(
             a_nic.world.now().nanos(),
@@ -1875,20 +1886,18 @@ impl Rnic {
         );
         a.set_conn_token(token);
         b.set_conn_token(token);
+        Ok(())
     }
 
     /// Mix a unique per-connection token (exposed so the connection
     /// manager can do the same agreement).
     pub fn derive_token(now_ns: u64, a: u64, b: u64) -> u64 {
-        let mut h = now_ns
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .rotate_left(17)
+        let mut h = now_ns.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
             ^ a.wrapping_mul(0xFF51_AFD7_ED55_8CCD)
             ^ b.rotate_left(29);
         h ^= h >> 31;
         h.wrapping_mul(0xC4CE_B9FE_1A85_EC53) | 1 // never 0 (reset value)
     }
-
 }
 
 /// Outcome of one transmit attempt.
@@ -1992,7 +2001,14 @@ impl Rnic {
             if fire {
                 if let Some((_, remote_qpn)) = qp.remote() {
                     me.stats.borrow_mut().cnps_sent += 1;
-                    me.send_ctrl(&qp, Bth::Cnp { dst_qpn: remote_qpn }, 2, PRIO_CTRL);
+                    me.send_ctrl(
+                        &qp,
+                        Bth::Cnp {
+                            dst_qpn: remote_qpn,
+                        },
+                        2,
+                        PRIO_CTRL,
+                    );
                 }
             }
         }

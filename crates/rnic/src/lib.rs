@@ -36,10 +36,10 @@ pub mod verbs;
 pub mod wire;
 
 pub use cm::{CmConfig, ConnManager};
+pub use config::PageKind;
 pub use config::RnicConfig;
 pub use cq::{CompletionQueue, Cqe, CqeStatus};
 pub use engine::Rnic;
-pub use config::PageKind;
 pub use mem::{AccessFlags, Mr, Pd};
 pub use qp::{Qp, QpCaps, QpState, Srq};
 pub use verbs::{RecvWr, SendOp, SendWr, VerbsError};

@@ -195,7 +195,10 @@ impl Mr {
 
     /// Bytes actually materialized by the sparse backing (diagnostics).
     pub fn stored_bytes(&self) -> u64 {
-        self.backing.borrow().as_ref().map_or(0, |b| b.stored_bytes())
+        self.backing
+            .borrow()
+            .as_ref()
+            .map_or(0, |b| b.stored_bytes())
     }
 
     /// Bounds/validity check without data movement (used for Zero payloads).
@@ -209,6 +212,7 @@ impl Mr {
         let mut b = self.backing.borrow_mut();
         match b.as_mut() {
             Some(buf) => {
+                // xrdma-lint: allow(unwrap-in-api) -- read(off, 8) returns exactly 8 bytes (validated by offset_of)
                 let old = u64::from_le_bytes(buf.read(off, 8).try_into().unwrap());
                 buf.write(off, &old.wrapping_add(operand).to_le_bytes());
                 Ok(old)
@@ -223,6 +227,7 @@ impl Mr {
         let mut b = self.backing.borrow_mut();
         match b.as_mut() {
             Some(buf) => {
+                // xrdma-lint: allow(unwrap-in-api) -- read(off, 8) returns exactly 8 bytes (validated by offset_of)
                 let old = u64::from_le_bytes(buf.read(off, 8).try_into().unwrap());
                 if old == expect {
                     buf.write(off, &swap.to_le_bytes());
@@ -350,8 +355,7 @@ impl MemTable {
         });
         self.by_rkey.borrow_mut().insert(mr.rkey, mr.clone());
         self.by_lkey.borrow_mut().insert(mr.lkey, mr.clone());
-        self.registered_bytes
-            .set(self.registered_bytes.get() + len);
+        self.registered_bytes.set(self.registered_bytes.get() + len);
         self.mr_count.set(self.mr_count.get() + 1);
         mr
     }
@@ -436,7 +440,14 @@ mod tests {
     #[test]
     fn backed_roundtrip() {
         let (t, pd) = table();
-        let mr = t.reg_mr(&pd, 4096, AccessFlags::FULL, PageKind::Anonymous, true, false);
+        let mr = t.reg_mr(
+            &pd,
+            4096,
+            AccessFlags::FULL,
+            PageKind::Anonymous,
+            true,
+            false,
+        );
         mr.write(mr.addr + 100, b"hello").unwrap();
         assert_eq!(mr.read(mr.addr + 100, 5).unwrap(), b"hello");
     }
@@ -444,7 +455,14 @@ mod tests {
     #[test]
     fn unbacked_reads_zero() {
         let (t, pd) = table();
-        let mr = t.reg_mr(&pd, 64, AccessFlags::FULL, PageKind::Anonymous, false, false);
+        let mr = t.reg_mr(
+            &pd,
+            64,
+            AccessFlags::FULL,
+            PageKind::Anonymous,
+            false,
+            false,
+        );
         mr.write(mr.addr, b"data").unwrap();
         assert_eq!(mr.read(mr.addr, 4).unwrap(), vec![0; 4]);
     }
@@ -452,7 +470,14 @@ mod tests {
     #[test]
     fn out_of_bounds_rejected() {
         let (t, pd) = table();
-        let mr = t.reg_mr(&pd, 100, AccessFlags::FULL, PageKind::Anonymous, true, false);
+        let mr = t.reg_mr(
+            &pd,
+            100,
+            AccessFlags::FULL,
+            PageKind::Anonymous,
+            true,
+            false,
+        );
         assert!(mr.write(mr.addr + 96, b"hello").is_err());
         assert!(mr.read(mr.addr.wrapping_sub(1), 1).is_err());
         assert!(mr.check(mr.addr, 101).is_err());
@@ -462,11 +487,25 @@ mod tests {
     #[test]
     fn access_flags_enforced() {
         let (t, pd) = table();
-        let ro = t.reg_mr(&pd, 64, AccessFlags::REMOTE_READ, PageKind::Anonymous, true, false);
+        let ro = t.reg_mr(
+            &pd,
+            64,
+            AccessFlags::REMOTE_READ,
+            PageKind::Anonymous,
+            true,
+            false,
+        );
         assert!(t.resolve_remote(ro.rkey, ro.addr, 8, false, false).is_ok());
         assert!(t.resolve_remote(ro.rkey, ro.addr, 8, true, false).is_err());
         assert!(t.resolve_remote(ro.rkey, ro.addr, 8, false, true).is_err());
-        let wo = t.reg_mr(&pd, 64, AccessFlags::REMOTE_WRITE, PageKind::Anonymous, true, false);
+        let wo = t.reg_mr(
+            &pd,
+            64,
+            AccessFlags::REMOTE_WRITE,
+            PageKind::Anonymous,
+            true,
+            false,
+        );
         assert!(t.resolve_remote(wo.rkey, wo.addr, 8, true, false).is_ok());
         assert!(t.resolve_remote(wo.rkey, wo.addr, 8, false, false).is_err());
     }
@@ -497,8 +536,22 @@ mod tests {
     #[test]
     fn high_allocations_isolated() {
         let (t, pd) = table();
-        let low = t.reg_mr(&pd, 4096, AccessFlags::FULL, PageKind::Anonymous, false, false);
-        let high = t.reg_mr(&pd, 4096, AccessFlags::FULL, PageKind::Anonymous, false, true);
+        let low = t.reg_mr(
+            &pd,
+            4096,
+            AccessFlags::FULL,
+            PageKind::Anonymous,
+            false,
+            false,
+        );
+        let high = t.reg_mr(
+            &pd,
+            4096,
+            AccessFlags::FULL,
+            PageKind::Anonymous,
+            false,
+            true,
+        );
         assert!(high.addr > low.addr + (1 << 40), "high region far away");
         // A pointer overrun from the low region cannot land in the high one.
         assert!(low.check(high.addr, 1).is_err());
@@ -507,8 +560,22 @@ mod tests {
     #[test]
     fn guard_gap_between_allocations() {
         let (t, pd) = table();
-        let a = t.reg_mr(&pd, 100, AccessFlags::FULL, PageKind::Anonymous, false, false);
-        let b = t.reg_mr(&pd, 100, AccessFlags::FULL, PageKind::Anonymous, false, false);
+        let a = t.reg_mr(
+            &pd,
+            100,
+            AccessFlags::FULL,
+            PageKind::Anonymous,
+            false,
+            false,
+        );
+        let b = t.reg_mr(
+            &pd,
+            100,
+            AccessFlags::FULL,
+            PageKind::Anonymous,
+            false,
+            false,
+        );
         assert!(b.addr >= a.addr + a.len + 4096);
     }
 
@@ -519,7 +586,11 @@ mod tests {
         assert_eq!(mr.fetch_add(mr.addr, 5).unwrap(), 0);
         assert_eq!(mr.fetch_add(mr.addr, 3).unwrap(), 5);
         assert_eq!(mr.compare_swap(mr.addr, 8, 100).unwrap(), 8);
-        assert_eq!(mr.compare_swap(mr.addr, 8, 200).unwrap(), 100, "CAS failed, old returned");
+        assert_eq!(
+            mr.compare_swap(mr.addr, 8, 200).unwrap(),
+            100,
+            "CAS failed, old returned"
+        );
         assert_eq!(mr.fetch_add(mr.addr, 0).unwrap(), 100);
     }
 

@@ -7,7 +7,7 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use xrdma_fabric::NodeId;
-use xrdma_sim::Time;
+use xrdma_sim::{invariant, Time};
 
 use crate::cq::CompletionQueue;
 use crate::dcqcn::{DcqcnNp, DcqcnRp};
@@ -268,12 +268,34 @@ impl Qp {
         self.flow_hash.get()
     }
 
+    /// RC state-machine legality (checked under `debug_invariants`): the
+    /// verbs layer only walks RESET → INIT → RTR → RTS; ERROR and RESET
+    /// are reachable from any state (fault and recycle paths, §IV-E).
+    fn transition_legal(from: QpState, to: QpState) -> bool {
+        use QpState::*;
+        matches!(
+            (from, to),
+            (Reset, Init) | (Init, Rtr) | (Rtr, Rts) | (_, Error) | (_, Reset)
+        )
+    }
+
+    fn set_state(&self, to: QpState) {
+        invariant!(
+            Self::transition_legal(self.state.get(), to),
+            "illegal QP state transition {:?} -> {:?} (qpn {:?})",
+            self.state.get(),
+            to,
+            self.qpn
+        );
+        self.state.set(to);
+    }
+
     /// RESET → INIT.
     pub fn modify_to_init(&self) -> Result<(), VerbsError> {
         if self.state.get() != QpState::Reset {
             return Err(VerbsError::InvalidState("to_init requires RESET"));
         }
-        self.state.set(QpState::Init);
+        self.set_state(QpState::Init);
         Ok(())
     }
 
@@ -291,7 +313,7 @@ impl Qp {
         );
         self.flow_hash
             .set((a ^ b.rotate_left(17)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        self.state.set(QpState::Rtr);
+        self.set_state(QpState::Rtr);
         Ok(())
     }
 
@@ -300,14 +322,14 @@ impl Qp {
         if self.state.get() != QpState::Rtr {
             return Err(VerbsError::InvalidState("to_rts requires RTR"));
         }
-        self.state.set(QpState::Rts);
+        self.set_state(QpState::Rts);
         Ok(())
     }
 
     /// Any → RESET: wipes all queues and counters. This is the cheap
     /// recycling transition X-RDMA's QP cache exploits (§IV-E).
     pub fn modify_to_reset(&self) {
-        self.state.set(QpState::Reset);
+        self.set_state(QpState::Reset);
         self.remote.set(None);
         *self.tx.borrow_mut() = TxState::default();
         *self.rx.borrow_mut() = RxState::default();
@@ -328,7 +350,7 @@ impl Qp {
 
     /// Force the error state (engine-internal; also used by fault tests).
     pub(crate) fn set_error(&self) {
-        self.state.set(QpState::Error);
+        self.set_state(QpState::Error);
     }
 
     /// Current DCQCN-allowed sending rate in Gb/s (observability; XR-Stat
@@ -538,5 +560,14 @@ mod tests {
         // stable and non-zero.
         assert_ne!(a.flow_hash(), 0);
         assert_ne!(b.flow_hash(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal QP state transition")]
+    fn invariant_rejects_illegal_transition() {
+        // Bypass the verbs-layer guards to prove the debug_invariants
+        // checker itself catches a Reset -> Rts jump.
+        let qp = qp();
+        qp.set_state(QpState::Rts);
     }
 }

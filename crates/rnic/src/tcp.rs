@@ -217,14 +217,7 @@ impl TcpStack {
         }
     }
 
-    fn send_message(
-        &self,
-        dst: NodeId,
-        dst_conn: u64,
-        msg_id: u64,
-        len: u64,
-        data: Option<Bytes>,
-    ) {
+    fn send_message(&self, dst: NodeId, dst_conn: u64, msg_id: u64, len: u64, data: Option<Bytes>) {
         let mss = self.cfg.mss as u64;
         let nchunks = if len == 0 { 1 } else { len.div_ceil(mss) };
         // Stack delay once + per-chunk CPU serialization on the send side.

@@ -54,12 +54,19 @@ impl std::error::Error for VerbsError {}
 #[derive(Clone, Debug)]
 pub enum Payload {
     Inline(Bytes),
-    FromMr { addr: u64, len: u64, lkey: u32 },
+    FromMr {
+        addr: u64,
+        len: u64,
+        lkey: u32,
+    },
     Zero(u64),
     /// Real `head` bytes followed by `total - head.len()` simulated bytes —
     /// the shape of every X-RDMA eager message (real protocol header,
     /// optionally size-only body).
-    Padded { head: Bytes, total: u64 },
+    Padded {
+        head: Bytes,
+        total: u64,
+    },
 }
 
 impl Payload {

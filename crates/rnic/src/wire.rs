@@ -14,7 +14,10 @@ pub enum FragData {
     Bytes(Bytes),
     Zero(u32),
     /// Real bytes followed by simulated padding (see `Payload::Padded`).
-    Padded { head: Bytes, pad: u32 },
+    Padded {
+        head: Bytes,
+        pad: u32,
+    },
 }
 
 impl FragData {

@@ -8,8 +8,7 @@ use xrdma_fabric::{Fabric, FabricConfig, NodeId};
 use xrdma_rnic::cq::CqeOpcode;
 use xrdma_rnic::verbs::Payload;
 use xrdma_rnic::{
-    AccessFlags, CompletionQueue, CqeStatus, PageKind, Qp, QpCaps, RecvWr, Rnic, RnicConfig,
-    SendWr,
+    AccessFlags, CompletionQueue, CqeStatus, PageKind, Qp, QpCaps, RecvWr, Rnic, RnicConfig, SendWr,
 };
 use xrdma_sim::{Dur, SimRng, World};
 
@@ -37,7 +36,7 @@ fn pair_with(cfg: RnicConfig) -> Pair {
     let cqb = b.create_cq(4096);
     let qa = a.create_qp(&pda, cqa.clone(), cqa.clone(), QpCaps::default(), None);
     let qb = b.create_qp(&pdb, cqb.clone(), cqb.clone(), QpCaps::default(), None);
-    Rnic::connect_pair(&a, &qa, &b, &qb);
+    Rnic::connect_pair(&a, &qa, &b, &qb).expect("fresh QPs wire cleanly");
     Pair {
         world,
         fabric,
@@ -58,11 +57,15 @@ fn pair() -> Pair {
 fn send_recv_roundtrip_with_integrity() {
     let p = pair();
     let pdb = p.b.alloc_pd();
-    let rbuf = p
-        .b
-        .reg_mr(&pdb, 4096, AccessFlags::FULL, PageKind::Anonymous, true, false);
-    p.qb
-        .post_recv(RecvWr::new(77, rbuf.addr, rbuf.len, rbuf.lkey))
+    let rbuf = p.b.reg_mr(
+        &pdb,
+        4096,
+        AccessFlags::FULL,
+        PageKind::Anonymous,
+        true,
+        false,
+    );
+    p.qb.post_recv(RecvWr::new(77, rbuf.addr, rbuf.len, rbuf.lkey))
         .unwrap();
     p.a.post_send(
         &p.qa,
@@ -107,9 +110,14 @@ fn small_send_latency_is_microseconds() {
 fn write_places_bytes_remotely_without_consuming_rqe() {
     let p = pair();
     let pdb = p.b.alloc_pd();
-    let target = p
-        .b
-        .reg_mr(&pdb, 8192, AccessFlags::FULL, PageKind::Anonymous, true, false);
+    let target = p.b.reg_mr(
+        &pdb,
+        8192,
+        AccessFlags::FULL,
+        PageKind::Anonymous,
+        true,
+        false,
+    );
     p.a.post_send(
         &p.qa,
         SendWr::write(
@@ -132,9 +140,14 @@ fn write_places_bytes_remotely_without_consuming_rqe() {
 fn write_imm_consumes_rqe_and_notifies() {
     let p = pair();
     let pdb = p.b.alloc_pd();
-    let target = p
-        .b
-        .reg_mr(&pdb, 4096, AccessFlags::FULL, PageKind::Anonymous, true, false);
+    let target = p.b.reg_mr(
+        &pdb,
+        4096,
+        AccessFlags::FULL,
+        PageKind::Anonymous,
+        true,
+        false,
+    );
     p.qb.post_recv(RecvWr::new(9, 0, 0, 0)).unwrap();
     p.a.post_send(
         &p.qa,
@@ -159,14 +172,24 @@ fn write_imm_consumes_rqe_and_notifies() {
 fn read_fetches_remote_bytes() {
     let p = pair();
     let pdb = p.b.alloc_pd();
-    let src = p
-        .b
-        .reg_mr(&pdb, 4096, AccessFlags::FULL, PageKind::Anonymous, true, false);
+    let src = p.b.reg_mr(
+        &pdb,
+        4096,
+        AccessFlags::FULL,
+        PageKind::Anonymous,
+        true,
+        false,
+    );
     src.write(src.addr, b"read-me-please").unwrap();
     let pda = p.a.alloc_pd();
-    let dst = p
-        .a
-        .reg_mr(&pda, 4096, AccessFlags::FULL, PageKind::Anonymous, true, false);
+    let dst = p.a.reg_mr(
+        &pda,
+        4096,
+        AccessFlags::FULL,
+        PageKind::Anonymous,
+        true,
+        false,
+    );
     p.a.post_send(
         &p.qa,
         SendWr::read(11, dst.addr, dst.lkey, 14, src.addr, src.rkey),
@@ -293,9 +316,14 @@ fn remote_access_violation_fails_wr_and_qp() {
     let p = pair();
     let pdb = p.b.alloc_pd();
     // Remote-read-only region: writing into it must be rejected.
-    let ro = p
-        .b
-        .reg_mr(&pdb, 4096, AccessFlags::REMOTE_READ, PageKind::Anonymous, true, false);
+    let ro = p.b.reg_mr(
+        &pdb,
+        4096,
+        AccessFlags::REMOTE_READ,
+        PageKind::Anonymous,
+        true,
+        false,
+    );
     p.a.post_send(
         &p.qa,
         SendWr::write(
@@ -317,13 +345,11 @@ fn remote_access_violation_fails_wr_and_qp() {
 fn atomics_fetch_add_and_cas() {
     let p = pair();
     let pdb = p.b.alloc_pd();
-    let cell = p
-        .b
-        .reg_mr(&pdb, 8, AccessFlags::FULL, PageKind::Anonymous, true, false);
+    let cell =
+        p.b.reg_mr(&pdb, 8, AccessFlags::FULL, PageKind::Anonymous, true, false);
     let pda = p.a.alloc_pd();
-    let sink = p
-        .a
-        .reg_mr(&pda, 8, AccessFlags::FULL, PageKind::Anonymous, true, false);
+    let sink =
+        p.a.reg_mr(&pda, 8, AccessFlags::FULL, PageKind::Anonymous, true, false);
     // fetch_add(7)
     p.a.post_send(
         &p.qa,
@@ -383,11 +409,8 @@ fn unsignaled_sends_skip_success_cqe() {
         p.qb.post_recv(RecvWr::new(i, 0, 1024, 0)).unwrap();
     }
     for i in 0..3 {
-        p.a.post_send(
-            &p.qa,
-            SendWr::send(i, Payload::Zero(32)).unsignaled(),
-        )
-        .unwrap();
+        p.a.post_send(&p.qa, SendWr::send(i, Payload::Zero(32)).unsignaled())
+            .unwrap();
     }
     p.a.post_send(&p.qa, SendWr::send(3, Payload::Zero(32)))
         .unwrap();
@@ -401,18 +424,25 @@ fn unsignaled_sends_skip_success_cqe() {
 fn pipeline_of_many_messages_stays_ordered() {
     let p = pair();
     let pdb = p.b.alloc_pd();
-    let rbuf = p
-        .b
-        .reg_mr(&pdb, 1 << 20, AccessFlags::FULL, PageKind::Anonymous, true, false);
+    let rbuf = p.b.reg_mr(
+        &pdb,
+        1 << 20,
+        AccessFlags::FULL,
+        PageKind::Anonymous,
+        true,
+        false,
+    );
     for i in 0..200u64 {
-        p.qb
-            .post_recv(RecvWr::new(i, rbuf.addr + i * 4, 4, rbuf.lkey))
+        p.qb.post_recv(RecvWr::new(i, rbuf.addr + i * 4, 4, rbuf.lkey))
             .unwrap();
     }
     for i in 0..200u64 {
         p.a.post_send(
             &p.qa,
-            SendWr::send(i, Payload::Inline(Bytes::from((i as u32).to_le_bytes().to_vec()))),
+            SendWr::send(
+                i,
+                Payload::Inline(Bytes::from((i as u32).to_le_bytes().to_vec())),
+            ),
         )
         .unwrap();
     }
@@ -463,7 +493,7 @@ fn incast_triggers_cnps_and_rate_cut() {
         let qp = nic.create_qp(&pd, cq.clone(), cq.clone(), QpCaps::default(), None);
         let cq0 = sink_nic.create_cq(8192);
         let qp0 = sink_nic.create_qp(&pd0, cq0.clone(), cq0, QpCaps::default(), None);
-        Rnic::connect_pair(&nic, &qp, &sink_nic, &qp0);
+        Rnic::connect_pair(&nic, &qp, &sink_nic, &qp0).expect("fresh QPs wire cleanly");
         senders.push((nic, qp));
     }
     for (nic, qp) in &senders {
@@ -501,7 +531,7 @@ fn deterministic_replay() {
         let cqb = b.create_cq(1024);
         let qa = a.create_qp(&pda, cqa.clone(), cqa.clone(), QpCaps::default(), None);
         let qb = b.create_qp(&pdb, cqb.clone(), cqb.clone(), QpCaps::default(), None);
-        Rnic::connect_pair(&a, &qa, &b, &qb);
+        Rnic::connect_pair(&a, &qa, &b, &qb).expect("fresh QPs wire cleanly");
         for i in 0..64u64 {
             qb.post_recv(RecvWr::new(i, 0, 1 << 16, 0)).unwrap();
             a.post_send(&qa, SendWr::send(i, Payload::Zero(1000 + i * 13)))
@@ -525,7 +555,7 @@ fn qp_reset_reuse_data_path() {
     assert_eq!(p.cqb.len(), 1);
     p.qa.modify_to_reset();
     p.qb.modify_to_reset();
-    Rnic::connect_pair(&p.a, &p.qa, &p.b, &p.qb);
+    Rnic::connect_pair(&p.a, &p.qa, &p.b, &p.qb).expect("fresh QPs wire cleanly");
     p.qb.post_recv(RecvWr::new(2, 0, 64, 0)).unwrap();
     p.a.post_send(&p.qa, SendWr::send(2, Payload::Zero(16)))
         .unwrap();
@@ -574,7 +604,7 @@ fn srq_feeds_multiple_qps_and_rnr_when_empty() {
             QpCaps::default(),
             Some(srq.clone()),
         );
-        Rnic::connect_pair(&nic, &cqp, &server, &sqp);
+        Rnic::connect_pair(&nic, &cqp, &server, &sqp).expect("fresh QPs wire cleanly");
         clients.push((nic, cqp));
     }
     // 4 receives in the shared pool; both clients send 2 each — all land.
@@ -583,7 +613,8 @@ fn srq_feeds_multiple_qps_and_rnr_when_empty() {
     }
     for (nic, qp) in &clients {
         for i in 0..2u64 {
-            nic.post_send(qp, SendWr::send(i, Payload::Zero(64))).unwrap();
+            nic.post_send(qp, SendWr::send(i, Payload::Zero(64)))
+                .unwrap();
         }
     }
     world.run();
@@ -591,7 +622,8 @@ fn srq_feeds_multiple_qps_and_rnr_when_empty() {
     assert_eq!(server.stats().rnr_naks_sent, 0);
     // Now exhaust the SRQ: further sends must RNR until replenished.
     let (nic, qp) = &clients[0];
-    nic.post_send(qp, SendWr::send(9, Payload::Zero(64))).unwrap();
+    nic.post_send(qp, SendWr::send(9, Payload::Zero(64)))
+        .unwrap();
     world.run_for(Dur::micros(100));
     assert!(server.stats().rnr_naks_sent > 0, "SRQ empty → RNR");
     srq.post(RecvWr::new(9, 0, 4096, 0)).unwrap();

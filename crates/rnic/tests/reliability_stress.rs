@@ -10,8 +10,7 @@ use xrdma_fabric::{Fabric, FabricConfig, NodeId};
 use xrdma_rnic::engine::FilterVerdict;
 use xrdma_rnic::verbs::Payload;
 use xrdma_rnic::{
-    AccessFlags, CompletionQueue, CqeStatus, PageKind, Qp, QpCaps, RecvWr, Rnic, RnicConfig,
-    SendWr,
+    AccessFlags, CompletionQueue, CqeStatus, PageKind, Qp, QpCaps, RecvWr, Rnic, RnicConfig, SendWr,
 };
 use xrdma_sim::{Dur, SimRng, World};
 
@@ -43,7 +42,7 @@ fn pair(seed: u64, retx_ms: u64) -> Pair {
     };
     let qa = a.create_qp(&pda, cqa.clone(), cqa.clone(), caps, None);
     let qb = b.create_qp(&pdb, cqb.clone(), cqb.clone(), caps, None);
-    Rnic::connect_pair(&a, &qa, &b, &qb);
+    Rnic::connect_pair(&a, &qa, &b, &qb).expect("fresh QPs wire cleanly");
     Pair {
         world,
         a,
@@ -79,19 +78,26 @@ fn loss_and_reorder_noise_mixed_ops_exactly_once() {
         p.b.set_filter(mk_noise(seed * 7 + 2));
 
         let pdb = p.b.alloc_pd();
-        let target =
-            p.b.reg_mr(&pdb, 1 << 20, AccessFlags::FULL, PageKind::Anonymous, true, false);
-        let recv_buf =
-            p.b.reg_mr(&pdb, 1 << 20, AccessFlags::FULL, PageKind::Anonymous, true, false);
+        let target = p.b.reg_mr(
+            &pdb,
+            1 << 20,
+            AccessFlags::FULL,
+            PageKind::Anonymous,
+            true,
+            false,
+        );
+        let recv_buf = p.b.reg_mr(
+            &pdb,
+            1 << 20,
+            AccessFlags::FULL,
+            PageKind::Anonymous,
+            true,
+            false,
+        );
         let n = 150u64;
         for i in 0..n {
-            p.qb.post_recv(RecvWr::new(
-                i,
-                recv_buf.addr + i * 64,
-                64,
-                recv_buf.lkey,
-            ))
-            .unwrap();
+            p.qb.post_recv(RecvWr::new(i, recv_buf.addr + i * 64, 64, recv_buf.lkey))
+                .unwrap();
         }
         let mut rng = SimRng::new(seed ^ 0xABC);
         let mut expected_writes = Vec::new();
@@ -99,11 +105,8 @@ fn loss_and_reorder_noise_mixed_ops_exactly_once() {
             if rng.chance(0.5) {
                 // Send with a distinctive byte pattern.
                 let data = vec![(i % 251) as u8; 48];
-                p.a.post_send(
-                    &p.qa,
-                    SendWr::send(i, Payload::Inline(Bytes::from(data))),
-                )
-                .unwrap();
+                p.a.post_send(&p.qa, SendWr::send(i, Payload::Inline(Bytes::from(data))))
+                    .unwrap();
             } else {
                 let data = vec![(i % 249) as u8; 32];
                 expected_writes.push((target.addr + i * 40, data.clone()));
@@ -162,14 +165,35 @@ fn reads_survive_loss() {
         }
     });
     let pdb = p.b.alloc_pd();
-    let src = p.b.reg_mr(&pdb, 1 << 20, AccessFlags::FULL, PageKind::Anonymous, true, false);
+    let src = p.b.reg_mr(
+        &pdb,
+        1 << 20,
+        AccessFlags::FULL,
+        PageKind::Anonymous,
+        true,
+        false,
+    );
     let pda = p.a.alloc_pd();
-    let dst = p.a.reg_mr(&pda, 1 << 20, AccessFlags::FULL, PageKind::Anonymous, true, false);
+    let dst = p.a.reg_mr(
+        &pda,
+        1 << 20,
+        AccessFlags::FULL,
+        PageKind::Anonymous,
+        true,
+        false,
+    );
     let payload: Vec<u8> = (0..200_000).map(|i| (i % 233) as u8).collect();
     src.write(src.addr, &payload).unwrap();
     p.a.post_send(
         &p.qa,
-        SendWr::read(1, dst.addr, dst.lkey, payload.len() as u64, src.addr, src.rkey),
+        SendWr::read(
+            1,
+            dst.addr,
+            dst.lkey,
+            payload.len() as u64,
+            src.addr,
+            src.rkey,
+        ),
     )
     .unwrap();
     p.world.run_for(Dur::secs(20));
@@ -195,7 +219,14 @@ fn pfc_pause_resume_conservation() {
         let fabric = Fabric::new(world.clone(), fcfg, &rng);
         let sink = Rnic::new(&fabric, NodeId(0), RnicConfig::default(), rng.fork("sink"));
         let pd = sink.alloc_pd();
-        let target = sink.reg_mr(&pd, 1 << 20, AccessFlags::FULL, PageKind::Anonymous, false, false);
+        let target = sink.reg_mr(
+            &pd,
+            1 << 20,
+            AccessFlags::FULL,
+            PageKind::Anonymous,
+            false,
+            false,
+        );
         let mut senders = Vec::new();
         for i in 1..13u32 {
             let nic = Rnic::new(
@@ -209,7 +240,7 @@ fn pfc_pause_resume_conservation() {
             let qp = nic.create_qp(&spd, cq.clone(), cq, QpCaps::default(), None);
             let scq = sink.create_cq(1 << 14);
             let sqp = sink.create_qp(&pd, scq.clone(), scq, QpCaps::default(), None);
-            Rnic::connect_pair(&nic, &qp, &sink, &sqp);
+            Rnic::connect_pair(&nic, &qp, &sink, &sqp).expect("fresh QPs wire cleanly");
             for w in 0..20u64 {
                 nic.post_send(
                     &qp,
@@ -260,7 +291,7 @@ fn qp_cache_hit_rates() {
         for _ in 0..n_qps {
             let qa = a.create_qp(&pda, cqa.clone(), cqa.clone(), caps, None);
             let qb = b.create_qp(&pdb, cqb.clone(), cqb.clone(), caps, None);
-            Rnic::connect_pair(&a, &qa, &b, &qb);
+            Rnic::connect_pair(&a, &qa, &b, &qb).expect("fresh QPs wire cleanly");
             for i in 0..4 {
                 qb.post_recv(RecvWr::new(i, 0, 4096, 0)).unwrap();
             }

@@ -31,3 +31,23 @@ pub use cpu::CpuThread;
 pub use rng::SimRng;
 pub use time::{Dur, Time};
 pub use world::{EventId, World};
+
+/// Runtime protocol-invariant check (DESIGN.md "Determinism contract").
+///
+/// Expands to an `assert!` that is compiled in when the invoking crate's
+/// `debug_invariants` feature is enabled, and always in that crate's own
+/// unit tests (`cfg(test)`), so every checker is exercised by the regular
+/// test suite. In plain release builds the check costs nothing.
+///
+/// The condition must be side-effect free: with the feature off it is
+/// never evaluated, and an invariant whose *evaluation* matters would make
+/// checked and unchecked builds diverge — the exact bug class this exists
+/// to catch.
+#[macro_export]
+macro_rules! invariant {
+    ($($arg:tt)*) => {
+        if cfg!(any(test, feature = "debug_invariants")) {
+            assert!($($arg)*);
+        }
+    };
+}

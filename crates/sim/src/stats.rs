@@ -286,7 +286,10 @@ impl TimeSeries {
     pub fn rate_rows(&self) -> Vec<(f64, f64)> {
         assert_eq!(self.kind, SeriesKind::Sum, "rate of a non-Sum series");
         let scale = 1e9 / self.bucket_ns as f64;
-        self.rows().into_iter().map(|(t, v)| (t, v * scale)).collect()
+        self.rows()
+            .into_iter()
+            .map(|(t, v)| (t, v * scale))
+            .collect()
     }
 
     /// Mean of the per-bucket values over a closed range of bucket indices.

@@ -6,8 +6,8 @@
 
 use core::fmt;
 
-use serde::Serialize;
 use core::ops::{Add, AddAssign, Div, Mul, Sub};
+use serde::Serialize;
 
 /// An absolute instant on the virtual clock, in nanoseconds since the world
 /// was created.

@@ -34,7 +34,12 @@ fn run(flow_control: bool, senders: u32, msg_kb: u64, seed: u64) -> RunResult {
 
     // The victim.
     let sink = XrdmaContext::on_new_node(
-        &fabric, &cm, NodeId(0), RnicConfig::default(), cfg.clone(), &rng,
+        &fabric,
+        &cm,
+        NodeId(0),
+        RnicConfig::default(),
+        cfg.clone(),
+        &rng,
     );
     let received = Rc::new(std::cell::Cell::new(0u64));
     let r = received.clone();
@@ -50,7 +55,12 @@ fn run(flow_control: bool, senders: u32, msg_kb: u64, seed: u64) -> RunResult {
     let mut all: Vec<(Rc<XrdmaContext>, Rc<RefCell<Option<Rc<XrdmaChannel>>>>)> = Vec::new();
     for i in 1..=senders {
         let ctx = XrdmaContext::on_new_node(
-            &fabric, &cm, NodeId(i), RnicConfig::default(), cfg.clone(), &rng,
+            &fabric,
+            &cm,
+            NodeId(i),
+            RnicConfig::default(),
+            cfg.clone(),
+            &rng,
         );
         let slot: Rc<RefCell<Option<Rc<XrdmaChannel>>>> = Rc::new(RefCell::new(None));
         let s2 = slot.clone();
@@ -79,7 +89,10 @@ fn run(flow_control: bool, senders: u32, msg_kb: u64, seed: u64) -> RunResult {
     world.run_for(span);
     let elapsed = world.now().since(start).as_secs_f64();
 
-    let cnps: u64 = all.iter().map(|(c, _)| c.rnic().stats().cnps_received).sum();
+    let cnps: u64 = all
+        .iter()
+        .map(|(c, _)| c.rnic().stats().cnps_received)
+        .sum();
     RunResult {
         delivered_gb: received.get() as f64 / 1e9,
         cnps,
@@ -92,7 +105,10 @@ fn main() {
     let senders = 24;
     let msg_kb = 512;
     println!("incast: {senders} senders × {msg_kb} KiB pipelined writes into one host\n");
-    println!("{:<14} {:>12} {:>10} {:>10} {:>12}", "mode", "goodput", "CNPs", "PFC", "improvement");
+    println!(
+        "{:<14} {:>12} {:>10} {:>10} {:>12}",
+        "mode", "goodput", "CNPs", "PFC", "improvement"
+    );
 
     let off = run(false, senders, msg_kb, 1);
     let on = run(true, senders, msg_kb, 1);
@@ -116,7 +132,10 @@ fn main() {
         off.pauses,
         on.pauses
     );
-    assert!(gbps_on >= gbps_off * 0.98, "flow control must not hurt goodput");
+    assert!(
+        gbps_on >= gbps_off * 0.98,
+        "flow control must not hurt goodput"
+    );
     assert!(on.cnps < off.cnps, "flow control must reduce CNPs");
     println!("incast_flow_control OK");
 }

@@ -21,7 +21,12 @@ fn main() {
 
     // ---- the ~40 lines of application code ----------------------------
     let server = XrdmaContext::on_new_node(
-        &fabric, &cm, NodeId(1), RnicConfig::default(), XrdmaConfig::default(), &rng,
+        &fabric,
+        &cm,
+        NodeId(1),
+        RnicConfig::default(),
+        XrdmaConfig::default(),
+        &rng,
     );
     server.listen(7, |channel| {
         channel.set_on_request(|ch, msg, token| {
@@ -31,7 +36,12 @@ fn main() {
     });
 
     let client = XrdmaContext::on_new_node(
-        &fabric, &cm, NodeId(0), RnicConfig::default(), XrdmaConfig::default(), &rng,
+        &fabric,
+        &cm,
+        NodeId(0),
+        RnicConfig::default(),
+        XrdmaConfig::default(),
+        &rng,
     );
     let channel: Rc<RefCell<Option<Rc<XrdmaChannel>>>> = Rc::new(RefCell::new(None));
     let c = channel.clone();

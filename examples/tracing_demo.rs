@@ -29,11 +29,15 @@ fn main() {
     cfg.slow_threshold = Dur::micros(200);
 
     let client = XrdmaContext::on_new_node(
-        &fabric, &cm, NodeId(0), RnicConfig::default(), cfg.clone(), &rng,
+        &fabric,
+        &cm,
+        NodeId(0),
+        RnicConfig::default(),
+        cfg.clone(),
+        &rng,
     );
-    let server = XrdmaContext::on_new_node(
-        &fabric, &cm, NodeId(1), RnicConfig::default(), cfg, &rng,
-    );
+    let server =
+        XrdmaContext::on_new_node(&fabric, &cm, NodeId(1), RnicConfig::default(), cfg, &rng);
     // The server machine's clock is 8 µs ahead — realistic skew that would
     // wreck naive latency decomposition.
     server.clock_skew_ns.set(8_000);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local CI gate. Run from anywhere; operates on the repo root.
+#
+#   build    release build of the whole workspace
+#   fmt      rustfmt in check mode
+#   clippy   all targets, warnings are errors
+#   lint     xrdma-lint determinism-contract pass (DESIGN.md §7)
+#   test     full suite with the runtime invariant checkers compiled in
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace
+run cargo fmt --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo run -q --release -p xrdma-lint
+run cargo test -q --workspace --features xrdma-tests/debug_invariants
+
+echo "==> ci.sh: all gates passed"

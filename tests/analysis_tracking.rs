@@ -31,20 +31,39 @@ fn net(fcfg: FabricConfig, seed: u64) -> Net {
     let rng = SimRng::new(seed);
     let fabric = Fabric::new(world.clone(), fcfg, &rng);
     let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
-    Net { world, fabric, cm, rng }
+    Net {
+        world,
+        fabric,
+        cm,
+        rng,
+    }
 }
 
 fn ctx(net: &Net, node: u32, cfg: XrdmaConfig) -> Rc<XrdmaContext> {
-    XrdmaContext::on_new_node(&net.fabric, &net.cm, NodeId(node), RnicConfig::default(), cfg, &net.rng)
+    XrdmaContext::on_new_node(
+        &net.fabric,
+        &net.cm,
+        NodeId(node),
+        RnicConfig::default(),
+        cfg,
+        &net.rng,
+    )
 }
 
-fn connect(net: &Net, a: &Rc<XrdmaContext>, b: &Rc<XrdmaContext>, svc: u16) -> (Rc<XrdmaChannel>, Rc<XrdmaChannel>) {
+fn connect(
+    net: &Net,
+    a: &Rc<XrdmaContext>,
+    b: &Rc<XrdmaContext>,
+    svc: u16,
+) -> (Rc<XrdmaChannel>, Rc<XrdmaChannel>) {
     let sch: Rc<RefCell<Option<Rc<XrdmaChannel>>>> = Rc::new(RefCell::new(None));
     let s2 = sch.clone();
     b.listen(svc, move |ch| *s2.borrow_mut() = Some(ch));
     let cch: Rc<RefCell<Option<Rc<XrdmaChannel>>>> = Rc::new(RefCell::new(None));
     let c2 = cch.clone();
-    a.connect(NodeId(b.node().0), svc, move |r| *c2.borrow_mut() = Some(r.unwrap()));
+    a.connect(NodeId(b.node().0), svc, move |r| {
+        *c2.borrow_mut() = Some(r.unwrap())
+    });
     net.world.run_for(Dur::millis(20));
     let c = cch.borrow().clone().unwrap();
     let s = sch.borrow().clone().unwrap();
@@ -160,7 +179,10 @@ fn jitter_via_perf_tail() {
     let perf = XrPerf::new(
         net.world.clone(),
         c,
-        FlowModel::ClosedLoop { size: 512, depth: 4 },
+        FlowModel::ClosedLoop {
+            size: 512,
+            depth: 4,
+        },
         net.rng.fork("perf"),
     );
     perf.run_for(Dur::millis(200));
@@ -226,6 +248,9 @@ fn oob_access_caught_by_isolation() {
     assert_eq!(mr2.read(buf2.addr, 10).unwrap(), vec![0; 10]);
     // The memcache arenas sit in the high range, far from these buffers.
     let mc_buf = a.memcache().alloc(64).unwrap();
-    assert!(mc_buf.addr > buf1.addr + (1 << 40), "isolated range (§VI-C)");
+    assert!(
+        mc_buf.addr > buf1.addr + (1 << 40),
+        "isolated range (§VI-C)"
+    );
     a.memcache().release(&mc_buf);
 }

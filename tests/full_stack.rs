@@ -166,12 +166,7 @@ fn packet_loss_on_a_chunk_server_is_transparent() {
 fn surge_schedule_shifts_load() {
     let (world, _fabric, pangu, rng) = cluster(4, 100);
     // 3× surge in the middle — the Fig 12 shape.
-    let schedule = LoadSchedule::surge(
-        Dur::millis(400),
-        Dur::millis(400),
-        Dur::millis(400),
-        3.0,
-    );
+    let schedule = LoadSchedule::surge(Dur::millis(400), Dur::millis(400), Dur::millis(400), 3.0);
     let essd = EssdFrontend::new(
         &pangu.blocks[0],
         EssdConfig {

@@ -41,7 +41,13 @@ fn rig(seed: u64) -> Rig {
     world.run_for(Dur::millis(20));
     let ca = cch.borrow().clone().unwrap();
     let cb = sch.borrow().clone().unwrap();
-    Rig { world, a, b, ca, cb }
+    Rig {
+        world,
+        a,
+        b,
+        ca,
+        cb,
+    }
 }
 
 #[test]
@@ -144,8 +150,10 @@ fn one_dead_peer_does_not_disturb_others() {
     let mut rnic_cfg = RnicConfig::default();
     rnic_cfg.retx_timeout = Dur::millis(2);
     rnic_cfg.retry_count = 2;
-    let hub = XrdmaContext::on_new_node(&fabric, &cm, NodeId(0), rnic_cfg.clone(), cfg.clone(), &rng);
-    let live = XrdmaContext::on_new_node(&fabric, &cm, NodeId(1), rnic_cfg.clone(), cfg.clone(), &rng);
+    let hub =
+        XrdmaContext::on_new_node(&fabric, &cm, NodeId(0), rnic_cfg.clone(), cfg.clone(), &rng);
+    let live =
+        XrdmaContext::on_new_node(&fabric, &cm, NodeId(1), rnic_cfg.clone(), cfg.clone(), &rng);
     let doomed = XrdmaContext::on_new_node(&fabric, &cm, NodeId(2), rnic_cfg, cfg, &rng);
     live.listen(7, |ch| {
         ch.set_on_request(|c, _m, t| {

@@ -192,6 +192,64 @@ proptest! {
     }
 
     /// Bounded-window ack arithmetic survives arbitrary (even hostile) ack
+    /// No ack regression: under any interleaving of sends and (valid or
+    /// duplicate) acks, the sequences reported acked by `on_ack` come out
+    /// exactly once, in strictly increasing order — the cumulative edge
+    /// never steps backward and never re-announces a sequence.
+    #[test]
+    fn tx_window_no_ack_regression(
+        depth in 2u32..64,
+        acks in proptest::collection::vec((any::<u32>(), 0u32..8), 1..200),
+    ) {
+        let mut tx = TxWindow::new(depth);
+        let mut next_expected_acked: u64 = 0;
+        let mut issued: u64 = 0;
+        for (raw_ack, sends) in acks {
+            for _ in 0..sends {
+                if tx.can_send() {
+                    tx.next_seq();
+                    issued += 1;
+                }
+            }
+            // Mix hostile raw acks with the honest edge so progress happens.
+            let ack = if raw_ack % 3 == 0 { raw_ack } else { issued as u32 };
+            for seq in tx.on_ack(ack) {
+                prop_assert_eq!(
+                    seq,
+                    next_expected_acked as u32,
+                    "acked sequences must be consecutive, no regression/repeat"
+                );
+                next_expected_acked += 1;
+            }
+            prop_assert!(next_expected_acked <= issued, "never acks the unsent");
+        }
+    }
+
+    /// No sequence reuse: `next_seq` never hands out a number that is
+    /// still in flight — a slot is recycled only after the cumulative ack
+    /// has covered its previous occupant.
+    #[test]
+    fn tx_window_no_seq_reuse(
+        depth in 2u32..32,
+        steps in proptest::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut tx = TxWindow::new(depth);
+        let mut outstanding = std::collections::HashSet::new();
+        for send in steps {
+            if send {
+                if tx.can_send() {
+                    let s = tx.next_seq();
+                    prop_assert!(outstanding.insert(s), "sequence {} reused while in flight", s);
+                }
+            } else if let Some(oldest) = tx.oldest_unacked() {
+                for seq in tx.on_ack(oldest.wrapping_add(1)) {
+                    prop_assert!(outstanding.remove(&seq), "acked a seq never sent");
+                }
+            }
+            prop_assert!(outstanding.len() < depth as usize, "window bound");
+        }
+    }
+
     /// values without over-advancing.
     #[test]
     fn tx_window_hostile_acks(depth in 2u32..64, acks in proptest::collection::vec(any::<u32>(), 1..100)) {
@@ -227,7 +285,7 @@ mod more_invariants {
             let mut rp = DcqcnRp::new(cfg);
             let mut t = Time::ZERO;
             for (kind, step) in events {
-                t = t + Dur::micros(step);
+                t += Dur::micros(step);
                 match kind {
                     0 => rp.on_cnp(t),
                     1 => rp.on_bytes_sent(t, step * 4096),
@@ -246,11 +304,11 @@ mod more_invariants {
             let mut rp = DcqcnRp::new(cfg);
             let mut t = Time::ZERO;
             for _ in 0..cnps {
-                t = t + Dur::micros(55);
+                t += Dur::micros(55);
                 rp.on_cnp(t);
             }
             for _ in 0..2000 {
-                t = t + Dur::micros(55);
+                t += Dur::micros(55);
                 rp.on_timer(t);
             }
             prop_assert!(

@@ -24,7 +24,14 @@ fn pair(
     let rng = SimRng::new(seed);
     let fabric = Fabric::new(world.clone(), FabricConfig::pair(), &rng);
     let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
-    let a = XrdmaContext::on_new_node(&fabric, &cm, NodeId(0), RnicConfig::default(), cfg.clone(), &rng);
+    let a = XrdmaContext::on_new_node(
+        &fabric,
+        &cm,
+        NodeId(0),
+        RnicConfig::default(),
+        cfg.clone(),
+        &rng,
+    );
     let b = XrdmaContext::on_new_node(&fabric, &cm, NodeId(1), RnicConfig::default(), cfg, &rng);
     let sch: Rc<RefCell<Option<Rc<XrdmaChannel>>>> = Rc::new(RefCell::new(None));
     let s2 = sch.clone();

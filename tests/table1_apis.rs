@@ -20,12 +20,27 @@ use xrdma_fabric::{Fabric, FabricConfig, NodeId};
 use xrdma_rnic::{CmConfig, ConnManager, RnicConfig};
 use xrdma_sim::{Dur, SimRng, World};
 
-fn rig(cfg: XrdmaConfig) -> (Rc<World>, Rc<XrdmaContext>, Rc<XrdmaContext>, Rc<XrdmaChannel>, Rc<XrdmaChannel>) {
+fn rig(
+    cfg: XrdmaConfig,
+) -> (
+    Rc<World>,
+    Rc<XrdmaContext>,
+    Rc<XrdmaContext>,
+    Rc<XrdmaChannel>,
+    Rc<XrdmaChannel>,
+) {
     let world = World::new();
     let rng = SimRng::new(1);
     let fabric = Fabric::new(world.clone(), FabricConfig::pair(), &rng);
     let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
-    let a = XrdmaContext::on_new_node(&fabric, &cm, NodeId(0), RnicConfig::default(), cfg.clone(), &rng);
+    let a = XrdmaContext::on_new_node(
+        &fabric,
+        &cm,
+        NodeId(0),
+        RnicConfig::default(),
+        cfg.clone(),
+        &rng,
+    );
     let b = XrdmaContext::on_new_node(&fabric, &cm, NodeId(1), RnicConfig::default(), cfg, &rng);
     let sch: Rc<RefCell<Option<Rc<XrdmaChannel>>>> = Rc::new(RefCell::new(None));
     let s2 = sch.clone();
@@ -44,7 +59,8 @@ fn rig(cfg: XrdmaConfig) -> (Rc<World>, Rc<XrdmaContext>, Rc<XrdmaContext>, Rc<X
 #[test]
 fn api_send_msg() {
     let (world, _a, _b, ca, cb) = rig(XrdmaConfig::default());
-    let got: Rc<RefCell<Vec<(xrdma_core::proto::MsgKind, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+    let got: Rc<RefCell<Vec<(xrdma_core::proto::MsgKind, u64)>>> =
+        Rc::new(RefCell::new(Vec::new()));
     let g = got.clone();
     cb.set_on_request(move |ch, msg, tok| {
         g.borrow_mut().push((msg.kind, msg.len));
@@ -56,7 +72,8 @@ fn api_send_msg() {
     ca.send_oneway_size(9000).unwrap(); // large path
     let resp_len = Rc::new(Cell::new(0u64));
     let r = resp_len.clone();
-    ca.send_request_size(64, move |_, resp| r.set(resp.len)).unwrap();
+    ca.send_request_size(64, move |_, resp| r.set(resp.len))
+        .unwrap();
     world.run_for(Dur::millis(10));
     assert_eq!(resp_len.get(), 4);
     let got = got.borrow();

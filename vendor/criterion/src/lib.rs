@@ -1,0 +1,198 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the API surface the bench targets use (`benchmark_group`,
+//! `bench_function`, `Bencher::iter`, `Throughput`, the `criterion_group!`
+//! / `criterion_main!` macros) with a simple calibrated timing loop:
+//! warm-up, then enough iterations to fill ~100 ms, reporting mean
+//! ns/iter and derived throughput. No statistics machinery, no plots —
+//! this exists so `cargo bench` keeps working without the registry.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Bytes/elements processed per iteration, for derived throughput lines.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+            throughput: None,
+            sample_iters: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            group: String::new(),
+            throughput: None,
+            sample_iters: None,
+        };
+        g.bench_function(name, &mut f);
+        self
+    }
+
+    /// Criterion's post-run config hook; a no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Criterion's final summary hook; a no-op here.
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup {
+    group: String,
+    throughput: Option<Throughput>,
+    sample_iters: Option<u64>,
+}
+
+impl BenchmarkGroup {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Criterion's statistical sample count; here it caps measurement
+    /// iterations for expensive benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_iters = Some(n as u64);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mode: Mode::Calibrate,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        // Calibration pass: one run of the closure (which loops internally
+        // via `iter`) to estimate per-iteration cost.
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.elapsed.as_secs_f64() / b.iters as f64
+        } else {
+            0.0
+        };
+        // Measurement pass: target ~100 ms, bounded to keep e2e benches sane.
+        let target = 0.1f64;
+        let mut iters = if per_iter > 0.0 {
+            (target / per_iter).clamp(1.0, 1_000_000_000.0) as u64
+        } else {
+            1_000_000
+        };
+        if let Some(cap) = self.sample_iters {
+            iters = iters.min(cap.max(1));
+        }
+        b.mode = Mode::Measure(iters);
+        b.iters = 0;
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        let ns = if b.iters > 0 {
+            b.elapsed.as_secs_f64() * 1e9 / b.iters as f64
+        } else {
+            0.0
+        };
+        let label = if self.group.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.group, name)
+        };
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (ns / 1e9) / 1e6;
+                println!("  {label}: {ns:.1} ns/iter ({rate:.2} Melem/s)");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (ns / 1e9) / 1e9;
+                println!("  {label}: {ns:.1} ns/iter ({rate:.2} GB/s)");
+            }
+            None => println!("  {label}: {ns:.1} ns/iter"),
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+enum Mode {
+    Calibrate,
+    Measure(u64),
+}
+
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Calibrate => {
+                let start = Instant::now();
+                black_box(f());
+                self.elapsed += start.elapsed();
+                self.iters += 1;
+            }
+            Mode::Measure(n) => {
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(f());
+                }
+                self.elapsed += start.elapsed();
+                self.iters += n;
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(10);
+        let mut hits = 0u64;
+        g.bench_function("noop", |b| b.iter(|| hits += 1));
+        g.finish();
+        assert!(hits > 0);
+    }
+}

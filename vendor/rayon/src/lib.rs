@@ -1,0 +1,141 @@
+//! Offline shim for `rayon`.
+//!
+//! The bench harness only ever does `xs.par_iter().map(f).collect()` /
+//! `xs.into_par_iter().map(f).collect()`, so this shim implements exactly
+//! that pipeline with `std::thread::scope`: items are distributed over
+//! `available_parallelism` workers and results are reassembled in input
+//! order. This preserves the project rule that parallelism happens across
+//! worlds, never inside one — each closure invocation builds and runs its
+//! own `World`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// An eagerly-collected parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Order-preserving parallel map: a shared work index hands items to
+/// workers; each worker writes results into its slot.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Items move into Option slots so workers can take them by index.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("item taken once");
+                let r = f(item);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+pub mod prelude {
+    use super::ParIter;
+
+    /// `xs.into_par_iter()` for any owned iterable.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<I> IntoParallelIterator for I
+    where
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        type Item = I::Item;
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+
+    /// `xs.par_iter()` borrowing from slices, Vecs and arrays.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: Send + 'data;
+        fn par_iter(&'data self) -> ParIter<Self::Item>;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+        <&'data C as IntoIterator>::Item: Send + 'data,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        fn par_iter(&'data self) -> ParIter<Self::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<u64> = (0..100).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let xs = vec![String::from("a"), String::from("bb")];
+        let lens: Vec<usize> = xs.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace only ever derives `Serialize` and feeds the result to
+//! `serde_json::to_string{,_pretty}`, so this shim collapses the whole
+//! serde data model into one trait that writes compact JSON directly.
+//! `serde_json` (also vendored) formats/pretty-prints on top of it.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// Serialize `self` as compact JSON into `out`.
+///
+/// This replaces serde's `Serialize`/`Serializer` pair: every type the
+/// workspace serializes goes to JSON, so the indirection through a
+/// serializer trait buys nothing here.
+pub trait Serialize {
+    fn json_into(&self, out: &mut String);
+}
+
+/// Escape and quote a string per JSON rules.
+pub fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_into(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 24], *self as i128));
+            }
+        }
+    )*};
+}
+
+/// Format an integer without going through `format!` (hot in stats dumps).
+fn itoa_buf(buf: &mut [u8; 24], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10).unsigned_abs() as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii")
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn json_into(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl Serialize for bool {
+    fn json_into(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn json_into(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{}` on f64 round-trips and never produces exponent-free
+            // invalid JSON; NaN/inf are not representable -> null, matching
+            // serde_json's lossy float behavior closely enough for reports.
+            let s = format!("{self}");
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn json_into(&self, out: &mut String) {
+        (*self as f64).json_into(out);
+    }
+}
+
+impl Serialize for String {
+    fn json_into(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn json_into(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn json_into(&self, out: &mut String) {
+        write_json_str(&self.to_string(), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_into(&self, out: &mut String) {
+        (**self).json_into(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_into(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_into(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_into(&self, out: &mut String) {
+        self.as_slice().json_into(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_into(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.json_into(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_into(&self, out: &mut String) {
+        self.as_slice().json_into(out);
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn json_into(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.json_into(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+impl_tuple!((0 A)(0 A, 1 B)(0 A, 1 B, 2 C)(0 A, 1 B, 2 C, 3 D)(0 A, 1 B, 2 C, 3 D, 4 E));
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn json_into(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(&k.to_string(), out);
+            out.push(':');
+            v.json_into(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn json_into(&self, out: &mut String) {
+        (**self).json_into(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.json_into(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(to_json(&42u32), "42");
+        assert_eq!(to_json(&-7i64), "-7");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&2.0f64), "2.0");
+        assert_eq!(to_json(&f64::NAN), "null");
+        assert_eq!(to_json(&"a\"b".to_string()), r#""a\"b""#);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_json(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&Some(5u32)), "5");
+        assert_eq!(to_json(&None::<u32>), "null");
+        assert_eq!(to_json(&(1u8, "x")), r#"[1,"x"]"#);
+    }
+}

@@ -1,0 +1,217 @@
+//! `#[derive(Serialize)]` for the vendored serde shim.
+//!
+//! Parses the item with the bare `proc_macro` API (no `syn`/`quote`; the
+//! registry is offline) and emits an `impl serde::Serialize` that writes
+//! compact JSON. Supported shapes — the only ones this workspace derives:
+//!
+//! * structs with named fields        -> JSON object
+//! * newtype structs `struct T(U);`   -> inner value (serde's convention)
+//! * tuple structs with >1 field      -> JSON array
+//! * enums with unit variants only    -> the variant name as a string
+//!
+//! Generic items and `#[serde(...)]` attributes are not supported and fail
+//! loudly rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate(&tokens) {
+        Ok(src) => src.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    // Skip outer attributes and visibility to find `struct` / `enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            Some(_) => i += 1,
+            None => return Err("derive(Serialize): no struct/enum found".into()),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive(Serialize): missing item name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive(Serialize) shim does not support generics on `{name}`"
+        ));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            // Tuple struct: count top-level comma-separated fields.
+            let n = count_top_level_fields(g.stream());
+            return Ok(tuple_struct_impl(&name, n));
+        }
+        _ => {
+            return Err(format!(
+                "derive(Serialize): unsupported shape for `{name}` (unit struct?)"
+            ))
+        }
+    };
+
+    if kind == "enum" {
+        let variants = parse_unit_variants(body, &name)?;
+        Ok(enum_impl(&name, &variants))
+    } else {
+        let fields = parse_named_fields(body);
+        Ok(struct_impl(&name, &fields))
+    }
+}
+
+/// Number of fields in a tuple-struct body `(A, B, ...)`.
+fn count_top_level_fields(ts: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    for t in ts {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+/// Field names of a named-field struct body, skipping attributes,
+/// visibility, and the (arbitrarily complex) type after each `:`.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes: `#` followed by a bracket group.
+        if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+            continue;
+        }
+        // Skip visibility: `pub` (+ optional `(...)`).
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+            continue;
+        }
+        // Now: `name : Type ,` — record name, then skip to the next
+        // top-level comma.
+        if let TokenTree::Ident(id) = &tokens[i] {
+            fields.push(id.to_string());
+            let mut depth = 0usize;
+            i += 1;
+            while i < tokens.len() {
+                match &tokens[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Variant names of a unit-variant-only enum; rejects payload variants.
+fn parse_unit_variants(ts: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut expect_name = true;
+    for t in ts {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '#' => {}
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {}
+            TokenTree::Ident(id) if expect_name => {
+                variants.push(id.to_string());
+                expect_name = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => expect_name = true,
+            TokenTree::Group(_) => {
+                return Err(format!(
+                    "derive(Serialize) shim: enum `{enum_name}` has a payload variant; \
+                     implement Serialize by hand"
+                ))
+            }
+            TokenTree::Punct(p) if p.as_char() == '=' => {
+                return Err(format!(
+                    "derive(Serialize) shim: enum `{enum_name}` has explicit discriminants"
+                ))
+            }
+            _ => {}
+        }
+    }
+    Ok(variants)
+}
+
+fn struct_impl(name: &str, fields: &[String]) -> String {
+    let mut body = String::from("out.push('{');\n");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::json_into(&self.{f}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+    wrap_impl(name, &body)
+}
+
+fn tuple_struct_impl(name: &str, n: usize) -> String {
+    let body = match n {
+        0 => "out.push_str(\"null\");".to_string(),
+        1 => "::serde::Serialize::json_into(&self.0, out);".to_string(),
+        n => {
+            let mut b = String::from("out.push('[');\n");
+            for i in 0..n {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!("::serde::Serialize::json_into(&self.{i}, out);\n"));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+    };
+    wrap_impl(name, &body)
+}
+
+fn enum_impl(name: &str, variants: &[String]) -> String {
+    let mut body = String::from("let s = match self {\n");
+    for v in variants {
+        body.push_str(&format!("{name}::{v} => \"\\\"{v}\\\"\",\n"));
+    }
+    body.push_str("};\nout.push_str(s);");
+    wrap_impl(name, &body)
+}
+
+fn wrap_impl(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn json_into(&self, out: &mut String) {{\n{body}\n}}\n}}"
+    )
+}
