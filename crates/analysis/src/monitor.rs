@@ -1,6 +1,11 @@
 //! The centralized monitor (§VI-B, Fig 6): collects per-machine gauges on
 //! a fixed period and exports them as time series / JSON — the data source
 //! behind Figures 3, 11 and 12.
+//!
+//! When a [`xrdma_telemetry::TelemetryHub`] is installed on the thread,
+//! every sample is additionally mirrored into the hub's metrics registry
+//! as `n<node>.*` gauges, so hub consumers see the monitor's view without
+//! a second collection pass.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -110,9 +115,21 @@ impl Monitor {
             t.qp_series.record(now, t.ctx.rnic().qp_count() as f64);
             t.occ_series.record(now, cs.memcache_occupied as f64);
             t.inuse_series.record(now, cs.memcache_in_use as f64);
+            let node = t.ctx.node().0;
+            xrdma_telemetry::hub::with_active(|hub| {
+                let m = hub.metrics();
+                m.gauge_set(&format!("n{node}.qp_count"), t.ctx.rnic().qp_count() as f64);
+                m.gauge_set(&format!("n{node}.bytes_tx"), rs.data_bytes_tx as f64);
+                m.gauge_set(&format!("n{node}.bytes_rx"), rs.data_bytes_rx as f64);
+                m.gauge_set(
+                    &format!("n{node}.memcache_occupied"),
+                    cs.memcache_occupied as f64,
+                );
+                m.gauge_set(&format!("n{node}.cnps_rx"), rs.cnps_received as f64);
+            });
             self.samples.borrow_mut().push(Sample {
                 t_ns: now,
-                node: t.ctx.node().0,
+                node,
                 qp_count: t.ctx.rnic().qp_count(),
                 channels: cs.channels_open,
                 bytes_tx: rs.data_bytes_tx,

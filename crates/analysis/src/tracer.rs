@@ -70,6 +70,36 @@ impl Tracer {
     }
 }
 
+impl Tracer {
+    /// Replay telemetry-hub events into the tracer's collections — the
+    /// event-bus equivalent of having been attached as the context's
+    /// `Instrument` for the whole run. Events the tracer does not model
+    /// are ignored; poll-gap and slow-op events arrive pre-thresholded by
+    /// the emitting context (see `xrdma_core::poll_gap_violates`).
+    pub fn ingest_events(&self, events: &[xrdma_telemetry::Event]) {
+        use xrdma_telemetry::EventKind as K;
+        for ev in events {
+            match &ev.kind {
+                K::PollGap { gap_ns, .. } => self.on_poll_gap(ev.t, Dur::nanos(*gap_ns)),
+                K::SlowOp { what, took_ns, .. } => self.on_slow_op(&SlowOp {
+                    at: ev.t,
+                    what,
+                    took: Dur::nanos(*took_ns),
+                }),
+                K::ChannelClose { peer, reason, .. } => {
+                    let reason = match *reason {
+                        "remote" => CloseReason::Remote,
+                        "peer-dead" => CloseReason::PeerDead,
+                        _ => CloseReason::Local,
+                    };
+                    self.on_channel_closed(NodeId(*peer), reason);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
 impl Instrument for Tracer {
     fn on_trace(&self, rec: &TraceRecord) {
         let oneway = rec.request_oneway_ns(self.clock_offset_ns);
@@ -164,5 +194,68 @@ mod tests {
         assert_eq!(t.poll_gaps.borrow().len(), 1);
         assert_eq!(t.slow_ops.borrow().len(), 1);
         assert_eq!(t.slow_ops.borrow()[0].what, "app-handler");
+    }
+
+    #[test]
+    fn ingest_replays_hub_events() {
+        use xrdma_telemetry::{Event, EventKind};
+        let t = Tracer::new(0);
+        let events = vec![
+            Event {
+                t: Time(100),
+                kind: EventKind::PollGap {
+                    node: 2,
+                    gap_ns: 5_000_000,
+                },
+            },
+            Event {
+                t: Time(200),
+                kind: EventKind::SlowOp {
+                    node: 2,
+                    what: "app-handler",
+                    took_ns: 2_000_000,
+                },
+            },
+            Event {
+                t: Time(300),
+                kind: EventKind::ChannelClose {
+                    node: 2,
+                    peer: 7,
+                    qpn: 1,
+                    reason: "peer-dead",
+                },
+            },
+            // Unmodelled kinds are ignored.
+            Event {
+                t: Time(400),
+                kind: EventKind::SeqDuplicate { seq: 3 },
+            },
+        ];
+        t.ingest_events(&events);
+        assert_eq!(t.poll_gaps.borrow().len(), 1);
+        assert_eq!(t.poll_gaps.borrow()[0].gap, Dur::millis(5));
+        assert_eq!(t.slow_ops.borrow().len(), 1);
+        assert_eq!(t.slow_ops.borrow()[0].at, Time(200));
+        assert_eq!(
+            t.closures.borrow().as_slice(),
+            [(NodeId(7), CloseReason::PeerDead)]
+        );
+    }
+
+    /// §VI-A edge semantics (satellite: threshold edges). Both watchdogs
+    /// are strictly-greater: a gap of exactly one warn cycle and an op of
+    /// exactly the threshold — including a zero-length op against a zero
+    /// threshold — are healthy.
+    #[test]
+    fn watchdog_thresholds_are_strict() {
+        use xrdma_core::{poll_gap_violates, slow_op_violates};
+        let warn = Dur::micros(500);
+        assert!(!poll_gap_violates(warn, warn), "gap exactly at warn cycle");
+        assert!(poll_gap_violates(warn + Dur::nanos(1), warn));
+        assert!(!poll_gap_violates(Dur::ZERO, Dur::ZERO), "zero-length gap");
+        let thr = Dur::micros(300);
+        assert!(!slow_op_violates(thr, thr), "op exactly at threshold");
+        assert!(slow_op_violates(thr + Dur::nanos(1), thr));
+        assert!(!slow_op_violates(Dur::ZERO, Dur::ZERO), "zero-length op");
     }
 }

@@ -25,6 +25,10 @@ pub struct StatRow {
     pub rpcs_outstanding: u64,
     pub keepalive_probes: u64,
     pub rate_gbps: f64,
+    /// DCQCN congestion estimate α (0 = calm, → 1 under sustained CNPs).
+    pub dcqcn_alpha: f64,
+    /// CNPs received by this connection's reaction point.
+    pub cnps_rx: u64,
     pub rnr_events: u64,
     pub retransmissions: u64,
 }
@@ -62,6 +66,8 @@ pub fn connection_table(ctx: &Rc<XrdmaContext>) -> Vec<StatRow> {
                 rpcs_outstanding: s.rpcs_outstanding,
                 keepalive_probes: s.keepalive_probes,
                 rate_gbps: ch.qp.current_rate_gbps(),
+                dcqcn_alpha: ch.qp.dcqcn_alpha(),
+                cnps_rx: ch.qp.cnp_count(),
                 rnr_events: ch.qp.rnr_events.get(),
                 retransmissions: ch.qp.retransmissions.get(),
             }
@@ -100,14 +106,42 @@ pub fn fabric_health(fabric: &Rc<Fabric>) -> String {
     )
 }
 
+/// Per-port PFC pause table (§VI-B "PFC status"): which links were paused
+/// and how often — the fabric tracks this internally; this surfaces it.
+pub fn pfc_pause_table(fabric: &Rc<Fabric>) -> String {
+    let per_port = fabric.stats().per_port_pauses();
+    if per_port.is_empty() {
+        return String::from("PFC-PAUSES: none\n");
+    }
+    let mut out = String::from("PORT          PFC-XOFF\n");
+    for (port, n) in per_port {
+        out.push_str(&format!("{port:<13} {n}\n"));
+    }
+    out
+}
+
+/// Summarize telemetry-hub events per kind — the quick "what happened on
+/// this box" view xr-stat prints when a hub captured the run.
+pub fn event_summary(events: &[xrdma_telemetry::Event]) -> String {
+    let counts = xrdma_telemetry::export::event_counts(events);
+    if counts.is_empty() {
+        return String::from("EVENTS: none\n");
+    }
+    let mut out = String::from("EVENT           COUNT\n");
+    for (name, n) in counts {
+        out.push_str(&format!("{name:<15} {n}\n"));
+    }
+    out
+}
+
 /// Render the connection table like `netstat` would.
 pub fn render_table(rows: &[StatRow]) -> String {
     let mut out = String::from(
-        "LOCAL  PEER   QPN    STATE  TX-MSGS  RX-MSGS  TX-BYTES     RX-BYTES     SMALL  LARGE  STALLS  RATE(Gbps)\n",
+        "LOCAL  PEER   QPN    STATE  TX-MSGS  RX-MSGS  TX-BYTES     RX-BYTES     SMALL  LARGE  STALLS  RATE(Gbps)  ALPHA  CNPS\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "n{:<5} n{:<5} {:<6} {:<6} {:<8} {:<8} {:<12} {:<12} {:<6} {:<6} {:<7} {:.2}\n",
+            "n{:<5} n{:<5} {:<6} {:<6} {:<8} {:<8} {:<12} {:<12} {:<6} {:<6} {:<7} {:<11.2} {:<6.3} {}\n",
             r.local_node,
             r.peer_node,
             r.qpn,
@@ -120,6 +154,8 @@ pub fn render_table(rows: &[StatRow]) -> String {
             r.large_msgs,
             r.window_stalls,
             r.rate_gbps,
+            r.dcqcn_alpha,
+            r.cnps_rx,
         ));
     }
     out
@@ -146,6 +182,8 @@ mod tests {
             rpcs_outstanding: 0,
             keepalive_probes: 3,
             rate_gbps: 25.0,
+            dcqcn_alpha: 0.125,
+            cnps_rx: 42,
             rnr_events: 0,
             retransmissions: 0,
         }];
@@ -153,6 +191,35 @@ mod tests {
         assert!(s.contains("n0"));
         assert!(s.contains("n3"));
         assert!(s.contains("25.00"));
+        assert!(s.contains("0.125"), "DCQCN alpha column: {s}");
+        assert!(s.contains("42"), "CNP column");
         assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn event_summary_counts_by_kind() {
+        use xrdma_sim::Time;
+        use xrdma_telemetry::{Event, EventKind};
+        let events = vec![
+            Event {
+                t: Time(1),
+                kind: EventKind::CnpGenerated { node: 0, qpn: 1 },
+            },
+            Event {
+                t: Time(2),
+                kind: EventKind::CnpGenerated { node: 0, qpn: 1 },
+            },
+            Event {
+                t: Time(3),
+                kind: EventKind::SeqDuplicate { seq: 5 },
+            },
+        ];
+        let s = event_summary(&events);
+        assert!(s.contains("cnp"));
+        assert!(s.lines().any(|l| l.starts_with("cnp") && l.ends_with('2')));
+        assert!(s
+            .lines()
+            .any(|l| l.starts_with("seq-dup") && l.ends_with('1')));
+        assert_eq!(event_summary(&[]), "EVENTS: none\n");
     }
 }

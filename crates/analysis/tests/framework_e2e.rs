@@ -166,6 +166,44 @@ fn poll_gap_watchdog_finds_slow_application() {
 }
 
 #[test]
+fn slow_op_watchdog_threshold_is_strictly_greater() {
+    // Edge semantics of the §VI-A watchdog: a handler costing *exactly*
+    // the threshold is fine; one nanosecond more is a slow op. Driven
+    // through a live server (not just the predicate) so the measured
+    // handler cost really is what the charge says.
+    let run = |charge: Dur| -> usize {
+        let mut cfg = XrdmaConfig::default();
+        cfg.slow_threshold = Dur::micros(300);
+        let net = net(FabricConfig::pair(), 12);
+        let client = ctx(&net, 0, cfg.clone());
+        let server = ctx(&net, 1, cfg);
+        let (c, s) = connect(&net, &client, &server, 7);
+        let tracer = Tracer::new(0);
+        server.set_instrument(tracer.clone());
+        let sv = server.clone();
+        // Oneway: the handler's only cost is the explicit charge (a
+        // respond would add its own send-path cycles on top).
+        s.set_on_request(move |_ch, _m, _tok| sv.thread().charge(charge));
+        for _ in 0..10 {
+            c.send_oneway_size(64).unwrap();
+        }
+        net.world.run_for(Dur::millis(50));
+        let n = tracer.slow_ops.borrow().len();
+        n
+    };
+    assert_eq!(
+        run(Dur::micros(300)),
+        0,
+        "cost exactly at the threshold is not slow"
+    );
+    assert_eq!(
+        run(Dur::micros(300) + Dur::nanos(1)),
+        10,
+        "one nanosecond over the threshold is"
+    );
+}
+
+#[test]
 fn xrping_matrix_spots_the_dead_machine() {
     let net = net(FabricConfig::rack(4), 4);
     let ctxs: Vec<_> = (0..4)

@@ -1,11 +1,22 @@
 //! Paper-vs-measured reporting: every harness prints a uniform comparison
-//! table and appends a JSON record under `results/` for EXPERIMENTS.md.
+//! table and persists machine-readable artifacts under the workspace
+//! `results/` directory for EXPERIMENTS.md.
+//!
+//! Artifact layout per experiment (all paths deterministic, independent of
+//! the invoking directory — see [`results_dir`]):
+//!
+//! * `results/<experiment>.json` — rows, verdicts, and every attached
+//!   series as a named JSON object;
+//! * `results/<experiment>.<series>.csv` — one two-column CSV per series
+//!   for direct plotting;
+//! * any extra files attached via [`Report::attach_file`] (e.g. a Chrome
+//!   `trace_event` dump from the telemetry hub).
 
 use std::fmt::Write as _;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use serde::Serialize;
+use serde::{write_json_str, Serialize};
 
 /// One compared quantity.
 #[derive(Clone, Debug, Serialize)]
@@ -19,13 +30,48 @@ pub struct Row {
 }
 
 /// A whole experiment report.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Report {
     pub experiment: String,
     pub description: String,
     pub rows: Vec<Row>,
     /// Free-form series dumps (plot data) keyed by name.
     pub series: Vec<(String, Vec<(f64, f64)>)>,
+    /// Extra artifacts written verbatim next to the JSON on `finish()`:
+    /// `(file name, contents)`.
+    pub extra_files: Vec<(String, String)>,
+}
+
+/// Resolve the workspace `results/` directory regardless of where the
+/// binary was invoked from, so every `fig*`/`exp_*` run lands its
+/// artifacts in the same place:
+///
+/// 1. `XRDMA_RESULTS_DIR` environment override, taken verbatim;
+/// 2. the nearest ancestor of the current directory whose `Cargo.toml`
+///    declares `[workspace]`, plus `results/`;
+/// 3. fallback: `<this crate>/../../results` resolved at compile time.
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("XRDMA_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    if let Ok(mut cur) = std::env::current_dir() {
+        loop {
+            let manifest = cur.join("Cargo.toml");
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return cur.join("results");
+                }
+            }
+            if !cur.pop() {
+                break;
+            }
+        }
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
 }
 
 impl Report {
@@ -35,6 +81,7 @@ impl Report {
             description: description.to_string(),
             rows: Vec::new(),
             series: Vec::new(),
+            extra_files: Vec::new(),
         }
     }
 
@@ -57,6 +104,12 @@ impl Report {
     /// Attach a plottable series.
     pub fn series(&mut self, name: &str, rows: Vec<(f64, f64)>) {
         self.series.push((name.to_string(), rows));
+    }
+
+    /// Attach a verbatim artifact (e.g. `fig10_flowctl.trace.json`) to be
+    /// written into `results/` on `finish()`.
+    pub fn attach_file(&mut self, name: &str, contents: String) {
+        self.extra_files.push((name.to_string(), contents));
     }
 
     /// Render the comparison table.
@@ -107,21 +160,35 @@ impl Report {
         self.rows.iter().all(|r| r.holds)
     }
 
-    /// Print and persist to `results/<experiment>.json`.
+    fn write_artifact(dir: &Path, name: &str, contents: &str) {
+        let path = dir.join(name);
+        match fs::write(&path, contents) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("[report] FAILED to write {}: {e}", path.display()),
+        }
+    }
+
+    /// Print and persist everything under [`results_dir`].
     pub fn finish(&self) {
         println!("{}", self.render());
         for (name, rows) in &self.series {
             println!("series {name} ({} points)", rows.len());
         }
-        let dir = Path::new("results");
-        let path = if dir.exists() {
-            dir.join(format!("{}.json", self.experiment))
-        } else {
-            // Running from a crate dir: walk up to the workspace root.
-            Path::new("../../results").join(format!("{}.json", self.experiment))
-        };
-        if let Ok(json) = serde_json::to_string_pretty(self) {
-            let _ = fs::write(&path, json);
+        let dir = results_dir();
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("[report] FAILED to create {}: {e}", dir.display());
+        }
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => Self::write_artifact(&dir, &format!("{}.json", self.experiment), &json),
+            Err(e) => eprintln!("[report] FAILED to serialize {}: {e:?}", self.experiment),
+        }
+        for (name, rows) in &self.series {
+            let file = format!("{}.{}.csv", self.experiment, name.replace('/', "-"));
+            let csv = xrdma_telemetry::export::series_csv(name, rows);
+            Self::write_artifact(&dir, &file, &csv);
+        }
+        for (name, contents) in &self.extra_files {
+            Self::write_artifact(&dir, name, contents);
         }
         println!(
             "[{}] {}",
@@ -132,6 +199,31 @@ impl Report {
                 "some shapes DIFFER (see rows)"
             }
         );
+    }
+}
+
+// Hand-written so `series` serializes as a named JSON object (the derive
+// would emit an array of pairs), keeping `results/*.json` self-describing.
+impl Serialize for Report {
+    fn json_into(&self, out: &mut String) {
+        out.push_str("{\"experiment\":");
+        write_json_str(&self.experiment, out);
+        out.push_str(",\"description\":");
+        write_json_str(&self.description, out);
+        out.push_str(",\"all_hold\":");
+        self.all_hold().json_into(out);
+        out.push_str(",\"rows\":");
+        self.rows.json_into(out);
+        out.push_str(",\"series\":{");
+        for (i, (name, rows)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(name, out);
+            out.push(':');
+            rows.json_into(out);
+        }
+        out.push_str("}}");
     }
 }
 
@@ -159,5 +251,29 @@ mod tests {
         assert!(s.contains("HOLDS"));
         assert!(s.contains("DIFFERS"));
         assert!(!r.all_hold());
+    }
+
+    #[test]
+    fn json_names_series() {
+        let mut r = Report::new("figX", "demo");
+        r.row("latency", "1", "1", true);
+        r.series("goodput_gbps", vec![(0.0, 10.0), (0.1, 12.0)]);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"series\":{\"goodput_gbps\":[[0.0,10.0],[0.1,12.0]]}"));
+        assert!(json.contains("\"all_hold\":true"));
+    }
+
+    #[test]
+    fn results_dir_env_override_wins() {
+        // Serialized env access: this test owns the var for its duration.
+        std::env::set_var("XRDMA_RESULTS_DIR", "/tmp/xrdma-results-test");
+        assert_eq!(results_dir(), PathBuf::from("/tmp/xrdma-results-test"));
+        std::env::remove_var("XRDMA_RESULTS_DIR");
+        let d = results_dir();
+        assert!(
+            d.ends_with("results"),
+            "fallback resolves a results dir: {}",
+            d.display()
+        );
     }
 }

@@ -12,6 +12,7 @@ use xrdma_fabric::NodeId;
 use xrdma_rnic::verbs::Payload;
 use xrdma_rnic::{Qp, Rnic, SendOp, SendWr};
 use xrdma_sim::{Dur, Time};
+use xrdma_telemetry::tele;
 
 use crate::config::MsgMode;
 use crate::context::XrdmaContext;
@@ -61,6 +62,18 @@ pub enum CloseReason {
     Remote,
     /// KeepAlive (or a data operation) found the peer dead (§V-A).
     PeerDead,
+}
+
+impl CloseReason {
+    /// Stable lowercase name for telemetry; `peer-dead` marks the abnormal
+    /// close that triggers a flight-recorder dump.
+    pub fn name(self) -> &'static str {
+        match self {
+            CloseReason::Local => "local",
+            CloseReason::Remote => "remote",
+            CloseReason::PeerDead => "peer-dead",
+        }
+    }
 }
 
 /// A message as delivered to the application.
@@ -460,6 +473,11 @@ impl XrdmaChannel {
                 rpc_id,
                 trace,
             });
+            tele!(WindowStall {
+                node: ctx.node().0,
+                qpn: self.qp.qpn.0,
+                queued: self.pending.borrow().len() as u64,
+            });
             return Ok(());
         }
         self.transmit(&ctx, kind, body, rpc_id, trace)
@@ -592,6 +610,7 @@ impl XrdmaChannel {
         let Some(ctx) = self.ctx.upgrade() else {
             return;
         };
+        let was_stalled = self.stalled_since.get().is_some();
         loop {
             if !self.tx.borrow().can_send() {
                 break;
@@ -609,6 +628,12 @@ impl XrdmaChannel {
         }
         if self.pending.borrow().is_empty() {
             self.stalled_since.set(None);
+        }
+        if was_stalled && self.stalled_since.get().is_none() {
+            tele!(WindowResume {
+                node: ctx.node().0,
+                qpn: self.qp.qpn.0,
+            });
         }
     }
 
@@ -662,6 +687,10 @@ impl XrdmaChannel {
         self.probe_outstanding.set(true);
         self.last_probe.set(ctx.world().now());
         self.stats.borrow_mut().keepalive_probes += 1;
+        tele!(KeepaliveProbe {
+            node: ctx.node().0,
+            qpn: self.qp.qpn.0,
+        });
         let wr = SendWr {
             wr_id: wr_probe(),
             op: SendOp::Write,
@@ -981,7 +1010,7 @@ impl XrdmaChannel {
         }
         // Slow-operation watchdog (§VI-A method III).
         let handler_cost = ctx.thread().busy_until().since(before);
-        if handler_cost > ctx.config().slow_threshold {
+        if crate::context::slow_op_violates(handler_cost, ctx.config().slow_threshold) {
             ctx.record_slow_op("app-handler", handler_cost);
         }
 
@@ -1136,6 +1165,12 @@ impl XrdmaChannel {
                     ctx.memcache().release(&buf);
                 }
             }
+            tele!(ChannelClose {
+                node: ctx.node().0,
+                peer: self.peer.0,
+                qpn: self.qp.qpn.0,
+                reason: reason.name(),
+            });
             ctx.channel_closed(self, reason);
         }
         if let Some(cb) = self.on_close.borrow().as_ref() {

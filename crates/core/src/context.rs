@@ -16,6 +16,7 @@ use xrdma_rnic::mem::Pd;
 use xrdma_rnic::{CompletionQueue, ConnManager, Cqe, Qp, QpCaps, Rnic, RnicConfig, Srq};
 use xrdma_sim::stats::Histogram;
 use xrdma_sim::{CpuThread, Dur, SimRng, Time, World};
+use xrdma_telemetry::tele;
 
 use crate::channel::{wr_tag, CloseReason, XrdmaChannel, TAG_READ};
 use crate::config::{PollMode, XrdmaConfig};
@@ -114,6 +115,20 @@ pub struct XrdmaContext {
     fd_readable_cb: RefCell<Option<Box<dyn Fn()>>>,
     timer_running: Cell<bool>,
     tick_count: Cell<u64>,
+}
+
+/// §VI-A method II edge rule: a poll gap is only a violation when it
+/// *strictly exceeds* the warn cycle — completions that waited exactly one
+/// cycle are healthy. Extracted so the boundary is unit-testable.
+pub fn poll_gap_violates(gap: Dur, warn_cycle: Dur) -> bool {
+    gap > warn_cycle
+}
+
+/// §VI-A method III edge rule, same strictness: an operation taking exactly
+/// the threshold (including zero-length ops at a zero threshold) is not
+/// slow.
+pub fn slow_op_violates(took: Dur, threshold: Dur) -> bool {
+    took > threshold
 }
 
 impl XrdmaContext {
@@ -556,8 +571,12 @@ impl XrdmaContext {
         if let Some(ready_at) = self.pump_requested_at.take() {
             let gap = now.since(ready_at);
             let warn = self.config().polling_warn_cycle;
-            if gap > warn {
+            if poll_gap_violates(gap, warn) {
                 self.stats.borrow_mut().poll_gap_warnings += 1;
+                tele!(PollGap {
+                    node: self.node().0,
+                    gap_ns: gap.as_nanos(),
+                });
                 if let Some(i) = self.instrument.borrow().as_ref() {
                     i.on_poll_gap(now, gap);
                 }
@@ -725,6 +744,11 @@ impl XrdmaContext {
             what,
             took,
         };
+        tele!(SlowOp {
+            node: self.node().0,
+            what,
+            took_ns: took.as_nanos(),
+        });
         if let Some(i) = self.instrument.borrow().as_ref() {
             i.on_slow_op(&op);
         }

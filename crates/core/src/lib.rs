@@ -43,6 +43,6 @@ pub mod stats;
 
 pub use channel::{XrdmaChannel, XrdmaMsg};
 pub use config::{FlowCtlConfig, MemCacheConfig, MsgMode, PollMode, XrdmaConfig};
-pub use context::XrdmaContext;
+pub use context::{poll_gap_violates, slow_op_violates, XrdmaContext};
 pub use error::XrdmaError;
 pub use stats::{ChannelStats, ContextStats};

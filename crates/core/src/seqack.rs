@@ -20,6 +20,7 @@
 //! `acked` on the RX side.
 
 use xrdma_sim::invariant;
+use xrdma_telemetry::tele;
 
 /// Sender-side window over one channel.
 #[derive(Clone, Debug)]
@@ -167,6 +168,7 @@ impl RxWindow {
         if seq.wrapping_sub(self.rta) >= self.depth {
             // Behind the window (or absurdly ahead, impossible on RC):
             // a retransmission of something we consumed.
+            tele!(SeqDuplicate { seq });
             return RxAccept::Duplicate;
         }
         let next = self.wta;
@@ -175,6 +177,7 @@ impl RxWindow {
             self.recved[(seq % self.depth) as usize] = false;
             RxAccept::Fresh
         } else if seq.wrapping_sub(self.rta) < next.wrapping_sub(self.rta) {
+            tele!(SeqDuplicate { seq });
             RxAccept::Duplicate
         } else {
             // Ahead of wta: RC in-order delivery makes this unreachable,

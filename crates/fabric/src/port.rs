@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 use std::rc::{Rc, Weak};
 
 use xrdma_sim::{time::wire_time, Dur, World};
+use xrdma_telemetry::tele;
 
 use crate::fabric::NicSink;
 use crate::packet::{Packet, NPRIO};
@@ -147,11 +148,22 @@ impl Port {
         let size = pkt.size_bytes as u64;
         if self.queued_bytes[prio].get() + size > self.limit_bytes {
             self.stats.on_drop();
+            tele!(PktDrop {
+                port: self.label.clone(),
+                prio: pkt.prio,
+                bytes: pkt.size_bytes,
+            });
             return false;
         }
         self.queued_bytes[prio].set(self.queued_bytes[prio].get() + size);
         self.stats
             .observe_queue_depth(self.queued_bytes[prio].get());
+        tele!(PktEnqueue {
+            port: self.label.clone(),
+            prio: pkt.prio,
+            bytes: pkt.size_bytes,
+            queued_bytes: self.queued_bytes[prio].get(),
+        });
         self.queues.borrow_mut()[prio].push_back(QEntry { pkt, ingress });
         self.kick();
         true

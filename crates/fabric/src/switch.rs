@@ -12,6 +12,7 @@ use std::cell::RefCell;
 use std::rc::{Rc, Weak};
 
 use xrdma_sim::{invariant, Dur, SimRng, World};
+use xrdma_telemetry::tele;
 
 use crate::config::{EcnConfig, PfcConfig};
 use crate::packet::{NodeId, Packet, NPRIO, PRIO_TCP};
@@ -148,6 +149,10 @@ impl Switch {
             if p > 0.0 && self.rng.borrow_mut().chance(p) && !pkt.ecn_marked {
                 pkt.ecn_marked = true;
                 self.stats.on_ecn_mark();
+                tele!(EcnMark {
+                    port: port.label.clone(),
+                    queued_bytes: port.queue_bytes(pkt.prio),
+                });
             }
         }
 
@@ -221,9 +226,19 @@ impl Switch {
             return;
         };
         if xoff {
-            self.stats.on_pause(self.world.now(), upstream.host_owned);
+            self.stats
+                .on_pause(self.world.now(), upstream.host_owned, &upstream.label);
+            tele!(PfcXoff {
+                port: upstream.label.clone(),
+                prio,
+                to_host: upstream.host_owned,
+            });
         } else {
             self.stats.on_resume();
+            tele!(PfcXon {
+                port: upstream.label.clone(),
+                prio,
+            });
         }
         let host_owned = upstream.host_owned;
         self.world.schedule_in(self.ctrl_delay, move || {

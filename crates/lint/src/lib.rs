@@ -49,6 +49,9 @@ pub enum Rule {
     IntraWorldParallelism,
     /// D5: unwrap/expect on public API paths.
     UnwrapInApi,
+    /// T1: telemetry emitted around the `tele!` macro (direct `emit_raw`
+    /// calls), which would defeat the zero-overhead-when-off contract.
+    RawTelemetry,
 }
 
 impl Rule {
@@ -60,6 +63,7 @@ impl Rule {
             Rule::NondeterministicIter => "nondeterministic-iter",
             Rule::IntraWorldParallelism => "intra-world-parallelism",
             Rule::UnwrapInApi => "unwrap-in-api",
+            Rule::RawTelemetry => "raw-telemetry-emit",
         }
     }
 
@@ -70,16 +74,18 @@ impl Rule {
             "nondeterministic-iter" => Rule::NondeterministicIter,
             "intra-world-parallelism" => Rule::IntraWorldParallelism,
             "unwrap-in-api" => Rule::UnwrapInApi,
+            "raw-telemetry-emit" => Rule::RawTelemetry,
             _ => return None,
         })
     }
 
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::WallClock,
         Rule::AmbientRandomness,
         Rule::NondeterministicIter,
         Rule::IntraWorldParallelism,
         Rule::UnwrapInApi,
+        Rule::RawTelemetry,
     ];
 }
 
@@ -136,6 +142,7 @@ pub const SIM_RULES: RuleSet = RuleSet {
         Rule::AmbientRandomness,
         Rule::NondeterministicIter,
         Rule::IntraWorldParallelism,
+        Rule::RawTelemetry,
     ],
 };
 
@@ -148,6 +155,19 @@ pub const API_RULES: RuleSet = RuleSet {
         Rule::NondeterministicIter,
         Rule::IntraWorldParallelism,
         Rule::UnwrapInApi,
+        Rule::RawTelemetry,
+    ],
+};
+
+/// `xrdma-telemetry` itself defines `emit_raw` (it is the hub's delivery
+/// path under the `tele!` macro), so T1 does not apply there; the
+/// determinism rules still do.
+pub const TELEMETRY_CRATE_RULES: RuleSet = RuleSet {
+    rules: &[
+        Rule::WallClock,
+        Rule::AmbientRandomness,
+        Rule::NondeterministicIter,
+        Rule::IntraWorldParallelism,
     ],
 };
 
@@ -165,6 +185,7 @@ pub fn workspace_targets() -> Vec<(&'static str, RuleSet)> {
         ("crates/apps", SIM_RULES),
         ("crates/analysis", SIM_RULES),
         ("crates/baselines", SIM_RULES),
+        ("crates/telemetry", TELEMETRY_CRATE_RULES),
     ]
 }
 
@@ -626,6 +647,15 @@ fn check_line(rule: Rule, line_no: usize, ctx: &FileCtx, file: &Path, out: &mut 
         Rule::UnwrapInApi => {
             // Handled by the pub-fn scanner (needs function context).
         }
+        Rule::RawTelemetry => {
+            if contains_ident(line, "emit_raw") {
+                hit(
+                    "direct `emit_raw` call bypasses the `tele!` macro; events emitted \
+                     outside the macro are not compiled out in telemetry-off builds"
+                        .to_string(),
+                );
+            }
+        }
     }
 }
 
@@ -911,6 +941,30 @@ mod tests {
         let src2 = "struct S { m: BTreeMap<u32, u64> }\n\
                     fn f(s: &S) { for v in s.m.values() { use_it(v); } }";
         assert!(run(src2, SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn t1_catches_direct_emit_raw() {
+        let v = run(
+            "fn f() { xrdma_telemetry::hub::emit_raw(EventKind::SeqDuplicate { seq }); }",
+            SIM_RULES,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::RawTelemetry);
+    }
+
+    #[test]
+    fn t1_ignores_tele_macro_and_comments() {
+        assert!(run("fn f() { tele!(SeqDuplicate { seq: 1 }); }", SIM_RULES).is_empty());
+        assert!(run("// emit_raw is the hub's delivery path", SIM_RULES).is_empty());
+        assert!(run("fn emit_raw_counts() {}", SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn t1_not_applied_to_the_telemetry_crate_itself() {
+        let src = "pub fn emit_raw(kind: EventKind) {}";
+        assert!(run(src, TELEMETRY_CRATE_RULES).is_empty());
+        assert_eq!(run(src, SIM_RULES).len(), 1);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::rc::Rc;
 use serde::Serialize;
 use xrdma_fabric::NodeId;
 use xrdma_sim::{Dur, SimRng, World};
+use xrdma_telemetry::tele;
 
 use crate::engine::Rnic;
 use crate::qp::{Qp, QpState};
@@ -302,6 +303,11 @@ impl ConnManager {
                         (l.established)(server_qp.clone(), rnic.node());
                     }
                     drop(listeners);
+                    tele!(CmEstablished {
+                        node: rnic.node().0,
+                        peer: server.0,
+                        qpn: qp.qpn.0,
+                    });
                     done(Ok(qp));
                 });
             });

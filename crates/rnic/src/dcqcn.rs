@@ -20,6 +20,7 @@
 
 use serde::Serialize;
 use xrdma_sim::{invariant, Dur, Time};
+use xrdma_telemetry::tele;
 
 /// DCQCN tunables (reaction-point unless noted).
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -129,6 +130,11 @@ impl DcqcnRp {
         self.last_increase = now;
         self.cut_count += 1;
         self.check_bounds();
+        tele!(DcqcnRate {
+            rate_gbps: self.rate,
+            alpha: self.alpha,
+            cnps: self.cnp_count,
+        });
     }
 
     /// Rate/alpha bounds (checked under `debug_invariants`): the RP must

@@ -34,6 +34,7 @@ use xrdma_fabric::packet::{PRIO_CTRL, PRIO_RDMA};
 use xrdma_fabric::port::Port;
 use xrdma_fabric::{Fabric, NicSink, NodeId, Packet};
 use xrdma_sim::{Dur, SimRng, Time, World};
+use xrdma_telemetry::tele;
 
 use crate::config::{PageKind, RnicConfig};
 use crate::cq::{CompletionQueue, Cqe, CqeOpcode, CqeStatus};
@@ -1171,6 +1172,11 @@ impl Rnic {
             }
             qp.retransmissions.set(qp.retransmissions.get() + n);
             self.stats.borrow_mut().retransmissions += n;
+            tele!(Retransmit {
+                node: self.node.0,
+                qpn: qp.qpn.0,
+                msgs: n,
+            });
             exceeded
         };
         if exceeded {
@@ -1606,6 +1612,10 @@ impl Rnic {
             NakKind::Rnr => {
                 qp.rnr_events.set(qp.rnr_events.get() + 1);
                 self.stats.borrow_mut().rnr_naks_received += 1;
+                tele!(Rnr {
+                    node: self.node.0,
+                    qpn: qp.qpn.0,
+                });
                 // Everything below expected_seq is implicitly acked.
                 if expected_seq > 0 {
                     self.handle_ack(qp, expected_seq - 1);
@@ -2001,6 +2011,10 @@ impl Rnic {
             if fire {
                 if let Some((_, remote_qpn)) = qp.remote() {
                     me.stats.borrow_mut().cnps_sent += 1;
+                    tele!(CnpGenerated {
+                        node: me.node.0,
+                        qpn: qp.qpn.0,
+                    });
                     me.send_ctrl(
                         &qp,
                         Bth::Cnp {

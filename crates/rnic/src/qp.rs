@@ -8,6 +8,7 @@ use std::rc::Rc;
 
 use xrdma_fabric::NodeId;
 use xrdma_sim::{invariant, Time};
+use xrdma_telemetry::tele;
 
 use crate::cq::CompletionQueue;
 use crate::dcqcn::{DcqcnNp, DcqcnRp};
@@ -23,6 +24,19 @@ pub enum QpState {
     /// Ready to send.
     Rts,
     Error,
+}
+
+impl QpState {
+    /// Stable lowercase name for telemetry and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            QpState::Reset => "reset",
+            QpState::Init => "init",
+            QpState::Rtr => "rtr",
+            QpState::Rts => "rts",
+            QpState::Error => "error",
+        }
+    }
 }
 
 /// Queue capacities.
@@ -287,6 +301,11 @@ impl Qp {
             to,
             self.qpn
         );
+        tele!(QpState {
+            qpn: self.qpn.0,
+            from: self.state.get().name(),
+            to: to.name(),
+        });
         self.state.set(to);
     }
 
@@ -362,6 +381,11 @@ impl Qp {
     /// CNPs received by this QP's reaction point.
     pub fn cnp_count(&self) -> u64 {
         self.rp.borrow().cnp_count
+    }
+
+    /// Current DCQCN congestion estimate α (XR-Stat's DCQCN column).
+    pub fn dcqcn_alpha(&self) -> f64 {
+        self.rp.borrow().alpha()
     }
 
     /// Can the engine currently transmit for this QP?

@@ -1,0 +1,176 @@
+//! Exporters: JSONL event logs, Chrome `trace_event` JSON, and series
+//! helpers (event-rate bucketing, CSV).
+//!
+//! All output is a pure function of the event slice, so two same-seed runs
+//! produce byte-identical files — the determinism contract extends to the
+//! telemetry artifacts themselves (tested in `tests/determinism.rs`).
+
+use serde::{write_json_str, Serialize};
+use xrdma_sim::stats::{SeriesKind, TimeSeries};
+use xrdma_sim::Dur;
+
+use crate::event::{Event, EventKind};
+
+/// One compact JSON object per line, trailing newline included.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        ev.json_into(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Chrome `trace_event` JSON (the "JSON Array Format" wrapped in an object
+/// with `traceEvents`), loadable in `chrome://tracing` or Perfetto.
+///
+/// Every event becomes a global instant (`"ph":"i"`); `dcqcn-rate` events
+/// additionally become counter samples (`"ph":"C"`) so the rate/alpha
+/// control loop renders as a continuous track. Timestamps are virtual
+/// microseconds; pid/tid group by node/QP.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: &str, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(s);
+    };
+    let mut buf = String::new();
+    for ev in events {
+        let (pid, tid) = ev.kind.pid_tid();
+        let ts = ev.t.as_micros_f64();
+        buf.clear();
+        buf.push_str("{\"name\":");
+        write_json_str(ev.kind.name(), &mut buf);
+        buf.push_str(",\"ph\":\"i\",\"s\":\"g\",\"pid\":");
+        u64::from(pid).json_into(&mut buf);
+        buf.push_str(",\"tid\":");
+        u64::from(tid).json_into(&mut buf);
+        buf.push_str(",\"ts\":");
+        ts.json_into(&mut buf);
+        buf.push_str(",\"args\":");
+        // Reuse the JSONL payload as args: strip to an object of its own.
+        let mut payload = String::new();
+        ev.json_into(&mut payload);
+        buf.push_str(&payload);
+        buf.push('}');
+        push(&buf, &mut out);
+        if let EventKind::DcqcnRate {
+            rate_gbps, alpha, ..
+        } = ev.kind
+        {
+            buf.clear();
+            buf.push_str("{\"name\":\"dcqcn\",\"ph\":\"C\",\"pid\":");
+            u64::from(pid).json_into(&mut buf);
+            buf.push_str(",\"ts\":");
+            ts.json_into(&mut buf);
+            buf.push_str(",\"args\":{\"rate_gbps\":");
+            rate_gbps.json_into(&mut buf);
+            buf.push_str(",\"alpha\":");
+            alpha.json_into(&mut buf);
+            buf.push_str("}}");
+            push(&buf, &mut out);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Events-per-second of the named kind, bucketed over `bucket` of virtual
+/// time: the shape Figure 10 plots for CNP and TX-pause rates.
+pub fn event_rate_series(events: &[Event], kind_name: &str, bucket: Dur) -> Vec<(f64, f64)> {
+    let mut ts = TimeSeries::new(bucket.as_nanos().max(1), SeriesKind::Sum);
+    for ev in events {
+        if ev.kind.name() == kind_name {
+            ts.record(ev.t.nanos(), 1.0);
+        }
+    }
+    ts.rate_rows()
+}
+
+/// Count events per kind, deterministically ordered by kind name.
+pub fn event_counts(events: &[Event]) -> Vec<(&'static str, u64)> {
+    let mut map = std::collections::BTreeMap::new();
+    for ev in events {
+        *map.entry(ev.kind.name()).or_insert(0u64) += 1;
+    }
+    map.into_iter().collect()
+}
+
+/// `(t, v)` rows as a two-column CSV with header.
+pub fn series_csv(header: &str, rows: &[(f64, f64)]) -> String {
+    let mut out = format!("t_secs,{header}\n");
+    for (t, v) in rows {
+        out.push_str(&format!("{t},{v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xrdma_sim::Time;
+
+    fn evs() -> Vec<Event> {
+        vec![
+            Event {
+                t: Time(1_000),
+                kind: EventKind::CnpGenerated { node: 1, qpn: 4 },
+            },
+            Event {
+                t: Time(2_000),
+                kind: EventKind::DcqcnRate {
+                    rate_gbps: 12.5,
+                    alpha: 0.1,
+                    cnps: 1,
+                },
+            },
+            Event {
+                t: Time(1_000_000_500),
+                kind: EventKind::CnpGenerated { node: 1, qpn: 4 },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let s = to_jsonl(&evs());
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.ends_with('\n'));
+        assert!(s.lines().all(|l| l.starts_with("{\"t\":")));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let s = chrome_trace(&evs());
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.ends_with("]}"));
+        // Instant events for all three, plus one counter sample.
+        assert_eq!(s.matches("\"ph\":\"i\"").count(), 3);
+        assert_eq!(s.matches("\"ph\":\"C\"").count(), 1);
+        assert!(s.contains("\"pid\":1"));
+    }
+
+    #[test]
+    fn rate_series_buckets_per_second() {
+        let rows = event_rate_series(&evs(), "cnp", Dur::secs(1));
+        assert_eq!(rows.len(), 2);
+        // One CNP in each 1 s bucket → 1 event/s.
+        assert_eq!(rows[0], (0.0, 1.0));
+        assert_eq!(rows[1], (1.0, 1.0));
+        assert!(event_rate_series(&evs(), "pfc-xoff", Dur::secs(1)).is_empty());
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        assert_eq!(event_counts(&evs()), vec![("cnp", 2), ("dcqcn-rate", 1)],);
+    }
+
+    #[test]
+    fn csv_rows() {
+        let s = series_csv("cnps_per_s", &[(0.0, 1.0), (0.5, 2.0)]);
+        assert_eq!(s, "t_secs,cnps_per_s\n0,1\n0.5,2\n");
+    }
+}

@@ -1,0 +1,237 @@
+//! The cross-layer event bus.
+//!
+//! A [`TelemetryHub`] is installed per thread (one world per thread is the
+//! workspace invariant, so per-thread means per-world) and collects every
+//! event the stack emits through the [`tele!`](crate::tele) macro. The hub
+//! owns three sinks:
+//!
+//! * the **run log** — an append-only `Vec<Event>` for exporters;
+//! * the **flight recorder** — a bounded ring that also sees packet-level
+//!   events, dumped when an `invariant!` fires or a channel dies abnormally;
+//! * the **metrics registry** — counters/gauges/histograms/series sampled
+//!   on a periodic virtual-time tick.
+//!
+//! Emission goes through two free functions, [`active`] and [`emit_raw`],
+//! which `tele!` pairs so the payload is never even constructed when no hub
+//! is installed. Calling `emit_raw` directly from stack code is flagged by
+//! the `raw-telemetry-emit` lint rule: the macro is the only sanctioned
+//! entry point, because it is what makes the telemetry-off build free.
+
+use std::cell::RefCell;
+use std::rc::{Rc, Weak};
+
+use serde::Serialize;
+use xrdma_sim::{Dur, Time, World};
+
+use crate::event::{Event, EventKind};
+use crate::metrics::MetricsRegistry;
+use crate::recorder::FlightRecorder;
+
+/// Capture policy for an installed hub.
+#[derive(Clone, Copy, Debug)]
+pub struct HubConfig {
+    /// Append protocol-level events to the run log (needed by exporters).
+    pub capture_log: bool,
+    /// Also log packet-level events (`pkt-enqueue`) — high volume; the
+    /// flight recorder sees them regardless.
+    pub packet_level: bool,
+    /// Flight-recorder ring capacity.
+    pub ring_capacity: usize,
+}
+
+impl Default for HubConfig {
+    fn default() -> HubConfig {
+        HubConfig {
+            capture_log: true,
+            packet_level: false,
+            ring_capacity: 256,
+        }
+    }
+}
+
+pub struct TelemetryHub {
+    world: Rc<World>,
+    cfg: HubConfig,
+    events: RefCell<Vec<Event>>,
+    recorder: RefCell<FlightRecorder>,
+    metrics: MetricsRegistry,
+    /// The most recent flight-recorder dump, kept for tests and reports.
+    last_dump: RefCell<Option<Vec<Event>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<TelemetryHub>>> = const { RefCell::new(None) };
+}
+
+impl TelemetryHub {
+    /// Install a fresh hub for this thread's world and wire the sim-layer
+    /// invariant observer to the flight recorder. The returned guard
+    /// uninstalls both on drop; installing over an existing hub replaces
+    /// it.
+    pub fn install(world: &Rc<World>, cfg: HubConfig) -> HubGuard {
+        let hub = Rc::new(TelemetryHub {
+            world: world.clone(),
+            cfg,
+            events: RefCell::new(Vec::new()),
+            recorder: RefCell::new(FlightRecorder::new(cfg.ring_capacity)),
+            metrics: MetricsRegistry::new(),
+            last_dump: RefCell::new(None),
+        });
+        CURRENT.with(|c| *c.borrow_mut() = Some(hub.clone()));
+        let weak = Rc::downgrade(&hub);
+        xrdma_sim::set_invariant_observer(move |msg| {
+            if let Some(hub) = weak.upgrade() {
+                hub.record(EventKind::InvariantFired {
+                    msg: msg.to_string(),
+                });
+                hub.dump_flight_recorder(msg);
+            }
+        });
+        HubGuard { hub }
+    }
+
+    pub fn now(&self) -> Time {
+        self.world.now()
+    }
+
+    /// Stamp and route one event. The flight recorder sees everything; the
+    /// run log is filtered per [`HubConfig`]. An abnormal channel close
+    /// (`peer-dead`) dumps the recorder, the §VI "black box on a crash"
+    /// behaviour.
+    pub fn record(&self, kind: EventKind) {
+        let ev = Event {
+            t: self.world.now(),
+            kind,
+        };
+        self.recorder.borrow_mut().push(ev.clone());
+        let abnormal_close = matches!(
+            &ev.kind,
+            EventKind::ChannelClose {
+                reason: "peer-dead",
+                ..
+            }
+        );
+        if self.cfg.capture_log && (self.cfg.packet_level || !ev.kind.is_packet_level()) {
+            self.events.borrow_mut().push(ev);
+        }
+        if abnormal_close {
+            self.dump_flight_recorder("abnormal channel close (peer-dead)");
+        }
+    }
+
+    /// Snapshot of the run log.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.borrow().clone()
+    }
+
+    pub fn event_count(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Write the flight-recorder contents to stderr (JSONL) and remember
+    /// them in `last_dump`.
+    pub fn dump_flight_recorder(&self, why: &str) {
+        let snap = self.recorder.borrow().snapshot();
+        let total = self.recorder.borrow().total_seen();
+        eprintln!(
+            "[xrdma-telemetry] flight recorder dump ({why}): last {} of {} events at {}",
+            snap.len(),
+            total,
+            self.world.now()
+        );
+        let mut line = String::new();
+        for ev in &snap {
+            line.clear();
+            ev.json_into(&mut line);
+            eprintln!("[xrdma-telemetry] {line}");
+        }
+        *self.last_dump.borrow_mut() = Some(snap);
+    }
+
+    pub fn last_dump(&self) -> Option<Vec<Event>> {
+        self.last_dump.borrow().clone()
+    }
+
+    /// Schedule `f(hub)` every `period` of virtual time, starting one
+    /// period from now. The tick holds only a weak reference: dropping the
+    /// hub (guard) stops the sampler, and a hub outliving its world never
+    /// fires. Combined with [`MetricsRegistry::sample_gauges`] this turns
+    /// gauges into deterministic time series.
+    pub fn start_sampler(self: &Rc<Self>, period: Dur, f: impl Fn(&TelemetryHub) + 'static) {
+        fn arm(
+            world: &Rc<World>,
+            weak: Weak<TelemetryHub>,
+            period: Dur,
+            f: Rc<dyn Fn(&TelemetryHub)>,
+        ) {
+            let w2 = world.clone();
+            world.schedule_in(period, move || {
+                if let Some(hub) = weak.upgrade() {
+                    f(&hub);
+                    arm(&w2, Rc::downgrade(&hub), period, f);
+                }
+            });
+        }
+        arm(&self.world, Rc::downgrade(self), period, Rc::new(f));
+    }
+}
+
+/// RAII handle for an installed hub.
+pub struct HubGuard {
+    hub: Rc<TelemetryHub>,
+}
+
+impl HubGuard {
+    pub fn hub(&self) -> &Rc<TelemetryHub> {
+        &self.hub
+    }
+}
+
+impl std::ops::Deref for HubGuard {
+    type Target = TelemetryHub;
+    fn deref(&self) -> &TelemetryHub {
+        &self.hub
+    }
+}
+
+impl Drop for HubGuard {
+    fn drop(&mut self) {
+        xrdma_sim::clear_invariant_observer();
+        CURRENT.with(|c| {
+            let mut cur = c.borrow_mut();
+            if let Some(h) = cur.as_ref() {
+                if Rc::ptr_eq(h, &self.hub) {
+                    *cur = None;
+                }
+            }
+        });
+    }
+}
+
+/// Is a hub installed on this thread? `tele!` checks this before building
+/// the event payload.
+pub fn active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Deliver one event to the installed hub, if any. Do not call this from
+/// stack code — emit through `tele!` (enforced by the `raw-telemetry-emit`
+/// lint rule).
+pub fn emit_raw(kind: EventKind) {
+    let hub = CURRENT.with(|c| c.borrow().clone());
+    if let Some(hub) = hub {
+        hub.record(kind);
+    }
+}
+
+/// Run `f` against the installed hub, if any. For pull-style consumers
+/// (the monitor mirroring gauges, xr-stat summaries) — not an emission
+/// path.
+pub fn with_active<R>(f: impl FnOnce(&TelemetryHub) -> R) -> Option<R> {
+    let hub = CURRENT.with(|c| c.borrow().clone());
+    hub.map(|h| f(&h))
+}

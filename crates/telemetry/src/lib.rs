@@ -1,0 +1,199 @@
+//! # xrdma-telemetry — cross-layer observability for the X-RDMA stack
+//!
+//! The paper's §VI argues X-RDMA's production value came as much from its
+//! diagnosis ecosystem (xr-stat, xr-ping, tracing, ADM) as from the
+//! protocol. This crate is that ecosystem's backbone in the reproduction:
+//! a structured event bus every layer emits into, a sim-time metrics
+//! registry, exporters (JSONL, Chrome `trace_event`, CSV), and a bounded
+//! flight recorder dumped on failure.
+//!
+//! ## Overhead contract
+//!
+//! Instrumented crates emit through [`tele!`], which expands to **nothing**
+//! unless the *invoking* crate's `telemetry` feature is enabled — the
+//! telemetry-off build carries zero extra instructions on hot paths, the
+//! same contract `invariant!` makes for checkers. With the feature on but
+//! no hub installed, the cost is one thread-local flag check; the event
+//! payload is only constructed when a [`TelemetryHub`] is live on the
+//! current thread. The `raw-telemetry-emit` lint rule keeps stack code
+//! honest by rejecting direct `emit_raw` calls.
+
+pub mod event;
+pub mod export;
+pub mod hub;
+pub mod metrics;
+pub mod recorder;
+
+pub use event::{Event, EventKind};
+pub use hub::{HubConfig, HubGuard, TelemetryHub};
+pub use metrics::MetricsRegistry;
+pub use recorder::FlightRecorder;
+
+/// Emit a telemetry event, for free when telemetry is off.
+///
+/// The operand is an [`EventKind`] variant body:
+///
+/// ```ignore
+/// tele!(PktDrop { port: self.label.clone(), prio, bytes });
+/// ```
+///
+/// Expansion is gated on the **invoking** crate's `telemetry` feature
+/// (each instrumented crate declares one, forwarded down its dependency
+/// chain, mirroring `debug_invariants`). Payload expressions are evaluated
+/// only when a hub is installed, so `.clone()`s in operands are safe on
+/// hot paths.
+#[macro_export]
+macro_rules! tele {
+    ($($ev:tt)+) => {{
+        #[cfg(feature = "telemetry")]
+        {
+            if $crate::hub::active() {
+                $crate::hub::emit_raw($crate::event::EventKind::$($ev)+);
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::event::EventKind;
+    use crate::hub::{self, HubConfig, TelemetryHub};
+    use xrdma_sim::{Dur, World};
+
+    /// With this crate's own `telemetry` feature off, `tele!` must expand
+    /// to nothing: even with a hub installed, no event is recorded. This is
+    /// the compile-side half of the zero-overhead contract (the lint rule
+    /// is the source-side half).
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn tele_is_a_no_op_without_the_feature() {
+        let world = World::new();
+        let guard = TelemetryHub::install(&world, HubConfig::default());
+        tele!(SeqDuplicate { seq: 1 });
+        tele!(PktDrop {
+            port: unreachable!("payload must not be evaluated"),
+            prio: 0,
+            bytes: 0,
+        });
+        assert_eq!(guard.event_count(), 0);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn tele_emits_with_the_feature_on() {
+        let world = World::new();
+        let guard = TelemetryHub::install(&world, HubConfig::default());
+        world.run_for(Dur::micros(5));
+        tele!(SeqDuplicate { seq: 42 });
+        let evs = guard.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].t.nanos(), 5_000);
+        assert!(matches!(evs[0].kind, EventKind::SeqDuplicate { seq: 42 }));
+    }
+
+    #[test]
+    fn no_hub_means_no_payload_construction() {
+        // Guard dropped: active() is false, so even under the feature the
+        // payload expression must not run.
+        assert!(!hub::active());
+        tele!(PktDrop {
+            port: unreachable!("no hub installed"),
+            prio: 0,
+            bytes: 0,
+        });
+    }
+
+    #[test]
+    fn packet_level_events_skip_the_log_but_reach_the_ring() {
+        let world = World::new();
+        let guard = TelemetryHub::install(&world, HubConfig::default());
+        guard.record(EventKind::PktEnqueue {
+            port: "h0".into(),
+            prio: 0,
+            bytes: 1024,
+            queued_bytes: 1024,
+        });
+        guard.record(EventKind::SeqDuplicate { seq: 9 });
+        assert_eq!(guard.event_count(), 1, "enqueue filtered from the log");
+        guard.dump_flight_recorder("test");
+        assert_eq!(guard.last_dump().unwrap().len(), 2, "ring saw both");
+    }
+
+    #[test]
+    fn install_is_scoped_to_the_guard() {
+        let world = World::new();
+        assert!(!hub::active());
+        {
+            let _g = TelemetryHub::install(&world, HubConfig::default());
+            assert!(hub::active());
+        }
+        assert!(!hub::active());
+    }
+
+    /// An induced `invariant!` failure must dump the flight recorder:
+    /// the observer fires before the panic propagates.
+    #[test]
+    fn invariant_failure_dumps_flight_recorder() {
+        let world = World::new();
+        let guard = TelemetryHub::install(&world, HubConfig::default());
+        for i in 0..10 {
+            guard.record(EventKind::SeqDuplicate { seq: i });
+        }
+        let err = std::panic::catch_unwind(|| {
+            xrdma_sim::invariant!(false, "induced flight-recorder test failure");
+        })
+        .expect_err("invariant fires under cfg(test)");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(msg.contains("induced flight-recorder"), "msg: {msg}");
+        let dump = guard.last_dump().expect("recorder dumped");
+        // 10 seq-dups plus the invariant event itself.
+        assert_eq!(dump.len(), 11);
+        assert!(matches!(
+            dump.last().unwrap().kind,
+            EventKind::InvariantFired { .. }
+        ));
+    }
+
+    #[test]
+    fn abnormal_close_dumps_flight_recorder() {
+        let world = World::new();
+        let guard = TelemetryHub::install(&world, HubConfig::default());
+        guard.record(EventKind::SeqDuplicate { seq: 1 });
+        guard.record(EventKind::ChannelClose {
+            node: 3,
+            peer: 4,
+            qpn: 8,
+            reason: "local",
+        });
+        assert!(guard.last_dump().is_none(), "clean close: no dump");
+        guard.record(EventKind::ChannelClose {
+            node: 3,
+            peer: 4,
+            qpn: 8,
+            reason: "peer-dead",
+        });
+        let dump = guard.last_dump().expect("peer-dead close dumps");
+        assert_eq!(dump.len(), 3);
+    }
+
+    #[test]
+    fn sampler_ticks_on_virtual_time() {
+        let world = World::new();
+        let guard = TelemetryHub::install(&world, HubConfig::default());
+        guard.metrics().gauge_set("depth", 5.0);
+        guard.hub().start_sampler(Dur::millis(1), |h| {
+            h.metrics().sample_gauges(h.now().nanos())
+        });
+        world.run_for(Dur::millis(10));
+        let rows = guard.metrics().series_rows("depth");
+        // Ticks at 1..=10 ms land in buckets 1..=10; bucket 0 is empty.
+        assert_eq!(rows.len(), 11);
+        assert_eq!(rows.iter().filter(|r| r.1 == 5.0).count(), 10);
+        // Dropping the guard stops the sampler with it.
+        drop(guard);
+        world.run_for(Dur::millis(10));
+    }
+}

@@ -1,0 +1,97 @@
+//! Bounded flight-recorder ring.
+//!
+//! Every event — including packet-level ones excluded from the run log —
+//! lands here, so when an `invariant!` fires or a channel dies abnormally
+//! the last moments before the failure are available even on runs that
+//! never asked for full capture (the "black box" the paper's §VI ops
+//! stories keep reaching for).
+
+use crate::event::Event;
+
+/// Fixed-capacity ring of the most recent events.
+pub struct FlightRecorder {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index of the oldest element once the ring has wrapped.
+    head: usize,
+    /// Total events ever pushed (≥ `buf.len()`).
+    seen: u64,
+}
+
+impl FlightRecorder {
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            buf: Vec::with_capacity(cap.min(4096)),
+            cap: cap.max(1),
+            head: 0,
+            seen: 0,
+        }
+    }
+
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+        }
+        self.seen += 1;
+    }
+
+    /// Events in arrival order, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events pushed over the ring's lifetime.
+    pub fn total_seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use xrdma_sim::Time;
+
+    fn ev(n: u64) -> Event {
+        Event {
+            t: Time(n),
+            kind: EventKind::SeqDuplicate { seq: n as u32 },
+        }
+    }
+
+    #[test]
+    fn keeps_the_most_recent_in_order() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        let snap = r.snapshot();
+        let ts: Vec<u64> = snap.iter().map(|e| e.t.nanos()).collect();
+        assert_eq!(ts, [6, 7, 8, 9]);
+        assert_eq!(r.total_seen(), 10);
+    }
+
+    #[test]
+    fn partial_fill_preserves_order() {
+        let mut r = FlightRecorder::new(8);
+        for i in 0..3 {
+            r.push(ev(i));
+        }
+        let ts: Vec<u64> = r.snapshot().iter().map(|e| e.t.nanos()).collect();
+        assert_eq!(ts, [0, 1, 2]);
+    }
+}

@@ -5,7 +5,11 @@
 #   fmt      rustfmt in check mode
 #   clippy   all targets, warnings are errors
 #   lint     xrdma-lint determinism-contract pass (DESIGN.md §7)
-#   test     full suite with the runtime invariant checkers compiled in
+#   test     full suite across the feature matrix:
+#              - default (telemetry compiled out)
+#              - telemetry (event bus + exporters live)
+#              - telemetry + debug_invariants (flight recorder wired to
+#                the runtime invariant checkers)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,9 +19,12 @@ run() {
 }
 
 run cargo build --release --workspace
+run cargo build --release --workspace --features xrdma-bench/telemetry,xrdma-tests/telemetry
 run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo run -q --release -p xrdma-lint
-run cargo test -q --workspace --features xrdma-tests/debug_invariants
+run cargo test -q --workspace
+run cargo test -q --workspace --features xrdma-tests/telemetry
+run cargo test -q --workspace --features xrdma-tests/telemetry,xrdma-tests/debug_invariants
 
 echo "==> ci.sh: all gates passed"

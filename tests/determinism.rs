@@ -215,3 +215,76 @@ fn incast_different_seed_diverges() {
     let b = incast_digest(8);
     assert_ne!(a, b, "seed must influence the incast trajectory");
 }
+
+/// The determinism contract extends to the telemetry artifacts: a hub
+/// capturing the same 16-client incast twice with the same seed must
+/// export byte-identical JSONL. This is what makes `results/` diffs
+/// meaningful across regression runs.
+#[cfg(feature = "telemetry")]
+fn incast_jsonl(seed: u64) -> String {
+    let world = World::new();
+    let guard =
+        xrdma_telemetry::TelemetryHub::install(&world, xrdma_telemetry::HubConfig::default());
+    let rng = SimRng::new(seed);
+    let fabric = Fabric::new(world.clone(), FabricConfig::rack(17), &rng);
+    let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
+    let mk = |node: u32| {
+        XrdmaContext::on_new_node(
+            &fabric,
+            &cm,
+            NodeId(node),
+            RnicConfig::default(),
+            XrdmaConfig::default(),
+            &rng,
+        )
+    };
+    let server = mk(0);
+    server.listen(7, |ch| {
+        ch.set_on_request(|ch, _msg, token| {
+            let _ = ch.respond_size(token, 128);
+        });
+    });
+    let mut clients = Vec::new();
+    for i in 1..17u32 {
+        let c = mk(i);
+        let slot: Rc<RefCell<Option<_>>> = Rc::new(RefCell::new(None));
+        let s2 = slot.clone();
+        c.connect(NodeId(0), 7, move |r| {
+            *s2.borrow_mut() = Some(r.expect("connect"));
+        });
+        clients.push((c, slot));
+    }
+    world.run_for(Dur::millis(30));
+    let done = Rc::new(Cell::new(0u64));
+    for (_, slot) in &clients {
+        let ch = slot.borrow().clone().expect("channel");
+        for _ in 0..32 {
+            let d = done.clone();
+            ch.send_request_size(48 * 1024, move |_, _| d.set(d.get() + 1))
+                .expect("send accepted");
+        }
+    }
+    world.run_for(Dur::millis(500));
+    assert_eq!(done.get(), 16 * 32, "incast completes");
+    xrdma_telemetry::export::to_jsonl(&guard.events())
+}
+
+#[cfg(feature = "telemetry")]
+#[test]
+fn incast_telemetry_jsonl_byte_identical() {
+    let a = incast_jsonl(77);
+    let b = incast_jsonl(77);
+    assert_eq!(a, b, "same-seed telemetry JSONL must match byte for byte");
+    // The log is nontrivial: the congested incast produces CM setup, ECN
+    // marks, CNPs and DCQCN rate updates, not just a handful of lines.
+    assert!(
+        a.lines().count() > 100,
+        "expected a substantive event log, got {} lines",
+        a.lines().count()
+    );
+    assert!(a.contains("\"ev\":\"cnp\""), "CNPs fly in the incast");
+    assert!(
+        a.contains("\"ev\":\"dcqcn-rate\""),
+        "DCQCN reacts to the CNPs"
+    );
+}
