@@ -672,7 +672,12 @@ impl XrdmaChannel {
             signaled: true,
         };
         // Controls bypass flow control: they are tiny and bounded.
-        let _ = ctx.rnic().post_send(&self.qp, wr);
+        if ctx.rnic().post_send(&self.qp, wr).is_err() {
+            // QP died under us (error transition / crash): same verdict the
+            // data path reaches, so an idle channel can't outlive its QP.
+            self.fail(CloseReason::PeerDead);
+            return;
+        }
         self.last_tx.set(ctx.world().now());
     }
 
@@ -700,7 +705,13 @@ impl XrdmaChannel {
             local: None,
             signaled: true,
         };
-        let _ = ctx.rnic().post_send(&self.qp, wr);
+        if ctx.rnic().post_send(&self.qp, wr).is_err() {
+            // The QP is already in Error: the probe can never complete and
+            // `probe_outstanding` would wedge true, so the dead peer would
+            // never be declared. Fail now, exactly as a probe CQE error
+            // would (§V-A).
+            self.fail(CloseReason::PeerDead);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -817,7 +828,21 @@ impl XrdmaChannel {
                 let len = hdr.body_len;
                 let buf = match ctx.memcache().alloc(len.max(1)) {
                     Ok(b) => b,
-                    Err(_) => return, // out of memory: drop (peer retries via timeout semantics above our layer)
+                    Err(_) => {
+                        // Out of memory: drop (peer retries via timeout
+                        // semantics above our layer). Never silent — the
+                        // counter and event let operators distinguish a
+                        // memcache-pressure drop from network loss.
+                        self.stats.borrow_mut().oom_drops += 1;
+                        tele!(MsgDropOom {
+                            node: ctx.node().0,
+                            peer: self.peer.0,
+                            qpn: self.qp.qpn.0,
+                            seq,
+                            bytes: len,
+                        });
+                        return;
+                    }
                 };
                 ctx.thread().charge(ctx.memcache().take_reg_cost());
                 self.inbox.borrow_mut().insert(

@@ -32,6 +32,9 @@ pub struct ChannelStats {
     pub rpcs_outstanding: u64,
     /// Completed RPC round trips.
     pub rpcs_completed: u64,
+    /// Inbound messages dropped because the local memory cache was
+    /// exhausted (recovered by the sender's seq-ack retransmit).
+    pub oom_drops: u64,
 }
 
 /// Per-context aggregates.

@@ -146,7 +146,23 @@ impl Port {
     pub(crate) fn enqueue(self: &Rc<Self>, pkt: Packet, ingress: usize) -> bool {
         let prio = pkt.prio as usize;
         let size = pkt.size_bytes as u64;
-        if self.queued_bytes[prio].get() + size > self.limit_bytes {
+        // Edge fault hooks: a scheduled fault window on this port's label
+        // may kill the packet outright (link-down / drop storm) or squeeze
+        // the buffer limit for the tail-drop check below.
+        #[cfg(feature = "faults")]
+        if xrdma_faults::port_drop(&self.label) {
+            self.stats.on_drop();
+            tele!(PktDrop {
+                port: self.label.clone(),
+                prio: pkt.prio,
+                bytes: pkt.size_bytes,
+            });
+            return false;
+        }
+        let limit_bytes = self.limit_bytes;
+        #[cfg(feature = "faults")]
+        let limit_bytes = xrdma_faults::port_limit(&self.label).unwrap_or(limit_bytes);
+        if self.queued_bytes[prio].get() + size > limit_bytes {
             self.stats.on_drop();
             tele!(PktDrop {
                 port: self.label.clone(),

@@ -1,0 +1,38 @@
+//! # xrdma-faults — deterministic fault injection for the X-RDMA stack
+//!
+//! The paper's robustness claims (§V-A keepalive dead-peer detection, §V-B
+//! seq-ack retransmission, §VI-C "Emulate Fault", §VII-F postmortems) are
+//! about what the middleware does *when things break*. This crate lets tests
+//! and benches break things on purpose, deterministically: a [`FaultPlan`]
+//! schedules typed faults on the virtual clock, and tiny feature-gated hooks
+//! at the stack's existing choke points (`fabric::port` enqueue, the RNIC
+//! receive/completion paths, `rnic::cm` connect) consult the installed
+//! [`FaultInjector`] on their way through.
+//!
+//! ## Zero-cost contract
+//!
+//! Stack crates call into this crate only from code gated behind their
+//! `faults` cargo feature; with the feature off the hooks compile to nothing
+//! (the `ungated-fault-hook` xrdma-lint rule enforces the gating). With the
+//! feature on but no injector installed, each hook costs one thread-local
+//! check.
+//!
+//! ## Determinism contract
+//!
+//! All randomness (probabilistic drop/corrupt/duplicate/reorder) flows from
+//! the [`SimRng`] stream handed to [`FaultInjector::install`], and windows
+//! open/close on the world's own calendar — same seed + same plan ⇒ the
+//! same packets are dropped at the same virtual instants, byte for byte.
+//! Every fault window and every injected action is announced on the
+//! telemetry bus (`fault-window` run-log events, packet-level
+//! `fault-injected` ring events), so the flight recorder captures what was
+//! done to the run.
+
+pub mod inject;
+pub mod plan;
+
+pub use inject::{
+    active, cqe_delay, injected_count, node_paused, port_drop, port_limit, register_node,
+    rnic_connect_fault, rnic_rx, ConnectFault, FaultInjector, FaultsGuard, NodeCmd, RxFault,
+};
+pub use plan::{FaultKind, FaultPlan, FaultSpec, FaultTarget};

@@ -1,0 +1,435 @@
+//! The fault plan: what breaks, where, and when (in virtual time).
+//!
+//! A [`FaultPlan`] is a list of [`FaultSpec`]s. Each spec opens at `at_ns`
+//! and, if `dur_ns` is set, closes again `dur_ns` later (a *window*);
+//! without a duration the fault holds for the rest of the run (or, for the
+//! impulse kinds like [`FaultKind::QpError`], fires once). Plans are plain
+//! data: they serialize to JSON for run artifacts and load from a compact
+//! line-oriented text format (the vendored `serde_json` shim has no parser,
+//! so the loader is hand-rolled — see [`FaultPlan::parse`]).
+
+use serde::{write_json_str, Serialize};
+
+/// Where a fault applies.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultTarget {
+    /// A named fabric edge — the `Port::label` of the egress queue, e.g.
+    /// `"host0->tor0"` or `"tor0->host3"`.
+    Edge(String),
+    /// A node id: the RNIC/host bearing that `NodeId`.
+    Node(u32),
+    /// A directed (client, server) pair, for connect-time faults.
+    Pair { from: u32, to: u32 },
+}
+
+impl FaultTarget {
+    /// Human/telemetry rendering: the edge label, `node3`, or `1->0`.
+    pub fn render(&self) -> String {
+        match self {
+            FaultTarget::Edge(label) => label.clone(),
+            FaultTarget::Node(n) => format!("node{n}"),
+            FaultTarget::Pair { from, to } => format!("{from}->{to}"),
+        }
+    }
+}
+
+/// The fault taxonomy (DESIGN.md §9 maps each to its injection point and
+/// the paper section it exercises).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Edge: every packet entering the egress queue is dropped.
+    LinkDown,
+    /// Edge: each packet is dropped with probability `prob`.
+    Drop { prob: f64 },
+    /// Edge: every `every`-th packet is dropped (1 = all).
+    DropPeriodic { every: u64 },
+    /// Edge: the egress buffer limit is squeezed down to `limit_bytes`.
+    BufferSqueeze { limit_bytes: u64 },
+    /// Node: an arriving packet fails its ICRC with probability `prob` and
+    /// is discarded at the RNIC (go-back-N recovers).
+    Corrupt { prob: f64 },
+    /// Node: an arriving packet is delivered twice with probability `prob`.
+    Duplicate { prob: f64 },
+    /// Node: an arriving packet is held for `delay_ns` with probability
+    /// `prob`, reordering it behind its successors.
+    Reorder { prob: f64, delay_ns: u64 },
+    /// Node: every completion the RNIC would raise is held `delay_ns`
+    /// before reaching its CQ (an RNIC stall).
+    CqeDelay { delay_ns: u64 },
+    /// Node: all RTS queue pairs transition to the error state (impulse).
+    QpError,
+    /// Pair/Node: the connect request vanishes; the client times out.
+    ConnectBlackhole,
+    /// Pair/Node: the connect is refused after the half-exchange.
+    ConnectRefuse,
+    /// Pair/Node: connection establishment takes `extra_ns` longer.
+    ConnectSlow { extra_ns: u64 },
+    /// Node: the peer process freezes; received packets are buffered and
+    /// replayed when the window closes (resume).
+    PeerPause,
+    /// Node: the peer process dies at window open; with a duration it
+    /// restarts (fresh RNIC state) at window close.
+    PeerCrash,
+}
+
+impl FaultKind {
+    /// Stable kebab-case name, used in telemetry and the text plan format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::LinkDown => "link-down",
+            FaultKind::Drop { .. } => "drop",
+            FaultKind::DropPeriodic { .. } => "drop-periodic",
+            FaultKind::BufferSqueeze { .. } => "buffer-squeeze",
+            FaultKind::Corrupt { .. } => "corrupt",
+            FaultKind::Duplicate { .. } => "duplicate",
+            FaultKind::Reorder { .. } => "reorder",
+            FaultKind::CqeDelay { .. } => "cqe-delay",
+            FaultKind::QpError => "qp-error",
+            FaultKind::ConnectBlackhole => "connect-blackhole",
+            FaultKind::ConnectRefuse => "connect-refuse",
+            FaultKind::ConnectSlow { .. } => "connect-slow",
+            FaultKind::PeerPause => "peer-pause",
+            FaultKind::PeerCrash => "peer-crash",
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Virtual instant (ns) the fault opens.
+    pub at_ns: u64,
+    /// Window length; `None` holds until the end of the run.
+    pub dur_ns: Option<u64>,
+    pub target: FaultTarget,
+    pub kind: FaultKind,
+}
+
+/// An ordered list of scheduled faults.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builder-style append.
+    pub fn with(mut self, spec: FaultSpec) -> FaultPlan {
+        self.specs.push(spec);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Load a plan from the line-oriented text format. One spec per line,
+    /// `key=value` tokens in any order; `#` starts a comment.
+    ///
+    /// ```text
+    /// # flap the server downlink twice
+    /// at=5ms dur=2ms edge=tor0->host0 kind=link-down
+    /// at=1ms dur=10ms node=1 kind=drop prob=0.3
+    /// at=0 pair=1:0 kind=connect-slow extra=500us
+    /// ```
+    ///
+    /// Durations take `ns`/`us`/`ms`/`s` suffixes (bare numbers are ns).
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut specs = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            specs.push(
+                parse_spec(line).map_err(|e| format!("fault plan line {}: {e}", lineno + 1))?,
+            );
+        }
+        Ok(FaultPlan { specs })
+    }
+
+    /// Render the plan back into the text format `parse` accepts.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for s in &self.specs {
+            out.push_str(&format!("at={}", s.at_ns));
+            if let Some(d) = s.dur_ns {
+                out.push_str(&format!(" dur={d}"));
+            }
+            match &s.target {
+                FaultTarget::Edge(label) => out.push_str(&format!(" edge={label}")),
+                FaultTarget::Node(n) => out.push_str(&format!(" node={n}")),
+                FaultTarget::Pair { from, to } => out.push_str(&format!(" pair={from}:{to}")),
+            }
+            out.push_str(&format!(" kind={}", s.kind.name()));
+            match &s.kind {
+                FaultKind::Drop { prob }
+                | FaultKind::Corrupt { prob }
+                | FaultKind::Duplicate { prob } => out.push_str(&format!(" prob={prob}")),
+                FaultKind::DropPeriodic { every } => out.push_str(&format!(" every={every}")),
+                FaultKind::BufferSqueeze { limit_bytes } => {
+                    out.push_str(&format!(" limit={limit_bytes}"));
+                }
+                FaultKind::Reorder { prob, delay_ns } => {
+                    out.push_str(&format!(" prob={prob} delay={delay_ns}"));
+                }
+                FaultKind::CqeDelay { delay_ns } => out.push_str(&format!(" delay={delay_ns}")),
+                FaultKind::ConnectSlow { extra_ns } => out.push_str(&format!(" extra={extra_ns}")),
+                _ => {}
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn parse_dur(v: &str) -> Result<u64, String> {
+    let (num, mult) = if let Some(n) = v.strip_suffix("ns") {
+        (n, 1)
+    } else if let Some(n) = v.strip_suffix("us") {
+        (n, 1_000)
+    } else if let Some(n) = v.strip_suffix("ms") {
+        (n, 1_000_000)
+    } else if let Some(n) = v.strip_suffix('s') {
+        (n, 1_000_000_000)
+    } else {
+        (v, 1)
+    };
+    let base: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad duration `{v}`"))?;
+    if !base.is_finite() || base < 0.0 {
+        return Err(format!("bad duration `{v}`"));
+    }
+    Ok((base * mult as f64).round() as u64)
+}
+
+fn parse_spec(line: &str) -> Result<FaultSpec, String> {
+    let mut at = None;
+    let mut dur = None;
+    let mut target = None;
+    let mut kind_name = None;
+    let mut prob = None;
+    let mut every = None;
+    let mut limit = None;
+    let mut delay = None;
+    let mut extra = None;
+    for tok in line.split_whitespace() {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got `{tok}`"))?;
+        match k {
+            "at" => at = Some(parse_dur(v)?),
+            "dur" => dur = Some(parse_dur(v)?),
+            "edge" => target = Some(FaultTarget::Edge(v.to_string())),
+            "node" => {
+                target = Some(FaultTarget::Node(
+                    v.parse().map_err(|_| format!("bad node `{v}`"))?,
+                ));
+            }
+            "pair" => {
+                let (f, t) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("pair wants from:to, got `{v}`"))?;
+                target = Some(FaultTarget::Pair {
+                    from: f.parse().map_err(|_| format!("bad pair `{v}`"))?,
+                    to: t.parse().map_err(|_| format!("bad pair `{v}`"))?,
+                });
+            }
+            "kind" => kind_name = Some(v.to_string()),
+            "prob" => prob = Some(v.parse::<f64>().map_err(|_| format!("bad prob `{v}`"))?),
+            "every" => every = Some(v.parse::<u64>().map_err(|_| format!("bad every `{v}`"))?),
+            "limit" => limit = Some(v.parse::<u64>().map_err(|_| format!("bad limit `{v}`"))?),
+            "delay" => delay = Some(parse_dur(v)?),
+            "extra" => extra = Some(parse_dur(v)?),
+            _ => return Err(format!("unknown key `{k}`")),
+        }
+    }
+    let kind_name = kind_name.ok_or("missing kind=")?;
+    let need_prob = || prob.ok_or(format!("kind={kind_name} wants prob="));
+    let kind = match kind_name.as_str() {
+        "link-down" => FaultKind::LinkDown,
+        "drop" => FaultKind::Drop { prob: need_prob()? },
+        "drop-periodic" => FaultKind::DropPeriodic {
+            every: every.ok_or("drop-periodic wants every=")?,
+        },
+        "buffer-squeeze" => FaultKind::BufferSqueeze {
+            limit_bytes: limit.ok_or("buffer-squeeze wants limit=")?,
+        },
+        "corrupt" => FaultKind::Corrupt { prob: need_prob()? },
+        "duplicate" => FaultKind::Duplicate { prob: need_prob()? },
+        "reorder" => FaultKind::Reorder {
+            prob: need_prob()?,
+            delay_ns: delay.ok_or("reorder wants delay=")?,
+        },
+        "cqe-delay" => FaultKind::CqeDelay {
+            delay_ns: delay.ok_or("cqe-delay wants delay=")?,
+        },
+        "qp-error" => FaultKind::QpError,
+        "connect-blackhole" => FaultKind::ConnectBlackhole,
+        "connect-refuse" => FaultKind::ConnectRefuse,
+        "connect-slow" => FaultKind::ConnectSlow {
+            extra_ns: extra.ok_or("connect-slow wants extra=")?,
+        },
+        "peer-pause" => FaultKind::PeerPause,
+        "peer-crash" => FaultKind::PeerCrash,
+        other => return Err(format!("unknown kind `{other}`")),
+    };
+    if let FaultKind::Drop { prob }
+    | FaultKind::Corrupt { prob }
+    | FaultKind::Duplicate { prob }
+    | FaultKind::Reorder { prob, .. } = kind
+    {
+        if !(0.0..=1.0).contains(&prob) {
+            return Err(format!("prob {prob} outside [0, 1]"));
+        }
+    }
+    Ok(FaultSpec {
+        at_ns: at.ok_or("missing at=")?,
+        dur_ns: dur,
+        target: target.ok_or("missing edge=/node=/pair=")?,
+        kind,
+    })
+}
+
+// The vendored derive shim handles structs only, and plans carry enums, so
+// the JSON shape is written by hand (dump-only; loading uses the text form).
+impl Serialize for FaultSpec {
+    fn json_into(&self, out: &mut String) {
+        out.push_str("{\"at_ns\":");
+        self.at_ns.json_into(out);
+        out.push_str(",\"dur_ns\":");
+        match self.dur_ns {
+            Some(d) => d.json_into(out),
+            None => out.push_str("null"),
+        }
+        match &self.target {
+            FaultTarget::Edge(label) => {
+                out.push_str(",\"edge\":");
+                write_json_str(label, out);
+            }
+            FaultTarget::Node(n) => {
+                out.push_str(",\"node\":");
+                u64::from(*n).json_into(out);
+            }
+            FaultTarget::Pair { from, to } => {
+                out.push_str(&format!(",\"pair\":[{from},{to}]"));
+            }
+        }
+        out.push_str(",\"kind\":");
+        write_json_str(self.kind.name(), out);
+        match &self.kind {
+            FaultKind::Drop { prob }
+            | FaultKind::Corrupt { prob }
+            | FaultKind::Duplicate { prob } => {
+                out.push_str(",\"prob\":");
+                prob.json_into(out);
+            }
+            FaultKind::DropPeriodic { every } => {
+                out.push_str(",\"every\":");
+                every.json_into(out);
+            }
+            FaultKind::BufferSqueeze { limit_bytes } => {
+                out.push_str(",\"limit_bytes\":");
+                limit_bytes.json_into(out);
+            }
+            FaultKind::Reorder { prob, delay_ns } => {
+                out.push_str(",\"prob\":");
+                prob.json_into(out);
+                out.push_str(",\"delay_ns\":");
+                delay_ns.json_into(out);
+            }
+            FaultKind::CqeDelay { delay_ns } => {
+                out.push_str(",\"delay_ns\":");
+                delay_ns.json_into(out);
+            }
+            FaultKind::ConnectSlow { extra_ns } => {
+                out.push_str(",\"extra_ns\":");
+                extra_ns.json_into(out);
+            }
+            _ => {}
+        }
+        out.push('}');
+    }
+}
+
+impl Serialize for FaultPlan {
+    fn json_into(&self, out: &mut String) {
+        self.specs.json_into(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_examples() {
+        let plan = FaultPlan::parse(
+            "# flap the server downlink\n\
+             at=5ms dur=2ms edge=tor0->host0 kind=link-down\n\
+             at=1ms dur=10ms node=1 kind=drop prob=0.3\n\
+             at=0 pair=1:0 kind=connect-slow extra=500us\n",
+        )
+        .expect("parse");
+        assert_eq!(plan.specs.len(), 3);
+        assert_eq!(
+            plan.specs[0],
+            FaultSpec {
+                at_ns: 5_000_000,
+                dur_ns: Some(2_000_000),
+                target: FaultTarget::Edge("tor0->host0".into()),
+                kind: FaultKind::LinkDown,
+            }
+        );
+        assert_eq!(
+            plan.specs[2].kind,
+            FaultKind::ConnectSlow { extra_ns: 500_000 }
+        );
+    }
+
+    #[test]
+    fn text_round_trips() {
+        let plan = FaultPlan::parse(
+            "at=100us node=3 kind=reorder prob=0.5 delay=10us\n\
+             at=2ms dur=1ms edge=host1->tor0 kind=buffer-squeeze limit=8192\n\
+             at=3ms node=2 kind=qp-error\n",
+        )
+        .expect("parse");
+        let again = FaultPlan::parse(&plan.to_text()).expect("reparse");
+        assert_eq!(plan, again);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "at=1ms kind=drop prob=0.5",                   // no target
+            "at=1ms node=0 kind=drop",                     // missing prob
+            "at=1ms node=0 kind=drop prob=1.5",            // prob out of range
+            "node=0 kind=link-down",                       // missing at
+            "at=1ms node=0 kind=warp-core-leak",           // unknown kind
+            "at=1ms node=zero kind=qp-error",              // bad node
+            "at=1ms pair=1-0 kind=connect-slow extra=1ms", // bad pair syntax
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let plan = FaultPlan::new().with(FaultSpec {
+            at_ns: 5,
+            dur_ns: None,
+            target: FaultTarget::Pair { from: 1, to: 0 },
+            kind: FaultKind::ConnectBlackhole,
+        });
+        assert_eq!(
+            serde_json::to_string(&plan).expect("json"),
+            "[{\"at_ns\":5,\"dur_ns\":null,\"pair\":[1,0],\"kind\":\"connect-blackhole\"}]"
+        );
+    }
+}

@@ -23,6 +23,10 @@
 //! * **D5 `unwrap-in-api`** — `unwrap()`/`expect()` on public API paths
 //!   of `xrdma-core`/`xrdma-rnic` must become `XrdmaError`/`VerbsError`
 //!   results (internal invariants go through `debug_invariants`).
+//! * **F1 `ungated-fault-hook`** — every `xrdma_faults::` hook in a
+//!   runtime crate must sit under `#[cfg(feature = "faults")]`, so
+//!   production builds carry zero fault-injection code and benchmark
+//!   numbers are unaffected.
 //!
 //! The escape hatch, for reviewed exceptions, is a line annotation in the
 //! source comment — it must carry a reason:
@@ -52,6 +56,10 @@ pub enum Rule {
     /// T1: telemetry emitted around the `tele!` macro (direct `emit_raw`
     /// calls), which would defeat the zero-overhead-when-off contract.
     RawTelemetry,
+    /// F1: a fault-injection hook (`xrdma_faults::...`) not under
+    /// `#[cfg(feature = "faults")]`, which would leave injection code in
+    /// production builds and skew benchmark numbers.
+    UngatedFaultHook,
 }
 
 impl Rule {
@@ -64,6 +72,7 @@ impl Rule {
             Rule::IntraWorldParallelism => "intra-world-parallelism",
             Rule::UnwrapInApi => "unwrap-in-api",
             Rule::RawTelemetry => "raw-telemetry-emit",
+            Rule::UngatedFaultHook => "ungated-fault-hook",
         }
     }
 
@@ -75,17 +84,19 @@ impl Rule {
             "intra-world-parallelism" => Rule::IntraWorldParallelism,
             "unwrap-in-api" => Rule::UnwrapInApi,
             "raw-telemetry-emit" => Rule::RawTelemetry,
+            "ungated-fault-hook" => Rule::UngatedFaultHook,
             _ => return None,
         })
     }
 
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::WallClock,
         Rule::AmbientRandomness,
         Rule::NondeterministicIter,
         Rule::IntraWorldParallelism,
         Rule::UnwrapInApi,
         Rule::RawTelemetry,
+        Rule::UngatedFaultHook,
     ];
 }
 
@@ -143,6 +154,7 @@ pub const SIM_RULES: RuleSet = RuleSet {
         Rule::NondeterministicIter,
         Rule::IntraWorldParallelism,
         Rule::RawTelemetry,
+        Rule::UngatedFaultHook,
     ],
 };
 
@@ -156,6 +168,7 @@ pub const API_RULES: RuleSet = RuleSet {
         Rule::IntraWorldParallelism,
         Rule::UnwrapInApi,
         Rule::RawTelemetry,
+        Rule::UngatedFaultHook,
     ],
 };
 
@@ -186,6 +199,10 @@ pub fn workspace_targets() -> Vec<(&'static str, RuleSet)> {
         ("crates/analysis", SIM_RULES),
         ("crates/baselines", SIM_RULES),
         ("crates/telemetry", TELEMETRY_CRATE_RULES),
+        // The fault injector runs inside worlds too (its windows are
+        // events); it never calls itself through the `xrdma_faults` path,
+        // so F1 is vacuous there but harmless.
+        ("crates/faults", SIM_RULES),
     ]
 }
 
@@ -420,6 +437,61 @@ pub fn test_mod_lines(code_lines: &[String]) -> Vec<bool> {
     in_test
 }
 
+/// Mark which lines are covered by a `#[cfg(feature = "faults")]` gate.
+/// The attribute covers the item/statement that follows it: either up to
+/// the matching `}` of the first brace it opens (blocks, fns, `if`/`match`
+/// statements) or up to a `;` / `,` at the attribute's depth (plain
+/// statements, struct fields). String contents are blanked in `code_lines`,
+/// so the feature name is matched against `raw_lines`.
+pub fn fault_gated_lines(code_lines: &[String], raw_lines: &[String]) -> Vec<bool> {
+    let mut gated = vec![false; code_lines.len()];
+    let mut depth: i32 = 0;
+    // Depths at which a gated braced region is open.
+    let mut gate_depths: Vec<i32> = Vec::new();
+    // Saw the attribute; the gated item has not opened a brace yet.
+    let mut armed = false;
+    // Paren/bracket nesting within the armed item's head, so a `,` inside
+    // an argument list (`fn f(a: A, b: B) {`) doesn't end the region.
+    let mut inner: i32 = 0;
+    for (idx, line) in code_lines.iter().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.contains("#[cfg(") && raw_lines[idx].contains("feature = \"faults\"") {
+            armed = true;
+            inner = 0;
+        }
+        if armed || !gate_depths.is_empty() {
+            gated[idx] = true;
+        }
+        // Further attributes between the cfg and its item (e.g. a derive
+        // with commas) must not end the armed region.
+        let is_attr_line = trimmed.starts_with("#[");
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if armed {
+                        gate_depths.push(depth);
+                        armed = false;
+                    }
+                }
+                '}' => {
+                    if gate_depths.last() == Some(&depth) {
+                        gate_depths.pop();
+                    }
+                    depth -= 1;
+                }
+                '(' | '[' if armed => inner += 1,
+                ')' | ']' if armed => inner -= 1,
+                ';' | ',' if armed && !is_attr_line && inner == 0 => {
+                    armed = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    gated
+}
+
 // ---------------------------------------------------------------------------
 // The rules
 // ---------------------------------------------------------------------------
@@ -455,6 +527,8 @@ struct FileCtx<'a> {
     /// Identifiers known (by declaration or construction) to be
     /// `HashMap`/`HashSet` values in this file.
     hash_idents: Vec<String>,
+    /// Lines under a `#[cfg(feature = "faults")]` gate (F1).
+    fault_gated: Vec<bool>,
 }
 
 fn collect_hash_idents(prepared: &PreparedSource) -> Vec<String> {
@@ -656,6 +730,17 @@ fn check_line(rule: Rule, line_no: usize, ctx: &FileCtx, file: &Path, out: &mut 
                 );
             }
         }
+        Rule::UngatedFaultHook => {
+            if contains_ident(line, "xrdma_faults")
+                && !ctx.fault_gated.get(line_no - 1).copied().unwrap_or(false)
+            {
+                hit(
+                    "`xrdma_faults` hook outside a `#[cfg(feature = \"faults\")]` gate; \
+                     fault hooks must compile to nothing when the feature is off"
+                        .to_string(),
+                );
+            }
+        }
     }
 }
 
@@ -772,6 +857,7 @@ pub fn analyze_source(file: &Path, source: &str, rules: RuleSet) -> FileReport {
     let prepared = prepare(source);
     let ctx = FileCtx {
         hash_idents: collect_hash_idents(&prepared),
+        fault_gated: fault_gated_lines(&prepared.code_lines, &prepared.raw_lines),
         prepared: &prepared,
     };
 
@@ -1028,6 +1114,85 @@ mod tests {
     fn d5_not_applied_under_sim_rules() {
         let src = "pub fn api(x: Option<u32>) -> u32 { x.unwrap() }";
         assert!(run(src, SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn f1_catches_ungated_fault_hook() {
+        let v = run(
+            "fn f(p: &Port) { if xrdma_faults::port_drop(&p.label) { return; } }",
+            SIM_RULES,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UngatedFaultHook);
+    }
+
+    #[test]
+    fn f1_accepts_gated_block_and_statement() {
+        let src = "fn f(p: &Port) {\n\
+                   #[cfg(feature = \"faults\")]\n\
+                   if xrdma_faults::port_drop(&p.label) {\n\
+                       xrdma_faults::note();\n\
+                       return;\n\
+                   }\n\
+                   #[cfg(feature = \"faults\")]\n\
+                   let limit = xrdma_faults::port_limit(&p.label).unwrap_or(0);\n\
+                   }";
+        assert!(run(src, SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn f1_accepts_gated_fn_and_field() {
+        let src = "struct S {\n\
+                   #[cfg(feature = \"faults\")]\n\
+                   paused: RefCell<Vec<xrdma_faults::NodeCmd>>,\n\
+                   other: u32,\n\
+                   }\n\
+                   #[cfg(feature = \"faults\")]\n\
+                   fn cmd(c: xrdma_faults::NodeCmd) {\n\
+                       use xrdma_faults::NodeCmd;\n\
+                       drop(c);\n\
+                   }";
+        assert!(run(src, SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn f1_gate_survives_commas_in_the_item_head() {
+        let src = "fn f() {\n\
+                   #[cfg(feature = \"faults\")]\n\
+                   match xrdma_faults::rnic_connect_fault(a.0, b.0) {\n\
+                       None => {}\n\
+                       Some(xrdma_faults::ConnectFault::Blackhole) => { go(); }\n\
+                   }\n\
+                   }\n\
+                   #[cfg(feature = \"faults\")]\n\
+                   fn cmd(self: &Rc<Self>, c: xrdma_faults::NodeCmd) {\n\
+                       use xrdma_faults::NodeCmd;\n\
+                   }";
+        assert!(run(src, SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn f1_gate_ends_with_its_region() {
+        let src = "fn f() {\n\
+                   #[cfg(feature = \"faults\")]\n\
+                   {\n\
+                       xrdma_faults::note();\n\
+                   }\n\
+                   xrdma_faults::note();\n\
+                   }";
+        let v = run(src, SIM_RULES);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn f1_other_cfg_gates_do_not_count() {
+        let v = run(
+            "#[cfg(feature = \"telemetry\")]\nfn f() { xrdma_faults::note(); }",
+            SIM_RULES,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UngatedFaultHook);
     }
 
     #[test]

@@ -220,6 +220,36 @@ impl ConnManager {
         svc: u16,
         done: impl FnOnce(Result<Rc<Qp>, CmError>) + 'static,
     ) {
+        // Connect-time fault hooks (`xrdma-faults`), checked when the REQ
+        // would leave: a blackhole eats the REQ (only the client timer
+        // fires), a refusal REJs after a half-exchange, and a slow
+        // management plane defers the REQ — re-checked on re-entry, so the
+        // penalty repeats for as long as the fault window stays open.
+        #[cfg(feature = "faults")]
+        match xrdma_faults::rnic_connect_fault(rnic.node().0, server.0) {
+            None => {}
+            Some(xrdma_faults::ConnectFault::Blackhole) => {
+                let timeout = self.cfg.connect_timeout;
+                self.world.schedule_in(timeout, move || {
+                    done(Err(CmError::Timeout));
+                });
+                return;
+            }
+            Some(xrdma_faults::ConnectFault::Refuse) => {
+                let half = self.jittered(self.cfg.exchange / 2);
+                self.world.schedule_in(half, move || {
+                    done(Err(CmError::ConnectionRefused));
+                });
+                return;
+            }
+            Some(xrdma_faults::ConnectFault::Slow(extra)) => {
+                let me = self.clone();
+                self.world.schedule_in(extra, move || {
+                    me.send_req(rnic, qp, server, svc, done);
+                });
+                return;
+            }
+        }
         // Refusal is detected after a half-exchange (REJ message).
         let has_listener = self.listeners.borrow().contains_key(&(server, svc));
         if !has_listener {

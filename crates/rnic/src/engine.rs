@@ -78,6 +78,11 @@ pub struct RnicStats {
     /// Packets dropped because their connection token was stale (a
     /// recycled QP's previous life).
     pub stale_drops: u64,
+    /// Packets discarded by an injected receive fault (ICRC corruption or
+    /// NIC-level drop; `xrdma-faults`).
+    pub fault_rx_drops: u64,
+    /// Packets delivered twice by an injected duplication fault.
+    pub fault_rx_dups: u64,
 }
 
 /// A simple lazy-LRU touch cache modelling on-NIC context SRAM.
@@ -198,6 +203,10 @@ pub struct Rnic {
     /// Packets dropped / delayed by the filter (stats).
     pub filtered_drops: Cell<u64>,
     pub filtered_delays: Cell<u64>,
+    /// Arrivals buffered while a `PeerPause` fault window freezes this
+    /// node; replayed in order on resume.
+    #[cfg(feature = "faults")]
+    paused_rx: RefCell<VecDeque<Packet>>,
     #[allow(dead_code)]
     rng: RefCell<SimRng>,
 }
@@ -230,6 +239,8 @@ impl Rnic {
             filter: RefCell::new(None),
             filtered_drops: Cell::new(0),
             filtered_delays: Cell::new(0),
+            #[cfg(feature = "faults")]
+            paused_rx: RefCell::new(VecDeque::new()),
             rng: RefCell::new(rng),
         });
         // Attach: fabric hands us our uplink port; we hand it our sink.
@@ -237,6 +248,19 @@ impl Rnic {
         let port = fabric.attach_host(node, rnic.clone() as Rc<dyn NicSink>);
         *rnic.port.borrow_mut() = Some(port);
         *rnic.fabric.borrow_mut() = Some(fabric.clone());
+        // Let the fault injector steer this node (crash/pause/QP error).
+        #[cfg(feature = "faults")]
+        {
+            let weak = Rc::downgrade(&rnic);
+            xrdma_faults::register_node(
+                node.0,
+                Box::new(move |cmd| {
+                    if let Some(r) = weak.upgrade() {
+                        r.fault_cmd(cmd);
+                    }
+                }),
+            );
+        }
         rnic
     }
 
@@ -990,14 +1014,17 @@ impl Rnic {
             }
         };
         if let Some(msg) = msg {
-            qp.send_cq.push(Cqe {
-                wr_id: msg.wr.wr_id,
-                status: CqeStatus::RemoteAccessError,
-                opcode: op_to_cqe(&msg.wr.op),
-                byte_len: 0,
-                imm: None,
-                qpn: qp.qpn,
-            });
+            self.push_cqe(
+                &qp.send_cq,
+                Cqe {
+                    wr_id: msg.wr.wr_id,
+                    status: CqeStatus::RemoteAccessError,
+                    opcode: op_to_cqe(&msg.wr.op),
+                    byte_len: 0,
+                    imm: None,
+                    qpn: qp.qpn,
+                },
+            );
         }
         self.fail_qp(qp, CqeStatus::WrFlushError);
     }
@@ -1192,6 +1219,50 @@ impl Rnic {
         self.activate(qp.qpn, wake);
     }
 
+    /// Raise a CQE. Every completion the engine generates funnels through
+    /// here so the `CqeDelay` fault (an RNIC stall, §III robustness) can
+    /// hold it back; without an open fault window this is a plain push.
+    fn push_cqe(&self, cq: &Rc<CompletionQueue>, cqe: Cqe) {
+        #[cfg(feature = "faults")]
+        if let Some(d) = xrdma_faults::cqe_delay(self.node.0) {
+            let cq = cq.clone();
+            self.world.schedule_in(d, move || cq.push(cqe));
+            return;
+        }
+        cq.push(cqe);
+    }
+
+    /// React to a fault-injector node command (registered in `Rnic::new`).
+    #[cfg(feature = "faults")]
+    fn fault_cmd(self: &Rc<Self>, cmd: xrdma_faults::NodeCmd) {
+        use xrdma_faults::NodeCmd;
+        match cmd {
+            NodeCmd::Crash => self.crash(),
+            NodeCmd::Restart => self.restart(),
+            // Pausing needs no action here: `deliver` checks the injector's
+            // pause state and buffers arrivals into `paused_rx`.
+            NodeCmd::Pause => {}
+            NodeCmd::Resume => {
+                let held = std::mem::take(&mut *self.paused_rx.borrow_mut());
+                for pkt in held {
+                    self.deliver_filtered(pkt);
+                }
+            }
+            NodeCmd::QpError => {
+                let rts: Vec<Rc<Qp>> = self
+                    .qps
+                    .borrow()
+                    .values()
+                    .filter(|qp| qp.state() == crate::qp::QpState::Rts)
+                    .cloned()
+                    .collect();
+                for qp in rts {
+                    self.fail_qp(&qp, CqeStatus::WrFlushError);
+                }
+            }
+        }
+    }
+
     /// Move the QP to the error state and flush everything with error CQEs.
     fn fail_qp(self: &Rc<Self>, qp: &Rc<Qp>, head_status: CqeStatus) {
         qp.set_error();
@@ -1204,14 +1275,17 @@ impl Rnic {
             } else {
                 CqeStatus::WrFlushError
             };
-            qp.send_cq.push(Cqe {
-                wr_id,
-                status,
-                opcode: op,
-                byte_len: 0,
-                imm: None,
-                qpn: qp.qpn,
-            });
+            self.push_cqe(
+                &qp.send_cq,
+                Cqe {
+                    wr_id,
+                    status,
+                    opcode: op,
+                    byte_len: 0,
+                    imm: None,
+                    qpn: qp.qpn,
+                },
+            );
         };
         let retx = std::mem::take(&mut tx.retx);
         for m in retx {
@@ -1241,14 +1315,17 @@ impl Rnic {
         let mut rx = qp.rx.borrow_mut();
         let rq = std::mem::take(&mut rx.rq);
         for r in rq {
-            qp.recv_cq.push(Cqe {
-                wr_id: r.wr_id,
-                status: CqeStatus::WrFlushError,
-                opcode: CqeOpcode::Recv,
-                byte_len: 0,
-                imm: None,
-                qpn: qp.qpn,
-            });
+            self.push_cqe(
+                &qp.recv_cq,
+                Cqe {
+                    wr_id: r.wr_id,
+                    status: CqeStatus::WrFlushError,
+                    opcode: CqeOpcode::Recv,
+                    byte_len: 0,
+                    imm: None,
+                    qpn: qp.qpn,
+                },
+            );
         }
     }
 
@@ -1542,14 +1619,17 @@ impl Rnic {
                 } else {
                     CqeOpcode::Recv
                 };
-                qp.recv_cq.push(Cqe {
-                    wr_id: rqe.wr_id,
-                    status: CqeStatus::Success,
-                    opcode,
-                    byte_len: total_len,
-                    imm,
-                    qpn: qp.qpn,
-                });
+                self.push_cqe(
+                    &qp.recv_cq,
+                    Cqe {
+                        wr_id: rqe.wr_id,
+                        status: CqeStatus::Success,
+                        opcode,
+                        byte_len: total_len,
+                        imm,
+                        qpn: qp.qpn,
+                    },
+                );
             }
             self.send_ack(qp);
         }
@@ -1591,14 +1671,17 @@ impl Rnic {
             out
         };
         for (wr_id, opcode, byte_len) in completions {
-            qp.send_cq.push(Cqe {
-                wr_id,
-                status: CqeStatus::Success,
-                opcode,
-                byte_len,
-                imm: None,
-                qpn: qp.qpn,
-            });
+            self.push_cqe(
+                &qp.send_cq,
+                Cqe {
+                    wr_id,
+                    status: CqeStatus::Success,
+                    opcode,
+                    byte_len,
+                    imm: None,
+                    qpn: qp.qpn,
+                },
+            );
         }
         // Window may have opened.
         if self.qp_has_tx_work(qp) {
@@ -1636,14 +1719,17 @@ impl Rnic {
                     pos.map(|i| tx.unacked.remove(i).unwrap())
                 };
                 if let Some(u) = head {
-                    qp.send_cq.push(Cqe {
-                        wr_id: u.wr.wr_id,
-                        status: CqeStatus::RemoteAccessError,
-                        opcode: op_to_cqe(&u.wr.op),
-                        byte_len: 0,
-                        imm: None,
-                        qpn: qp.qpn,
-                    });
+                    self.push_cqe(
+                        &qp.send_cq,
+                        Cqe {
+                            wr_id: u.wr.wr_id,
+                            status: CqeStatus::RemoteAccessError,
+                            opcode: op_to_cqe(&u.wr.op),
+                            byte_len: 0,
+                            imm: None,
+                            qpn: qp.qpn,
+                        },
+                    );
                 }
                 self.fail_qp(qp, CqeStatus::WrFlushError);
             }
@@ -1834,14 +1920,17 @@ impl Rnic {
         };
         if let Some(p) = done {
             if p.signaled {
-                qp.send_cq.push(Cqe {
-                    wr_id: p.wr_id,
-                    status: CqeStatus::Success,
-                    opcode: CqeOpcode::Read,
-                    byte_len: p.total,
-                    imm: None,
-                    qpn: qp.qpn,
-                });
+                self.push_cqe(
+                    &qp.send_cq,
+                    Cqe {
+                        wr_id: p.wr_id,
+                        status: CqeStatus::Success,
+                        opcode: CqeOpcode::Read,
+                        byte_len: p.total,
+                        imm: None,
+                        qpn: qp.qpn,
+                    },
+                );
             }
             if self.qp_has_tx_work(qp) {
                 self.activate(qp.qpn, Time::ZERO);
@@ -1856,14 +1945,17 @@ impl Rnic {
                 let _ = mr.write(p.local.0, &old_value.to_le_bytes());
             }
             if p.signaled {
-                qp.send_cq.push(Cqe {
-                    wr_id: p.wr_id,
-                    status: CqeStatus::Success,
-                    opcode: CqeOpcode::Atomic,
-                    byte_len: 8,
-                    imm: None,
-                    qpn: qp.qpn,
-                });
+                self.push_cqe(
+                    &qp.send_cq,
+                    Cqe {
+                        wr_id: p.wr_id,
+                        status: CqeStatus::Success,
+                        opcode: CqeOpcode::Atomic,
+                        byte_len: 8,
+                        imm: None,
+                        qpn: qp.qpn,
+                    },
+                );
             }
         }
     }
@@ -1943,6 +2035,47 @@ impl NicSink for Rnic {
         let Some(me) = self.me.borrow().upgrade() else {
             return;
         };
+        // Scheduled fault-plan hooks (`xrdma-faults`): a PeerPause window
+        // freezes the node (arrivals buffered, replayed on resume); rx
+        // faults model ICRC corruption (drop), NIC-level duplication and
+        // reordering. All are recovered by the go-back-N protocol.
+        #[cfg(feature = "faults")]
+        {
+            if xrdma_faults::node_paused(self.node.0) {
+                self.paused_rx.borrow_mut().push_back(pkt);
+                return;
+            }
+            match xrdma_faults::rnic_rx(self.node.0) {
+                None => {}
+                Some(xrdma_faults::RxFault::Drop { .. }) => {
+                    self.stats.borrow_mut().fault_rx_drops += 1;
+                    return;
+                }
+                Some(xrdma_faults::RxFault::Duplicate) => {
+                    if let Some(tb) = pkt.body.downcast_ref::<TokenedBth>().cloned() {
+                        let mut copy = Packet::new(
+                            pkt.src,
+                            pkt.dst,
+                            pkt.prio,
+                            pkt.size_bytes,
+                            pkt.flow_hash,
+                            Box::new(tb),
+                        );
+                        copy.ecn_capable = pkt.ecn_capable;
+                        copy.ecn_marked = pkt.ecn_marked;
+                        self.stats.borrow_mut().fault_rx_dups += 1;
+                        let me2 = me.clone();
+                        self.world
+                            .schedule_in(Dur::ZERO, move || me2.deliver_filtered(copy));
+                    }
+                }
+                Some(xrdma_faults::RxFault::Delay(d)) => {
+                    let me2 = me.clone();
+                    self.world.schedule_in(d, move || me2.deliver_filtered(pkt));
+                    return;
+                }
+            }
+        }
         // Fault-injection filter (checked once; delayed packets re-enter
         // through deliver_filtered).
         let verdict = match self.filter.borrow().as_ref() {

@@ -37,7 +37,7 @@ impl FragData {
 /// A BTH plus the connection token it was sent under. This is what
 /// actually travels in `Packet::body`; receivers drop token mismatches
 /// (stale packets from a recycled QP's previous connection).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TokenedBth {
     pub token: u64,
     pub bth: Bth,
@@ -52,7 +52,7 @@ pub enum WireOp {
 }
 
 /// A packet body on the responder-bound (request) direction.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum Bth {
     /// One MTU fragment of a Send/Write/WriteImm message.
     Data {

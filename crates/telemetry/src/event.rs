@@ -90,6 +90,25 @@ pub enum EventKind {
     CmEstablished { node: u32, peer: u32, qpn: u32 },
     /// A runtime `invariant!` fired (the message precedes the panic).
     InvariantFired { msg: String },
+    /// A scheduled fault window opened (`on = true`) or closed.
+    FaultWindow {
+        fault: &'static str,
+        target: String,
+        on: bool,
+    },
+    /// A single fault action fired (one dropped/duplicated/delayed packet,
+    /// one node command, one sabotaged connect). High volume under storms,
+    /// so it is packet-level: kept out of the run log, always in the ring.
+    FaultInjected { fault: &'static str, target: String },
+    /// An incoming message was dropped because the local memory cache was
+    /// exhausted (the peer recovers via retransmission above our layer).
+    MsgDropOom {
+        node: u32,
+        peer: u32,
+        qpn: u32,
+        seq: u32,
+        bytes: u64,
+    },
 }
 
 impl EventKind {
@@ -116,6 +135,9 @@ impl EventKind {
             EventKind::SlowOp { .. } => "slow-op",
             EventKind::CmEstablished { .. } => "cm-established",
             EventKind::InvariantFired { .. } => "invariant",
+            EventKind::FaultWindow { .. } => "fault-window",
+            EventKind::FaultInjected { .. } => "fault-injected",
+            EventKind::MsgDropOom { .. } => "msg-drop-oom",
         }
     }
 
@@ -123,7 +145,10 @@ impl EventKind {
     /// out of the run log unless `HubConfig::packet_level` asks for them
     /// (they always enter the flight-recorder ring).
     pub fn is_packet_level(&self) -> bool {
-        matches!(self, EventKind::PktEnqueue { .. })
+        matches!(
+            self,
+            EventKind::PktEnqueue { .. } | EventKind::FaultInjected { .. }
+        )
     }
 
     /// `(pid, tid)` grouping for the Chrome-trace exporter: process = node
@@ -140,6 +165,7 @@ impl EventKind {
             | EventKind::CmEstablished { node, qpn, .. } => (node, qpn),
             EventKind::QpState { qpn, .. } => (0, qpn),
             EventKind::PollGap { node, .. } | EventKind::SlowOp { node, .. } => (node, 0),
+            EventKind::MsgDropOom { node, qpn, .. } => (node, qpn),
             _ => (0, 0),
         }
     }
@@ -275,6 +301,28 @@ impl EventKind {
                 kv_u(out, "qpn", u64::from(*qpn));
             }
             EventKind::InvariantFired { msg } => kv_s(out, "msg", msg),
+            EventKind::FaultWindow { fault, target, on } => {
+                kv_s(out, "fault", fault);
+                kv_s(out, "target", target);
+                kv_b(out, "on", *on);
+            }
+            EventKind::FaultInjected { fault, target } => {
+                kv_s(out, "fault", fault);
+                kv_s(out, "target", target);
+            }
+            EventKind::MsgDropOom {
+                node,
+                peer,
+                qpn,
+                seq,
+                bytes,
+            } => {
+                kv_u(out, "node", u64::from(*node));
+                kv_u(out, "peer", u64::from(*peer));
+                kv_u(out, "qpn", u64::from(*qpn));
+                kv_u(out, "seq", u64::from(*seq));
+                kv_u(out, "bytes", *bytes);
+            }
         }
     }
 }
@@ -346,12 +394,17 @@ mod tests {
     }
 
     #[test]
-    fn only_enqueue_is_packet_level() {
+    fn per_packet_volume_events_are_packet_level() {
         assert!(EventKind::PktEnqueue {
             port: String::new(),
             prio: 0,
             bytes: 0,
             queued_bytes: 0,
+        }
+        .is_packet_level());
+        assert!(EventKind::FaultInjected {
+            fault: "drop",
+            target: String::new(),
         }
         .is_packet_level());
         assert!(!EventKind::PktDrop {
@@ -360,5 +413,47 @@ mod tests {
             bytes: 0,
         }
         .is_packet_level());
+        assert!(!EventKind::FaultWindow {
+            fault: "link-down",
+            target: String::new(),
+            on: true,
+        }
+        .is_packet_level());
+    }
+
+    #[test]
+    fn fault_event_shapes() {
+        let ev = Event {
+            t: Time(250),
+            kind: EventKind::FaultWindow {
+                fault: "link-down",
+                target: "host0->tor0".into(),
+                on: true,
+            },
+        };
+        let mut s = String::new();
+        ev.json_into(&mut s);
+        assert_eq!(
+            s,
+            "{\"t\":250,\"ev\":\"fault-window\",\"fault\":\"link-down\",\
+             \"target\":\"host0->tor0\",\"on\":true}"
+        );
+        let ev = Event {
+            t: Time(9),
+            kind: EventKind::MsgDropOom {
+                node: 1,
+                peer: 2,
+                qpn: 3,
+                seq: 4,
+                bytes: 4096,
+            },
+        };
+        let mut s = String::new();
+        ev.json_into(&mut s);
+        assert_eq!(
+            s,
+            "{\"t\":9,\"ev\":\"msg-drop-oom\",\"node\":1,\"peer\":2,\"qpn\":3,\
+             \"seq\":4,\"bytes\":4096}"
+        );
     }
 }

@@ -10,6 +10,8 @@
 #              - telemetry (event bus + exporters live)
 #              - telemetry + debug_invariants (flight recorder wired to
 #                the runtime invariant checkers)
+#              - faults + telemetry + debug_invariants (fault injector
+#                live: chaos suite + fault-plan property tests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,11 +22,13 @@ run() {
 
 run cargo build --release --workspace
 run cargo build --release --workspace --features xrdma-bench/telemetry,xrdma-tests/telemetry
+run cargo build --release --workspace --features xrdma-bench/faults,xrdma-tests/faults
 run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo run -q --release -p xrdma-lint
 run cargo test -q --workspace
 run cargo test -q --workspace --features xrdma-tests/telemetry
 run cargo test -q --workspace --features xrdma-tests/telemetry,xrdma-tests/debug_invariants
+run cargo test -q --workspace --features xrdma-tests/faults,xrdma-tests/telemetry,xrdma-tests/debug_invariants
 
 echo "==> ci.sh: all gates passed"

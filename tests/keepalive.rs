@@ -106,6 +106,31 @@ fn crash_detected_within_a_few_intervals_resources_freed() {
 }
 
 #[test]
+fn data_operation_detects_dead_peer() {
+    // §V-A: death must surface through the data path too, not only the
+    // probe timer — an application RPC against a crashed peer gets a
+    // typed error reply and the channel closes with `PeerDead`.
+    let r = rig(5);
+    let reason = Rc::new(RefCell::new(None));
+    let r2 = reason.clone();
+    r.ca.set_on_close(move |re| *r2.borrow_mut() = Some(re));
+    r.b.rnic().crash();
+    let errored = Rc::new(std::cell::Cell::new(false));
+    let e2 = errored.clone();
+    r.ca.send_request_size(4096, move |_, msg| {
+        assert!(msg.is_error(), "waiter must see an error, not a response");
+        e2.set(true);
+    })
+    .unwrap();
+    r.world.run_for(Dur::millis(200));
+    assert!(r.ca.is_closed());
+    assert_eq!(*reason.borrow(), Some(CloseReason::PeerDead));
+    assert!(errored.get(), "the outstanding RPC must fail, not hang");
+    assert_eq!(r.a.stats().keepalive_failures, 1);
+    assert_eq!(r.a.channel_count(), 0, "resources released");
+}
+
+#[test]
 fn traffic_suppresses_probes() {
     let r = rig(3);
     r.cb.set_on_request(|ch, _m, tok| {

@@ -268,6 +268,139 @@ proptest! {
     }
 }
 
+/// Full-stack liveness under arbitrary (bounded) fault plans: for any
+/// generated mix of drop, duplicate and reorder windows that stays below
+/// the go-back-N retry budget, every accepted request eventually completes
+/// or its channel closes with a typed reason — no silent loss, no hang.
+#[cfg(feature = "faults")]
+mod fault_plan_liveness {
+    use std::cell::{Cell, RefCell};
+    use std::rc::Rc;
+
+    use proptest::prelude::*;
+    use xrdma_core::channel::CloseReason;
+    use xrdma_core::{XrdmaChannel, XrdmaConfig, XrdmaContext};
+    use xrdma_fabric::{Fabric, FabricConfig, NodeId};
+    use xrdma_faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultTarget};
+    use xrdma_rnic::{CmConfig, ConnManager, RnicConfig};
+    use xrdma_sim::{Dur, SimRng, World};
+
+    const EDGES: [&str; 4] = ["host0->tor0", "host1->tor0", "tor0->host0", "tor0->host1"];
+
+    /// (kind selector, at ms, dur ms, probability %, target selector).
+    /// Probabilities cap at 30% and windows at 20 ms — far below the
+    /// default retry budget (64 ms timeout × 7 retries), so the protocol
+    /// is *supposed* to win every time.
+    fn spec_strategy() -> impl Strategy<Value = (u8, u64, u64, u32, u8)> {
+        (0u8..3, 18u64..40, 2u64..20, 1u32..30, 0u8..4)
+    }
+
+    fn build_spec(sel: (u8, u64, u64, u32, u8)) -> FaultSpec {
+        let (kind_sel, at_ms, dur_ms, prob_pct, tgt_sel) = sel;
+        let prob = prob_pct as f64 / 100.0;
+        let (target, kind) = match kind_sel {
+            // Drops live on fabric edges.
+            0 => (
+                FaultTarget::Edge(EDGES[tgt_sel as usize].to_string()),
+                FaultKind::Drop { prob },
+            ),
+            // Duplicates and reorders live on the receiving RNIC.
+            1 => (
+                FaultTarget::Node(tgt_sel as u32 % 2),
+                FaultKind::Duplicate { prob },
+            ),
+            _ => (
+                FaultTarget::Node(tgt_sel as u32 % 2),
+                FaultKind::Reorder {
+                    prob,
+                    delay_ns: 2_000_000,
+                },
+            ),
+        };
+        FaultSpec {
+            at_ns: at_ms * 1_000_000,
+            dur_ns: Some(dur_ms * 1_000_000),
+            target,
+            kind,
+        }
+    }
+
+    proptest! {
+        // Each case is a full-stack simulation (case count comes from the
+        // vendored shim's PROPTEST_CASES, default 256).
+        #[test]
+        fn no_silent_loss_no_hang(
+            seed in any::<u64>(),
+            sels in proptest::collection::vec(spec_strategy(), 1..4),
+        ) {
+            let mut plan = FaultPlan::new();
+            for sel in sels {
+                plan = plan.with(build_spec(sel));
+            }
+            let world = World::new();
+            let rng = SimRng::new(seed);
+            let _guard = FaultInjector::install(&world, plan, rng.fork("faults"));
+            let fabric = Fabric::new(world.clone(), FabricConfig::pair(), &rng);
+            let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
+            let server = XrdmaContext::on_new_node(
+                &fabric, &cm, NodeId(0), RnicConfig::default(), XrdmaConfig::default(), &rng,
+            );
+            server.listen(7, |ch| {
+                ch.set_on_request(|c, _m, t| {
+                    c.respond_size(t, 64).ok();
+                });
+            });
+            let client = XrdmaContext::on_new_node(
+                &fabric, &cm, NodeId(1), RnicConfig::default(), XrdmaConfig::default(), &rng,
+            );
+            let slot: Rc<RefCell<Option<Rc<XrdmaChannel>>>> = Rc::new(RefCell::new(None));
+            let s2 = slot.clone();
+            client.connect(NodeId(0), 7, move |r| *s2.borrow_mut() = Some(r.unwrap()));
+            world.run_for(Dur::millis(20));
+            let ch = slot.borrow().clone().expect("established before faults open");
+
+            let reason: Rc<Cell<Option<CloseReason>>> = Rc::new(Cell::new(None));
+            let r2 = reason.clone();
+            ch.set_on_close(move |r| r2.set(Some(r)));
+            let completed = Rc::new(Cell::new(0u32));
+            let errored = Rc::new(Cell::new(0u32));
+            let mut accepted = 0u32;
+            for _ in 0..16 {
+                let (c2, e2) = (completed.clone(), errored.clone());
+                if ch
+                    .send_request_size(1024, move |_, msg| {
+                        if msg.is_error() {
+                            e2.set(e2.get() + 1);
+                        } else {
+                            c2.set(c2.get() + 1);
+                        }
+                    })
+                    .is_ok()
+                {
+                    accepted += 1;
+                }
+            }
+            // The retry budget tops out around 64 ms × 7; a second of sim
+            // time is quiescence for any plan this strategy can emit.
+            world.run_for(Dur::secs(1));
+            prop_assert_eq!(
+                completed.get() + errored.get(),
+                accepted,
+                "every accepted request resolved (no silent loss, no hang)"
+            );
+            if errored.get() > 0 {
+                prop_assert!(ch.is_closed(), "error replies only come from teardown");
+                prop_assert!(
+                    reason.get().is_some(),
+                    "a torn-down channel reports a typed close reason"
+                );
+            } else {
+                prop_assert_eq!(completed.get(), accepted);
+            }
+        }
+    }
+}
+
 mod more_invariants {
     use proptest::prelude::*;
     use xrdma_apps::workload::{LoadSchedule, Phase};
