@@ -55,6 +55,8 @@ pub struct Monitor {
     tracked: RefCell<Vec<Tracked>>,
     samples: RefCell<Vec<Sample>>,
     running: std::cell::Cell<bool>,
+    /// The periodic sampling timer; holding it keeps the sweep armed.
+    timer: RefCell<Option<xrdma_sim::Timer>>,
 }
 
 impl Monitor {
@@ -66,6 +68,7 @@ impl Monitor {
             tracked: RefCell::new(Vec::new()),
             samples: RefCell::new(Vec::new()),
             running: std::cell::Cell::new(false),
+            timer: RefCell::new(None),
         })
     }
 
@@ -89,15 +92,19 @@ impl Monitor {
         if self.running.replace(true) {
             return;
         }
-        self.arm();
-    }
-
-    fn arm(self: &Rc<Self>) {
-        let me = self.clone();
-        self.world.schedule_in(self.period, move || {
-            me.sample_all();
-            me.arm();
+        // One periodic timer for the sampler's lifetime: the closure is
+        // boxed once and the kernel re-arms it after each sweep, in the
+        // same event order the old self-rescheduling closure produced.
+        // Weak capture so the slab slot does not pin the monitor (and the
+        // world) in an Rc cycle.
+        let me = Rc::downgrade(self);
+        let timer = self.world.periodic(self.period, move || {
+            if let Some(me) = me.upgrade() {
+                me.sample_all();
+            }
         });
+        timer.arm_in(self.period);
+        *self.timer.borrow_mut() = Some(timer);
     }
 
     fn sample_all(&self) {

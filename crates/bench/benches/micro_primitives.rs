@@ -41,6 +41,35 @@ fn bench_event_loop(c: &mut Criterion) {
             black_box(w.now())
         })
     });
+    // Retransmit-timer shape: most scheduled events are cancelled before
+    // they fire, so calendar pop must stay cheap under dead entries.
+    g.bench_function("cancel_heavy_1000_events", |b| {
+        b.iter(|| {
+            let w = World::new();
+            let ids: Vec<_> = (0..1000u64)
+                .map(|i| w.schedule_in(Dur::nanos(1_000 + i), || {}))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                w.cancel(*id);
+            }
+            w.run();
+            black_box(w.events_executed())
+        })
+    });
+    // The first-class re-armable timer: one closure boxed once, every
+    // subsequent tick recycles the slab slot.
+    g.bench_function("periodic_timer_1000_ticks", |b| {
+        b.iter(|| {
+            let w = World::new();
+            let fired = std::rc::Rc::new(std::cell::Cell::new(0u32));
+            let f2 = fired.clone();
+            let t = w.periodic(Dur::nanos(50), move || f2.set(f2.get() + 1));
+            t.arm_in(Dur::nanos(50));
+            w.run_for(Dur::nanos(50 * 1000));
+            drop(t);
+            black_box(fired.get())
+        })
+    });
     g.finish();
 }
 

@@ -1,0 +1,271 @@
+//! `simperf` — event-kernel throughput: timer wheel vs legacy calendar.
+//!
+//! The simulator's own speed is the budget every experiment spends from,
+//! so this harness races the two calendar kernels (`Kernel::Wheel`, the
+//! production timer wheel, against `Kernel::Legacy`, the pre-wheel binary
+//! heap + tombstone `HashSet`) on three workloads and reports
+//! wall-clock events-per-second:
+//!
+//! * **timer-churn** — thousands of re-arming timers, each cancelling and
+//!   re-scheduling a decoy on every firing. The pattern every keepalive /
+//!   retransmit / DCQCN timer in the stack produces, and the case the
+//!   wheel's slab-recycled timers exist for. Acceptance: ≥1.5× over the
+//!   legacy kernel.
+//! * **incast** — the full-stack fig10 scenario (N senders into one
+//!   sink). Dominated by packet events, so the bound here is "no
+//!   regression", not a speedup claim.
+//! * **chaos** (`faults` feature) — the same incast with the sink's
+//!   downlink flapping, exercising retransmit-timer churn under load.
+//!
+//! Both kernels must execute the *same number of virtual events* for each
+//! workload — the differential-determinism check that makes the race
+//! apples-to-apples.
+//!
+//! `XRDMA_SIMPERF_SMOKE=1` shrinks every workload to a CI-sized run and
+//! relaxes the speedup thresholds (tiny runs are timer-resolution noise).
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use xrdma_bench::scenarios;
+use xrdma_bench::Report;
+use xrdma_core::XrdmaConfig;
+use xrdma_sim::{Dur, EventId, Kernel, World};
+
+/// One measured run: virtual events executed and the wall clock they took.
+struct Run {
+    events: u64,
+    wall_s: f64,
+}
+
+impl Run {
+    fn eps(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+fn smoke() -> bool {
+    std::env::var("XRDMA_SIMPERF_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Deterministic per-timer period: co-prime stride over a ~4 µs band so
+/// firings spread across wheel buckets instead of pulsing.
+fn period_of(i: u32) -> Dur {
+    Dur::nanos(800 + (i as u64 * 97) % 4096)
+}
+
+/// Timer churn, old style: self-rescheduling `schedule_in` closures, each
+/// firing cancelling a pending decoy event and scheduling a fresh one —
+/// on the legacy kernel every cancel grows the tombstone set the pop loop
+/// probes.
+fn churn_legacy(timers: u32, span: Dur) -> Run {
+    let w = World::with_kernel(Kernel::Legacy);
+    fn arm(w: &Rc<World>, period: Dur, decoy: &Rc<Cell<Option<EventId>>>) {
+        let w2 = w.clone();
+        let d2 = decoy.clone();
+        w.schedule_in(period, move || {
+            if let Some(id) = d2.get() {
+                w2.cancel(id);
+            }
+            d2.set(Some(
+                w2.schedule_in(Dur::nanos(period.as_nanos() * 2), || {}),
+            ));
+            arm(&w2, period, &d2);
+        });
+    }
+    for i in 0..timers {
+        arm(&w, period_of(i), &Rc::new(Cell::new(None)));
+    }
+    let t0 = Instant::now();
+    w.run_for(span);
+    Run {
+        events: w.events_executed(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// The same churn through the first-class `Timer` API on the wheel: one
+/// boxed closure per timer for the whole run, re-arms recycle the slab
+/// slot, decoy cancellation bumps a generation counter instead of feeding
+/// a tombstone set.
+fn churn_wheel(timers: u32, span: Dur) -> Run {
+    let w = World::with_kernel(Kernel::Wheel);
+    let mut handles = Vec::with_capacity(timers as usize);
+    for i in 0..timers {
+        let period = period_of(i);
+        let decoy = Rc::new(w.timer(|| {}));
+        let d2 = decoy.clone();
+        let main = w.periodic(period, move || {
+            d2.cancel();
+            d2.arm_in(Dur::nanos(period.as_nanos() * 2));
+        });
+        main.arm_in(period);
+        handles.push((main, decoy));
+    }
+    let t0 = Instant::now();
+    w.run_for(span);
+    let run = Run {
+        events: w.events_executed(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    };
+    drop(handles);
+    run
+}
+
+/// Full-stack incast on the given kernel.
+fn incast(kernel: Kernel, senders: u32, span: Dur) -> Run {
+    let t0 = Instant::now();
+    let out = scenarios::run_incast_on(
+        kernel,
+        XrdmaConfig::default(),
+        senders,
+        16 * 1024,
+        4,
+        span,
+        42,
+    );
+    Run {
+        events: out.events_executed,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Incast with the sink's downlink flapping mid-run: retransmit timers
+/// arm, cancel, and re-arm across the whole sender population.
+#[cfg(feature = "faults")]
+fn chaos(kernel: Kernel, senders: u32, span: Dur) -> Run {
+    use xrdma_faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultTarget};
+    let flap = |at_ms: u64, dur_ms: u64| FaultSpec {
+        at_ns: at_ms * 1_000_000,
+        dur_ns: Some(dur_ms * 1_000_000),
+        target: FaultTarget::Edge("tor0->host0".to_string()),
+        kind: FaultKind::LinkDown,
+    };
+    // The incast spends 100 ms of virtual time on setup before the
+    // measured span; land both flaps inside the span at any scale.
+    let span_ms = span.as_nanos() / 1_000_000;
+    let plan = FaultPlan::new()
+        .with(flap(100 + span_ms / 5, (span_ms / 20).max(1)))
+        .with(flap(100 + span_ms / 2, (span_ms / 25).max(1)));
+    let n = scenarios::net_on(kernel, xrdma_fabric::FabricConfig::rack(senders + 1), 42);
+    let _guard = FaultInjector::install(&n.world, plan, n.rng.fork("faults"));
+    let t0 = Instant::now();
+    let out = scenarios::run_incast_in(&n, XrdmaConfig::default(), senders, 16 * 1024, 4, span);
+    Run {
+        events: out.events_executed,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let smoke = smoke();
+    let (churn_timers, churn_span) = if smoke {
+        (256, Dur::millis(2))
+    } else {
+        (4096, Dur::millis(20))
+    };
+    let (senders, incast_span) = if smoke {
+        (4, Dur::millis(10))
+    } else {
+        (8, Dur::millis(80))
+    };
+    // Tiny smoke runs are dominated by setup and timer resolution; keep
+    // the gate honest only at full scale.
+    let (speedup_floor, regress_floor) = if smoke { (0.5, 0.5) } else { (1.5, 0.95) };
+
+    let mut rep = Report::new(
+        "simperf",
+        "event-kernel throughput: timer-wheel calendar vs legacy heap+tombstone",
+    );
+
+    let cl = churn_legacy(churn_timers, churn_span);
+    let cw = churn_wheel(churn_timers, churn_span);
+    let speedup = cw.eps() / cl.eps().max(1e-9);
+    println!(
+        "timer-churn  legacy {:>12.0} ev/s   wheel {:>12.0} ev/s   ({speedup:.2}x)",
+        cl.eps(),
+        cw.eps()
+    );
+    rep.row(
+        "timer-churn speedup (wheel / legacy)",
+        ">=1.5x",
+        format!("{speedup:.2}x"),
+        speedup >= speedup_floor,
+    );
+    rep.row(
+        "timer-churn virtual events match",
+        "identical on both kernels",
+        format!("{} vs {}", cl.events, cw.events),
+        cl.events == cw.events,
+    );
+
+    let il = incast(Kernel::Legacy, senders, incast_span);
+    let iw = incast(Kernel::Wheel, senders, incast_span);
+    let iratio = iw.eps() / il.eps().max(1e-9);
+    println!(
+        "incast       legacy {:>12.0} ev/s   wheel {:>12.0} ev/s   ({iratio:.2}x)",
+        il.eps(),
+        iw.eps()
+    );
+    rep.row(
+        "incast no regression (wheel / legacy)",
+        ">=0.95x",
+        format!("{iratio:.2}x"),
+        iratio >= regress_floor,
+    );
+    rep.row(
+        "incast virtual events match",
+        "identical on both kernels",
+        format!("{} vs {}", il.events, iw.events),
+        il.events == iw.events,
+    );
+
+    #[cfg_attr(not(feature = "faults"), allow(unused_mut))]
+    let mut series = vec![
+        (
+            "timer_churn_eps".to_string(),
+            vec![(0.0, cl.eps()), (1.0, cw.eps())],
+        ),
+        (
+            "incast_eps".to_string(),
+            vec![(0.0, il.eps()), (1.0, iw.eps())],
+        ),
+    ];
+
+    #[cfg(feature = "faults")]
+    {
+        let hl = chaos(Kernel::Legacy, senders, incast_span);
+        let hw = chaos(Kernel::Wheel, senders, incast_span);
+        let hratio = hw.eps() / hl.eps().max(1e-9);
+        println!(
+            "chaos        legacy {:>12.0} ev/s   wheel {:>12.0} ev/s   ({hratio:.2}x)",
+            hl.eps(),
+            hw.eps()
+        );
+        rep.row(
+            "chaos no regression (wheel / legacy)",
+            ">=0.95x",
+            format!("{hratio:.2}x"),
+            hratio >= regress_floor,
+        );
+        rep.row(
+            "chaos virtual events match",
+            "identical on both kernels",
+            format!("{} vs {}", hl.events, hw.events),
+            hl.events == hw.events,
+        );
+        series.push((
+            "chaos_eps".to_string(),
+            vec![(0.0, hl.eps()), (1.0, hw.eps())],
+        ));
+    }
+
+    for (name, rows) in series {
+        rep.series(&name, rows);
+    }
+    rep.finish();
+    if !rep.all_hold() {
+        std::process::exit(1);
+    }
+}

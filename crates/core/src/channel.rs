@@ -113,7 +113,11 @@ impl XrdmaMsg {
         match &self.source {
             MsgSource::Empty => Bytes::new(),
             MsgSource::Region { rnic, lkey, addr } => match rnic.mem().by_lkey(*lkey) {
-                Some(mr) => Bytes::from(mr.read(*addr, self.len).unwrap_or_default()),
+                // One gather copy into a shared buffer; repeated body()
+                // calls and downstream slices stay zero-copy.
+                Some(mr) => mr
+                    .read_bytes(*addr, self.len)
+                    .unwrap_or_else(|_| Bytes::new()),
                 None => Bytes::new(),
             },
         }

@@ -114,6 +114,9 @@ pub struct XrdmaContext {
     last_traffic: Cell<Time>,
     fd_readable_cb: RefCell<Option<Box<dyn Fn()>>>,
     timer_running: Cell<bool>,
+    /// The keepalive/housekeeping tick timer: its closure is boxed once and
+    /// re-armed from `tick` without further allocation.
+    tick_timer: RefCell<Option<xrdma_sim::Timer>>,
     tick_count: Cell<u64>,
 }
 
@@ -197,6 +200,7 @@ impl XrdmaContext {
             last_traffic: Cell::new(Time::ZERO),
             fd_readable_cb: RefCell::new(None),
             timer_running: Cell::new(false),
+            tick_timer: RefCell::new(None),
             tick_count: Cell::new(0),
         });
         // Wire the completion channel into the poll loop.
@@ -650,14 +654,28 @@ impl XrdmaContext {
     }
 
     fn arm_timer(self: &Rc<Self>) {
+        // The period is re-read on every arm (config is adjustable), but
+        // the tick trampoline is boxed exactly once per context.
         let period = self.config().timer_period;
-        let me = self.clone();
-        self.world.schedule_in(period, move || {
-            let me2 = me.clone();
-            me.thread.exec(Dur::ZERO, move |_| {
-                me2.tick();
+        if self.tick_timer.borrow().is_none() {
+            // Weak capture: the slab slot must not keep the context (and
+            // through it the world) alive — see DESIGN.md §3 on timer
+            // ownership.
+            let me = Rc::downgrade(self);
+            let timer = self.world.timer(move || {
+                let Some(me) = me.upgrade() else { return };
+                let me2 = me.clone();
+                me.thread.exec(Dur::ZERO, move |_| {
+                    me2.tick();
+                });
             });
-        });
+            *self.tick_timer.borrow_mut() = Some(timer);
+        }
+        self.tick_timer
+            .borrow()
+            .as_ref()
+            .expect("just installed")
+            .arm_in(period);
     }
 
     fn tick(self: &Rc<Self>) {

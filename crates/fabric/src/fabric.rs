@@ -94,6 +94,7 @@ impl Fabric {
         // Host <-> ToR cables.
         let mut host_ports = Vec::with_capacity(topo.n_hosts() as usize);
         let mut down_ports = Vec::with_capacity(topo.n_hosts() as usize);
+        // xrdma-lint: allow(hot-path-alloc) -- one-time topology construction
         let mut tor_ports: Vec<Vec<Rc<Port>>> = vec![Vec::new(); tors.len()];
         for h in 0..topo.n_hosts() {
             let t = topo.tor_of(NodeId(h)) as usize;
@@ -118,6 +119,7 @@ impl Fabric {
         }
 
         // ToR <-> Leaf cables (each ToR to every leaf in its pod).
+        // xrdma-lint: allow(hot-path-alloc) -- one-time topology construction
         let mut leaf_ports: Vec<Vec<Rc<Port>>> = vec![Vec::new(); leaves.len()];
         for (t, tor) in tors.iter().enumerate() {
             let pod = topo.pod_of_tor(t as u32);
@@ -141,6 +143,7 @@ impl Fabric {
         // ToR order — matching Switch::egress_index's expectation.
 
         // Leaf <-> Spine cables (every leaf to every spine).
+        // xrdma-lint: allow(hot-path-alloc) -- one-time topology construction
         let mut spine_ports: Vec<Vec<Rc<Port>>> = vec![Vec::new(); spines.len()];
         for (l, leaf) in leaves.iter().enumerate() {
             for (s, spine) in spines.iter().enumerate() {

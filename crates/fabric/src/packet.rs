@@ -43,6 +43,13 @@ impl fmt::Display for NodeId {
 /// not materialized here — `size_bytes` carries the wire size used for
 /// serialization-delay and buffer accounting, while any actual data travels
 /// inside `body`.
+///
+/// Zero-copy contract: the fabric moves a `Packet` by value hop to hop and
+/// never clones it, so whatever `body` holds is allocated exactly once per
+/// packet. Upper layers keep it that way by carrying payload bytes as
+/// refcounted slices (`bytes::Bytes` windows over a per-message gather
+/// buffer) rather than owned `Vec<u8>`s — see the `hot-path-alloc` lint
+/// rule, which guards the per-packet paths on both sides of this boundary.
 pub struct Packet {
     pub src: NodeId,
     pub dst: NodeId,

@@ -39,7 +39,10 @@ struct QEntry {
 
 pub struct Port {
     world: Rc<World>,
-    pub label: String,
+    /// Shared so per-packet telemetry events tag the port by refcount
+    /// bump instead of a `String` clone (`Arc` because event logs may be
+    /// collected across sweep worker threads).
+    pub label: std::sync::Arc<str>,
     rate_gbps: f64,
     prop_delay: Dur,
     /// Per-priority byte capacity; enqueue beyond it drops the packet.
@@ -66,6 +69,11 @@ pub struct Port {
     drain_hook: RefCell<Option<(u64, Box<dyn Fn()>)>>,
     /// Total bytes ever transmitted (diagnostics / utilization).
     tx_bytes: Cell<u64>,
+    /// Serialization timer: one rearmable slot per port instead of one
+    /// boxed closure per packet. The packet rides in `in_flight` (a port
+    /// serializes exactly one packet at a time).
+    tx_timer: RefCell<Option<xrdma_sim::Timer>>,
+    in_flight: RefCell<Option<QEntry>>,
 }
 
 impl Port {
@@ -81,7 +89,7 @@ impl Port {
     ) -> Rc<Port> {
         Rc::new(Port {
             world,
-            label,
+            label: label.into(),
             rate_gbps,
             prop_delay,
             limit_bytes,
@@ -96,6 +104,8 @@ impl Port {
             peer_sink: RefCell::new(None),
             drain_hook: RefCell::new(None),
             tx_bytes: Cell::new(0),
+            tx_timer: RefCell::new(None),
+            in_flight: RefCell::new(None),
         })
     }
 
@@ -234,8 +244,22 @@ impl Port {
         self.queued_bytes[prio].set(self.queued_bytes[prio].get() - size);
         self.busy.set(true);
         let ser = wire_time(size, self.rate_gbps);
-        let me = self.clone();
-        self.world.schedule_in(ser, move || me.tx_done(entry));
+        *self.in_flight.borrow_mut() = Some(entry);
+        if self.tx_timer.borrow().is_none() {
+            // Weak: the timer slot must not pin the port (ports hold the
+            // world, which owns the slot — a strong capture would cycle).
+            let me = Rc::downgrade(self);
+            *self.tx_timer.borrow_mut() = Some(self.world.timer(move || {
+                let Some(me) = me.upgrade() else { return };
+                let entry = me.in_flight.borrow_mut().take().expect("tx in flight");
+                me.tx_done(entry);
+            }));
+        }
+        self.tx_timer
+            .borrow()
+            .as_ref()
+            .expect("just installed")
+            .arm_in(ser);
     }
 
     /// Arm a one-shot drain notification: when total occupancy drops below
@@ -245,6 +269,7 @@ impl Port {
         if self.total_queued() < threshold {
             cb();
         } else {
+            // xrdma-lint: allow(hot-path-alloc) -- armed once per drain wait, not per packet
             *self.drain_hook.borrow_mut() = Some((threshold, Box::new(cb)));
         }
     }

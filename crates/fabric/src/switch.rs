@@ -158,6 +158,15 @@ impl Switch {
 
         let prio = pkt.prio as usize;
         let size = pkt.size_bytes as u64;
+        // Lossy fast path: with PFC off the pipeline event only needs the
+        // egress port, not the switch — skip the per-packet `Rc<Switch>`
+        // clone/drop pair (and the dead accounting branch) entirely.
+        if !self.pfc.enabled {
+            self.world.schedule_in(self.forward_delay, move || {
+                port.enqueue(pkt, ingress);
+            });
+            return;
+        }
         let me = self.clone();
         // Forwarding pipeline delay, then enqueue at egress.
         self.world.schedule_in(self.forward_delay, move || {

@@ -27,6 +27,11 @@
 //!   runtime crate must sit under `#[cfg(feature = "faults")]`, so
 //!   production builds carry zero fault-injection code and benchmark
 //!   numbers are unaffected.
+//! * **P1 `hot-path-alloc`** — no per-packet heap allocation in the
+//!   fabric/RNIC data-path files (`Box::new`, `vec![`, `.to_vec()`,
+//!   `Bytes::from`, payload `.clone()`); the zero-copy contract carries
+//!   payloads as `bytes::Bytes` windows over a per-message gather buffer.
+//!   One-time setup sites carry an allow annotation with a reason.
 //!
 //! The escape hatch, for reviewed exceptions, is a line annotation in the
 //! source comment — it must carry a reason:
@@ -60,6 +65,12 @@ pub enum Rule {
     /// `#[cfg(feature = "faults")]`, which would leave injection code in
     /// production builds and skew benchmark numbers.
     UngatedFaultHook,
+    /// P1: a heap allocation (`Box::new`, `vec![`, `.to_vec()`,
+    /// `Bytes::from`, or `.clone()` of a payload buffer) in one of the
+    /// per-packet hot files of the fabric/RNIC data path. The zero-copy
+    /// contract (see `Packet` docs) keeps the steady-state path
+    /// allocation-free; one-time setup sites carry an allow annotation.
+    HotPathAlloc,
 }
 
 impl Rule {
@@ -73,6 +84,7 @@ impl Rule {
             Rule::UnwrapInApi => "unwrap-in-api",
             Rule::RawTelemetry => "raw-telemetry-emit",
             Rule::UngatedFaultHook => "ungated-fault-hook",
+            Rule::HotPathAlloc => "hot-path-alloc",
         }
     }
 
@@ -85,11 +97,12 @@ impl Rule {
             "unwrap-in-api" => Rule::UnwrapInApi,
             "raw-telemetry-emit" => Rule::RawTelemetry,
             "ungated-fault-hook" => Rule::UngatedFaultHook,
+            "hot-path-alloc" => Rule::HotPathAlloc,
             _ => return None,
         })
     }
 
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::WallClock,
         Rule::AmbientRandomness,
         Rule::NondeterministicIter,
@@ -97,6 +110,7 @@ impl Rule {
         Rule::UnwrapInApi,
         Rule::RawTelemetry,
         Rule::UngatedFaultHook,
+        Rule::HotPathAlloc,
     ];
 }
 
@@ -172,6 +186,35 @@ pub const API_RULES: RuleSet = RuleSet {
     ],
 };
 
+/// `xrdma-fabric` carries the per-packet data path: the simulation rules
+/// plus P1, which keeps the zero-copy payload contract from regressing.
+pub const FABRIC_RULES: RuleSet = RuleSet {
+    rules: &[
+        Rule::WallClock,
+        Rule::AmbientRandomness,
+        Rule::NondeterministicIter,
+        Rule::IntraWorldParallelism,
+        Rule::RawTelemetry,
+        Rule::UngatedFaultHook,
+        Rule::HotPathAlloc,
+    ],
+};
+
+/// `xrdma-rnic` is both a public API surface (D5) and the other half of
+/// the per-packet data path (P1).
+pub const RNIC_RULES: RuleSet = RuleSet {
+    rules: &[
+        Rule::WallClock,
+        Rule::AmbientRandomness,
+        Rule::NondeterministicIter,
+        Rule::IntraWorldParallelism,
+        Rule::UnwrapInApi,
+        Rule::RawTelemetry,
+        Rule::UngatedFaultHook,
+        Rule::HotPathAlloc,
+    ],
+};
+
 /// `xrdma-telemetry` itself defines `emit_raw` (it is the hub's delivery
 /// path under the `tele!` macro), so T1 does not apply there; the
 /// determinism rules still do.
@@ -189,9 +232,9 @@ pub const TELEMETRY_CRATE_RULES: RuleSet = RuleSet {
 pub fn workspace_targets() -> Vec<(&'static str, RuleSet)> {
     vec![
         ("crates/sim", SIM_RULES),
-        ("crates/fabric", SIM_RULES),
+        ("crates/fabric", FABRIC_RULES),
         ("crates/core", API_RULES),
-        ("crates/rnic", API_RULES),
+        ("crates/rnic", RNIC_RULES),
         // The layers above the middleware also run inside worlds; they get
         // the determinism rules (not D5 — they are experiment drivers, not
         // a public API).
@@ -620,6 +663,15 @@ fn chain_base_ident(prefix: &str) -> Option<String> {
     trailing_ident(p)
 }
 
+/// Files carrying the per-packet data path, where P1 applies. Everything
+/// else in the fabric/RNIC crates (config, memory registration, stats
+/// aggregation) allocates at setup or teardown time and is exempt.
+pub const HOT_PATH_FILES: &[&str] = &["port.rs", "switch.rs", "fabric.rs", "engine.rs", "wire.rs"];
+
+/// Identifiers that name payload byte buffers; `.clone()` on one of these
+/// in a hot file duplicates packet data.
+const PAYLOAD_IDENTS: &[&str] = &["data", "payload", "body", "bytes", "buf", "frag", "gather"];
+
 fn check_line(rule: Rule, line_no: usize, ctx: &FileCtx, file: &Path, out: &mut Vec<Violation>) {
     let line = &ctx.prepared.code_lines[line_no - 1];
     let mut hit = |message: String| {
@@ -739,6 +791,40 @@ fn check_line(rule: Rule, line_no: usize, ctx: &FileCtx, file: &Path, out: &mut 
                      fault hooks must compile to nothing when the feature is off"
                         .to_string(),
                 );
+            }
+        }
+        Rule::HotPathAlloc => {
+            let hot = file
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| HOT_PATH_FILES.contains(&n));
+            if !hot {
+                return;
+            }
+            for pat in [".to_vec()", "Box::new(", "vec![", "Bytes::from("] {
+                if line.contains(pat) {
+                    hit(format!(
+                        "heap allocation `{}` on the per-packet path; carry payloads as \
+                         `bytes::Bytes` slices of the per-message gather buffer (annotate \
+                         one-time setup sites with a reason)",
+                        pat.trim_end_matches(['(', '['])
+                    ));
+                    return;
+                }
+            }
+            let mut search = 0;
+            while let Some(pos) = line[search..].find(".clone()") {
+                let abs = search + pos;
+                if let Some(base) = chain_base_ident(&line[..abs]) {
+                    if PAYLOAD_IDENTS.contains(&base.as_str()) {
+                        hit(format!(
+                            "`.clone()` of payload buffer `{base}` on the per-packet path; \
+                             `bytes::Bytes` windows are refcounted — slice instead of copying"
+                        ));
+                        return;
+                    }
+                }
+                search = abs + ".clone()".len();
             }
         }
     }
@@ -1193,6 +1279,60 @@ mod tests {
         );
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, Rule::UngatedFaultHook);
+    }
+
+    #[test]
+    fn p1_catches_alloc_in_hot_file() {
+        let src = "fn deliver(pkt: Packet) { let b = pkt.data.to_vec(); sink(b); }";
+        let v =
+            analyze_source(Path::new("crates/fabric/src/port.rs"), src, FABRIC_RULES).violations;
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::HotPathAlloc);
+
+        let v = analyze_source(
+            Path::new("crates/rnic/src/engine.rs"),
+            "fn seg() { let body = Box::new(TokenedBth { token: 0 }); }",
+            RNIC_RULES,
+        )
+        .violations;
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::HotPathAlloc);
+    }
+
+    #[test]
+    fn p1_catches_payload_clone_but_not_handle_clone() {
+        let src = "fn f(pkt: &Packet) { let d = pkt.payload.clone(); let p = port.clone(); }";
+        let v =
+            analyze_source(Path::new("crates/fabric/src/switch.rs"), src, FABRIC_RULES).violations;
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("payload"), "{v:?}");
+    }
+
+    #[test]
+    fn p1_ignores_non_hot_files() {
+        let src = "fn build() { let v = vec![0u8; 64]; let b = Box::new(v); }";
+        let v =
+            analyze_source(Path::new("crates/fabric/src/stats.rs"), src, FABRIC_RULES).violations;
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn p1_suppressed_by_allow_annotation() {
+        let src = "fn build() {\n\
+                   // xrdma-lint: allow(hot-path-alloc) -- one-time topology construction\n\
+                   let ports = vec![Vec::new(); n];\n\
+                   }";
+        let report = analyze_source(Path::new("crates/fabric/src/fabric.rs"), src, FABRIC_RULES);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.unused_allows.is_empty());
+    }
+
+    #[test]
+    fn p1_skips_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let b = vec![0u8; 9].to_vec(); }\n}";
+        let v =
+            analyze_source(Path::new("crates/fabric/src/port.rs"), src, FABRIC_RULES).violations;
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

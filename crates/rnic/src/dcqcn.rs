@@ -112,6 +112,13 @@ impl DcqcnRp {
         self.rate
     }
 
+    /// Has this RP recovered to (effectively) line rate? The engine's
+    /// shared DCQCN tick drops recovered QPs from its congested set so the
+    /// timer can disarm instead of ticking idle flows forever.
+    pub fn recovered(&self, line_rate_gbps: f64) -> bool {
+        self.rate >= line_rate_gbps * 0.999
+    }
+
     pub fn alpha(&self) -> f64 {
         self.alpha
     }

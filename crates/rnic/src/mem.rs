@@ -11,6 +11,8 @@ use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
+use bytes::Bytes;
+
 use crate::config::PageKind;
 use crate::verbs::VerbsError;
 
@@ -191,6 +193,14 @@ impl Mr {
             Some(buf) => buf.read(off as u64, len),
             None => vec![0; len as usize],
         })
+    }
+
+    /// Read bytes out as a shared, refcounted buffer: one gather copy for
+    /// the whole range, after which callers slice per MTU fragment without
+    /// further allocation (the engine's zero-copy segmentation path).
+    pub fn read_bytes(&self, addr: u64, len: u64) -> Result<Bytes, VerbsError> {
+        // The single per-message gather copy; fragments slice this buffer.
+        self.read(addr, len).map(Bytes::from)
     }
 
     /// Bytes actually materialized by the sparse backing (diagnostics).

@@ -104,6 +104,10 @@ pub(crate) struct TxMsg {
     pub started: bool,
     /// Retransmission count carried across go-back-N replays.
     pub retries: u32,
+    /// Gather cache for `Payload::FromMr`: the whole message is copied out
+    /// of the MR once, then every MTU fragment slices this shared buffer
+    /// instead of re-reading (and re-allocating) per fragment.
+    pub gather: Option<bytes::Bytes>,
 }
 
 /// A fully-sent message awaiting acknowledgment.
@@ -125,7 +129,8 @@ pub(crate) enum RespJob {
         sent_off: u64,
         /// Pre-resolved data when the MR is backed (captured at accept time
         /// so a later overwrite doesn't change what this read returns).
-        data: Option<Vec<u8>>,
+        /// Shared buffer: response fragments slice it without copying.
+        data: Option<bytes::Bytes>,
     },
     Atomic {
         req_seq: u64,
@@ -175,8 +180,10 @@ pub(crate) struct TxState {
     pub resp: VecDeque<RespJob>,
     /// Do not transmit before this instant (RNR backoff).
     pub backoff_until: Time,
-    /// Retransmission timer armed?
-    pub timer_armed: bool,
+    /// Retransmission timer. Created lazily by the engine on first arm;
+    /// the closure is boxed once per QP life and re-armed in place. A
+    /// reset wipes this state, which drops (and so cancels) the timer.
+    pub retx_timer: Option<xrdma_sim::Timer>,
     pub pending_reads: HashMap<u64, PendingRead>,
     pub pending_atomics: HashMap<u64, PendingAtomic>,
 }

@@ -30,7 +30,7 @@ pub mod world;
 pub use cpu::CpuThread;
 pub use rng::SimRng;
 pub use time::{Dur, Time};
-pub use world::{EventId, World};
+pub use world::{EventId, Kernel, Timer, World};
 
 /// Runtime protocol-invariant check (DESIGN.md "Determinism contract").
 ///

@@ -1,50 +1,340 @@
-//! The event loop: a binary-heap calendar of boxed callbacks over virtual
-//! time, with stable FIFO tie-breaking and O(1) logical cancellation.
+//! The event loop: a hierarchical timer-wheel calendar of slab-recycled
+//! callbacks over virtual time, with stable FIFO tie-breaking, O(1)
+//! generation-counter cancellation, and a re-armable [`Timer`] API that
+//! boxes its closure exactly once.
+//!
+//! # Calendar layout (DESIGN.md §3)
+//!
+//! Pending events are 24-byte `(at, seq, slot, gen)` keys held in one of
+//! three places:
+//!
+//! * **current** — a small binary heap of every key whose bucket the wheel
+//!   cursor has reached. Pops come only from here.
+//! * **near wheel** — `WHEEL_SLOTS` unsorted `Vec` buckets, each covering
+//!   `BUCKET_NS` nanoseconds (horizon ≈ 1 ms: where keepalive, DCQCN and
+//!   retransmit timers live). Scheduling into the horizon is a `Vec::push`.
+//! * **overflow** — a binary min-heap for keys beyond the horizon; they
+//!   migrate into the wheel as the cursor advances.
+//!
+//! The FIFO-at-equal-instant proof obligation: every key is ordered by
+//! `(at, seq)` and `seq` is globally unique and monotone, so the pop order
+//! is correct iff `min(current) ≤ min(wheel ∪ overflow)` whenever `current`
+//! is non-empty. That invariant holds because (a) `current` only receives
+//! whole buckets the cursor has reached plus direct inserts at or behind
+//! the cursor, (b) every bucket holds keys of exactly one future cursor
+//! tick, and (c) the overflow heap only holds keys at least one full
+//! rotation ahead of the cursor (re-established by the migration loop each
+//! time the cursor moves). Callbacks therefore fire in exactly the order
+//! the old single-heap calendar produced, byte-for-byte.
+//!
+//! Cancellation never searches the calendar: each slab slot carries a
+//! generation counter, a key is live iff its generation matches, and stale
+//! keys are discarded when popped. The old kernel is preserved behind
+//! [`Kernel::Legacy`] for differential determinism tests and the
+//! `simperf` before/after baseline.
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashSet};
 use std::rc::Rc;
 
 use crate::time::{Dur, Time};
 
-/// Handle to a scheduled event, usable to cancel it before it fires.
+/// log2 of the span one near-wheel bucket covers (4096 ns).
+const BUCKET_BITS: u32 = 12;
+/// Nanoseconds per near-wheel bucket.
+const BUCKET_NS: u64 = 1 << BUCKET_BITS;
+/// Number of near-wheel buckets; horizon = `WHEEL_SLOTS * BUCKET_NS` ≈ 1 ms.
+const WHEEL_SLOTS: usize = 256;
+/// High bit of `Key::slot`: set for timer slots, clear for one-shot events.
+const TIMER_BIT: u32 = 1 << 31;
+
+/// Handle to a scheduled one-shot event, usable to cancel it before it
+/// fires.
 ///
-/// Ids are never reused within a world, so cancelling an already-fired or
+/// The id encodes `(slot, generation)`; slots are recycled but generations
+/// make every id logically unique, so cancelling an already-fired or
 /// already-cancelled event is a harmless no-op.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
 
-type Callback = Box<dyn FnOnce()>;
+impl EventId {
+    fn pack(slot: u32, gen: u32) -> EventId {
+        EventId(((slot as u64) << 32) | gen as u64)
+    }
 
-struct Entry {
-    at: Time,
-    seq: u64,
-    f: Callback,
+    fn unpack(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
+    }
 }
 
-// Max-heap on Reverse ordering: earliest time first, then lowest sequence
-// number, which makes same-instant events fire in insertion (FIFO) order.
-// That FIFO guarantee is what makes whole-world runs reproducible.
-impl PartialEq for Entry {
+/// Which calendar implementation a [`World`] runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Kernel {
+    /// Timer-wheel calendar (the production kernel).
+    #[default]
+    Wheel,
+    /// The pre-wheel reference calendar: one global binary heap plus a
+    /// `HashSet` tombstone probed on every pop. Kept only so differential
+    /// tests can prove both kernels produce identical event orders and so
+    /// `simperf` can measure the speedup against a live baseline.
+    Legacy,
+}
+
+/// A calendar entry: everything needed to order and validate one firing.
+#[derive(Clone, Copy, Debug)]
+struct Key {
+    at: Time,
+    seq: u64,
+    slot: u32,
+    gen: u32,
+}
+
+// Total order by (at, seq): seq is unique, so same-instant keys fire in
+// insertion (FIFO) order. That guarantee is what makes whole-world runs
+// reproducible.
+impl PartialEq for Key {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl Eq for Entry {}
-impl PartialOrd for Entry {
+impl Eq for Key {}
+impl PartialOrd for Key {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Entry {
+impl Ord for Key {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap pops the "greatest", we want the earliest.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        self.at
+            .cmp(&other.at)
+            .then_with(|| self.seq.cmp(&other.seq))
     }
+}
+
+#[inline]
+fn tick_of(at: Time) -> u64 {
+    at.0 / BUCKET_NS
+}
+
+/// Timer-wheel calendar state.
+struct WheelCal {
+    /// The bucket tick the cursor last drained; `current` holds every key
+    /// at or behind it.
+    cursor: u64,
+    /// Keys the cursor has reached, popped in `(at, seq)` order.
+    current: BinaryHeap<Reverse<Key>>,
+    /// Near future: bucket `t % WHEEL_SLOTS` holds exactly the keys of the
+    /// single tick `t` that is the bucket's next cursor visit.
+    buckets: Vec<Vec<Key>>,
+    /// Number of keys across all `buckets` (not counting `current`).
+    in_buckets: usize,
+    /// Keys at least one full rotation ahead of the cursor.
+    overflow: BinaryHeap<Reverse<Key>>,
+}
+
+impl WheelCal {
+    fn new() -> WheelCal {
+        WheelCal {
+            cursor: 0,
+            current: BinaryHeap::with_capacity(64),
+            buckets: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            in_buckets: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    fn push(&mut self, key: Key) {
+        let t = tick_of(key.at);
+        if t <= self.cursor {
+            self.current.push(Reverse(key));
+        } else if t - self.cursor < WHEEL_SLOTS as u64 {
+            self.buckets[(t % WHEEL_SLOTS as u64) as usize].push(key);
+            self.in_buckets += 1;
+        } else {
+            self.overflow.push(Reverse(key));
+        }
+    }
+
+    /// Advance the cursor until `current` is non-empty. Returns false when
+    /// the calendar holds no keys at all.
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.current.is_empty());
+        loop {
+            if self.in_buckets == 0 {
+                // Everything pending (if anything) is in overflow: jump the
+                // cursor straight to the earliest overflow tick.
+                match self.overflow.peek() {
+                    None => return false,
+                    Some(Reverse(k)) => self.cursor = self.cursor.max(tick_of(k.at)),
+                }
+            } else {
+                self.cursor += 1;
+            }
+            // Overflow keys now within one rotation of the cursor move into
+            // the wheel (or straight to current when their tick is due).
+            while let Some(Reverse(k)) = self.overflow.peek() {
+                let t = tick_of(k.at);
+                if t <= self.cursor {
+                    let Reverse(k) = self.overflow.pop().expect("peeked");
+                    self.current.push(Reverse(k));
+                } else if t - self.cursor < WHEEL_SLOTS as u64 {
+                    let Reverse(k) = self.overflow.pop().expect("peeked");
+                    self.buckets[(t % WHEEL_SLOTS as u64) as usize].push(k);
+                    self.in_buckets += 1;
+                } else {
+                    break;
+                }
+            }
+            let b = (self.cursor % WHEEL_SLOTS as u64) as usize;
+            if !self.buckets[b].is_empty() {
+                self.in_buckets -= self.buckets[b].len();
+                self.current.extend(self.buckets[b].drain(..).map(Reverse));
+            }
+            if !self.current.is_empty() {
+                return true;
+            }
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Key> {
+        if self.current.is_empty() && !self.refill() {
+            return None;
+        }
+        self.current.pop().map(|Reverse(k)| k)
+    }
+
+    fn peek_min(&mut self) -> Option<Key> {
+        if self.current.is_empty() && !self.refill() {
+            return None;
+        }
+        self.current.peek().map(|Reverse(k)| *k)
+    }
+}
+
+/// The pre-wheel reference calendar (see [`Kernel::Legacy`]): a single
+/// binary heap plus the tombstone set the old kernel probed on every pop.
+struct LegacyCal {
+    heap: BinaryHeap<Reverse<Key>>,
+    tombstones: HashSet<u64>,
+}
+
+impl LegacyCal {
+    fn new() -> LegacyCal {
+        LegacyCal {
+            heap: BinaryHeap::with_capacity(1024),
+            tombstones: HashSet::new(),
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Key> {
+        let Reverse(k) = self.heap.pop()?;
+        // Faithful to the old kernel's cost model: a hash probe per pop.
+        self.tombstones.remove(&k.seq);
+        Some(k)
+    }
+}
+
+enum Calendar {
+    Wheel(WheelCal),
+    Legacy(LegacyCal),
+}
+
+impl Calendar {
+    fn push(&mut self, key: Key) {
+        match self {
+            Calendar::Wheel(w) => w.push(key),
+            Calendar::Legacy(l) => l.heap.push(Reverse(key)),
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Key> {
+        match self {
+            Calendar::Wheel(w) => w.pop_min(),
+            Calendar::Legacy(l) => l.pop_min(),
+        }
+    }
+
+    fn peek_min(&mut self) -> Option<Key> {
+        match self {
+            Calendar::Wheel(w) => w.peek_min(),
+            Calendar::Legacy(l) => l.heap.peek().map(|Reverse(k)| *k),
+        }
+    }
+
+    /// Record a cancellation the way the legacy kernel did (tombstone
+    /// insert); the wheel needs nothing — generations already invalidate
+    /// the key.
+    fn note_cancel(&mut self, seq: u64) {
+        if let Calendar::Legacy(l) = self {
+            l.tombstones.insert(seq);
+        }
+    }
+}
+
+/// One-shot event slot: recycled through a free list, validated by `gen`.
+struct EventSlot {
+    gen: u32,
+    /// Sequence number of the occupying event (legacy tombstones key on it).
+    seq: u64,
+    f: Option<Box<dyn FnOnce()>>,
+}
+
+/// Re-armable timer slot: the closure is boxed once at [`World::timer`]
+/// time and survives across arms, cancels and fires.
+struct TimerSlot {
+    gen: u32,
+    /// False once the owning [`Timer`] handle is dropped.
+    alive: bool,
+    armed: bool,
+    /// Sequence number of the currently armed firing, for legacy tombstones.
+    armed_seq: u64,
+    /// Auto re-arm period for [`World::periodic`] timers.
+    auto: Option<Dur>,
+    f: Option<Box<dyn FnMut()>>,
+}
+
+/// Slab arena of event and timer slots plus the live-event count.
+#[derive(Default)]
+struct Slots {
+    events: Vec<EventSlot>,
+    free_events: Vec<u32>,
+    timers: Vec<TimerSlot>,
+    free_timers: Vec<u32>,
+    /// Logically pending firings: scheduled one-shots plus armed timers.
+    live: usize,
+}
+
+impl Slots {
+    fn alloc_event(&mut self, seq: u64, f: Box<dyn FnOnce()>) -> (u32, u32) {
+        self.live += 1;
+        if let Some(idx) = self.free_events.pop() {
+            let s = &mut self.events[idx as usize];
+            debug_assert!(s.f.is_none(), "free-listed slot must be vacant");
+            s.f = Some(f);
+            s.seq = seq;
+            (idx, s.gen)
+        } else {
+            let idx = self.events.len() as u32;
+            assert!(idx < TIMER_BIT, "event slot space exhausted");
+            self.events.push(EventSlot {
+                gen: 0,
+                seq,
+                f: Some(f),
+            });
+            (idx, 0)
+        }
+    }
+}
+
+enum Fired {
+    OneShot(Box<dyn FnOnce()>),
+    Timer {
+        idx: u32,
+        gen: u32,
+        auto: Option<Dur>,
+        f: Box<dyn FnMut()>,
+    },
 }
 
 /// A deterministic single-threaded discrete-event world.
@@ -69,19 +359,28 @@ impl Ord for Entry {
 pub struct World {
     now: Cell<Time>,
     seq: Cell<u64>,
-    queue: RefCell<BinaryHeap<Entry>>,
-    cancelled: RefCell<HashSet<u64>>,
+    calendar: RefCell<Calendar>,
+    slots: RefCell<Slots>,
     executed: Cell<u64>,
 }
 
 impl World {
-    /// Create a fresh world at `t = 0`.
+    /// Create a fresh world at `t = 0` on the timer-wheel kernel.
     pub fn new() -> Rc<World> {
+        Self::with_kernel(Kernel::Wheel)
+    }
+
+    /// Create a fresh world on an explicit [`Kernel`] (benchmarks and
+    /// differential determinism tests; everything else wants [`World::new`]).
+    pub fn with_kernel(kernel: Kernel) -> Rc<World> {
         Rc::new(World {
             now: Cell::new(Time::ZERO),
             seq: Cell::new(0),
-            queue: RefCell::new(BinaryHeap::with_capacity(1024)),
-            cancelled: RefCell::new(HashSet::new()),
+            calendar: RefCell::new(match kernel {
+                Kernel::Wheel => Calendar::Wheel(WheelCal::new()),
+                Kernel::Legacy => Calendar::Legacy(LegacyCal::new()),
+            }),
+            slots: RefCell::new(Slots::default()),
             executed: Cell::new(0),
         })
     }
@@ -97,10 +396,10 @@ impl World {
         self.executed.get()
     }
 
-    /// Number of events currently pending (including logically cancelled
-    /// ones that have not been popped yet).
+    /// Number of events logically pending: scheduled one-shots plus armed
+    /// timers, excluding anything already cancelled.
     pub fn pending(&self) -> usize {
-        self.queue.borrow().len()
+        self.slots.borrow().live
     }
 
     /// Schedule `f` to run at absolute time `at`.
@@ -117,12 +416,9 @@ impl World {
         let at = at.max(self.now());
         let seq = self.seq.get();
         self.seq.set(seq + 1);
-        self.queue.borrow_mut().push(Entry {
-            at,
-            seq,
-            f: Box::new(f),
-        });
-        EventId(seq)
+        let (slot, gen) = self.slots.borrow_mut().alloc_event(seq, Box::new(f));
+        self.calendar.borrow_mut().push(Key { at, seq, slot, gen });
+        EventId::pack(slot, gen)
     }
 
     /// Schedule `f` to run after delay `d`.
@@ -131,26 +427,199 @@ impl World {
     }
 
     /// Cancel a pending event. No-op if it already fired or was cancelled.
+    ///
+    /// O(1): the slot's generation is bumped (orphaning the calendar key,
+    /// which is discarded when popped) and the closure is dropped now.
     pub fn cancel(&self, id: EventId) {
-        self.cancelled.borrow_mut().insert(id.0);
+        let (slot, gen) = id.unpack();
+        debug_assert_eq!(slot & TIMER_BIT, 0, "EventId never refers to a timer");
+        let seq = {
+            let mut slots = self.slots.borrow_mut();
+            let Some(s) = slots.events.get_mut(slot as usize) else {
+                return;
+            };
+            if s.gen != gen || s.f.is_none() {
+                return; // already fired, cancelled, or recycled
+            }
+            s.f = None;
+            s.gen = s.gen.wrapping_add(1);
+            let seq = s.seq;
+            slots.free_events.push(slot);
+            slots.live -= 1;
+            seq
+        };
+        self.calendar.borrow_mut().note_cancel(seq);
+    }
+
+    /// Create a re-armable [`Timer`] around `f`. The closure is boxed once,
+    /// here; [`Timer::arm_in`] re-arms it with no further allocation.
+    pub fn timer(self: &Rc<Self>, f: impl FnMut() + 'static) -> Timer {
+        self.make_timer(None, Box::new(f))
+    }
+
+    /// Create a [`Timer`] that automatically re-arms itself `period` after
+    /// each firing (after the callback returns — the same order a callback
+    /// ending in `schedule_in(period, ...)` produced). Call
+    /// [`Timer::arm_in`] once to start it.
+    pub fn periodic(self: &Rc<Self>, period: Dur, f: impl FnMut() + 'static) -> Timer {
+        self.make_timer(Some(period), Box::new(f))
+    }
+
+    fn make_timer(self: &Rc<Self>, auto: Option<Dur>, f: Box<dyn FnMut()>) -> Timer {
+        let mut slots = self.slots.borrow_mut();
+        let idx = if let Some(idx) = slots.free_timers.pop() {
+            let t = &mut slots.timers[idx as usize];
+            debug_assert!(t.f.is_none() && !t.alive);
+            t.alive = true;
+            t.armed = false;
+            t.auto = auto;
+            t.f = Some(f);
+            idx
+        } else {
+            let idx = slots.timers.len() as u32;
+            assert!(idx < TIMER_BIT, "timer slot space exhausted");
+            slots.timers.push(TimerSlot {
+                gen: 0,
+                alive: true,
+                armed: false,
+                armed_seq: 0,
+                auto,
+                f: Some(f),
+            });
+            idx
+        };
+        Timer {
+            world: self.clone(),
+            idx,
+        }
+    }
+
+    /// Arm timer slot `idx` to fire at `at`. Caller guarantees it is alive
+    /// and disarmed.
+    fn arm_timer_slot(&self, idx: u32, at: Time) {
+        debug_assert!(at >= self.now(), "arming a timer into the past");
+        let at = at.max(self.now());
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        let gen = {
+            let mut slots = self.slots.borrow_mut();
+            let t = &mut slots.timers[idx as usize];
+            debug_assert!(t.alive && !t.armed);
+            t.armed = true;
+            t.armed_seq = seq;
+            let gen = t.gen;
+            slots.live += 1;
+            gen
+        };
+        self.calendar.borrow_mut().push(Key {
+            at,
+            seq,
+            slot: idx | TIMER_BIT,
+            gen,
+        });
+    }
+
+    /// Pop the next key and resolve it against the slab; `None` means the
+    /// key was stale (cancelled / superseded) and carried no work.
+    fn take_fired(&self, key: Key) -> Option<Fired> {
+        let mut slots = self.slots.borrow_mut();
+        if key.slot & TIMER_BIT != 0 {
+            let idx = key.slot & !TIMER_BIT;
+            let t = &mut slots.timers[idx as usize];
+            if t.gen != key.gen || !t.armed {
+                return None;
+            }
+            t.armed = false;
+            let f = t.f.take().expect("armed timer holds its closure");
+            let auto = t.auto;
+            slots.live -= 1;
+            Some(Fired::Timer {
+                idx,
+                gen: key.gen,
+                auto,
+                f,
+            })
+        } else {
+            let s = &mut slots.events[key.slot as usize];
+            if s.gen != key.gen {
+                return None;
+            }
+            let f = s.f.take().expect("live event slot holds its closure");
+            s.gen = s.gen.wrapping_add(1);
+            slots.free_events.push(key.slot);
+            slots.live -= 1;
+            Some(Fired::OneShot(f))
+        }
     }
 
     /// Pop and execute the next event. Returns `false` when the calendar is
     /// empty (cancelled events are skipped transparently).
     pub fn step(&self) -> bool {
         loop {
-            let entry = match self.queue.borrow_mut().pop() {
-                Some(e) => e,
+            let key = match self.calendar.borrow_mut().pop_min() {
+                Some(k) => k,
                 None => return false,
             };
-            if self.cancelled.borrow_mut().remove(&entry.seq) {
+            let Some(fired) = self.take_fired(key) else {
                 continue;
-            }
-            debug_assert!(entry.at >= self.now());
-            self.now.set(entry.at);
+            };
+            debug_assert!(key.at >= self.now());
+            self.now.set(key.at);
             self.executed.set(self.executed.get() + 1);
-            (entry.f)();
+            match fired {
+                Fired::OneShot(f) => f(),
+                Fired::Timer {
+                    idx,
+                    gen,
+                    auto,
+                    mut f,
+                } => {
+                    f();
+                    // Give the closure back to its slot — unless the handle
+                    // was dropped (and the slot possibly re-allocated)
+                    // during the callback.
+                    let rearm = {
+                        let mut slots = self.slots.borrow_mut();
+                        let t = &mut slots.timers[idx as usize];
+                        if t.alive && t.f.is_none() {
+                            t.f = Some(f);
+                            // Auto re-arm only if the callback neither
+                            // re-armed nor cancelled the timer itself.
+                            t.gen == gen && !t.armed && auto.is_some()
+                        } else {
+                            false
+                        }
+                    };
+                    if rearm {
+                        let period = auto.expect("rearm implies auto period");
+                        self.arm_timer_slot(idx, self.now().saturating_add(period));
+                    }
+                }
+            }
             return true;
+        }
+    }
+
+    /// Instant of the next live (non-cancelled) event, discarding any stale
+    /// keys found on the way.
+    fn next_live_at(&self) -> Option<Time> {
+        loop {
+            let key = self.calendar.borrow_mut().peek_min()?;
+            let live = {
+                let slots = self.slots.borrow();
+                if key.slot & TIMER_BIT != 0 {
+                    let t = &slots.timers[(key.slot & !TIMER_BIT) as usize];
+                    t.gen == key.gen && t.armed
+                } else {
+                    slots.events[key.slot as usize].gen == key.gen
+                }
+            };
+            if live {
+                return Some(key.at);
+            }
+            // Stale: drop it so a cancelled head can't mask a live event
+            // beyond the caller's deadline.
+            let _ = self.calendar.borrow_mut().pop_min();
         }
     }
 
@@ -166,17 +635,12 @@ impl World {
     /// clock to exactly `deadline`.
     pub fn run_until(&self, deadline: Time) {
         loop {
-            let next_at = {
-                let q = self.queue.borrow();
-                match q.peek() {
-                    Some(e) => e.at,
-                    None => break,
+            match self.next_live_at() {
+                Some(at) if at <= deadline => {
+                    self.step();
                 }
-            };
-            if next_at > deadline {
-                break;
+                _ => break,
             }
-            self.step();
         }
         if self.now() < deadline {
             self.now.set(deadline);
@@ -190,9 +654,92 @@ impl World {
     }
 }
 
+/// A re-armable timer whose closure is boxed exactly once.
+///
+/// Created with [`World::timer`] (manual re-arm) or [`World::periodic`]
+/// (auto re-arm after each callback). At most one firing is armed at a
+/// time; dropping the handle cancels any armed firing and frees the slot.
+///
+/// Each arm allocates a fresh global sequence number, so timer firings
+/// interleave with one-shot events in exactly the FIFO order the
+/// equivalent `schedule_in` calls would have produced.
+pub struct Timer {
+    world: Rc<World>,
+    idx: u32,
+}
+
+impl Timer {
+    /// Arm the timer to fire at absolute time `at`.
+    ///
+    /// Panics in debug builds if the timer is already armed: re-arming an
+    /// armed timer is a caller bug (cancel first).
+    pub fn arm_at(&self, at: Time) {
+        debug_assert!(!self.is_armed(), "timer is already armed");
+        if self.is_armed() {
+            return;
+        }
+        self.world.arm_timer_slot(self.idx, at);
+    }
+
+    /// Arm the timer to fire after delay `d`.
+    pub fn arm_in(&self, d: Dur) {
+        self.arm_at(self.world.now().saturating_add(d));
+    }
+
+    /// Is a firing currently scheduled?
+    pub fn is_armed(&self) -> bool {
+        let slots = self.world.slots.borrow();
+        let t = &slots.timers[self.idx as usize];
+        t.armed
+    }
+
+    /// Cancel the armed firing, if any. The closure is kept; the timer can
+    /// be re-armed later.
+    pub fn cancel(&self) {
+        let seq = {
+            let mut slots = self.world.slots.borrow_mut();
+            let t = &mut slots.timers[self.idx as usize];
+            if !t.armed {
+                return;
+            }
+            t.armed = false;
+            t.gen = t.gen.wrapping_add(1);
+            let seq = t.armed_seq;
+            slots.live -= 1;
+            seq
+        };
+        self.world.calendar.borrow_mut().note_cancel(seq);
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        self.cancel();
+        let mut slots = self.world.slots.borrow_mut();
+        let t = &mut slots.timers[self.idx as usize];
+        t.alive = false;
+        t.gen = t.gen.wrapping_add(1);
+        // The closure may be absent mid-fire; `step` sees `alive == false`
+        // and discards it instead of putting it back.
+        t.f = None;
+        t.auto = None;
+        slots.free_timers.push(self.idx);
+    }
+}
+
+impl std::fmt::Debug for Timer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Timer")
+            .field("idx", &self.idx)
+            .field("armed", &self.is_armed())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SimRng;
     use std::cell::RefCell;
 
     #[test]
@@ -232,6 +779,42 @@ mod tests {
         w.cancel(id); // double-cancel is a no-op
         w.run();
         assert_eq!(hits.get(), 10);
+    }
+
+    #[test]
+    fn cancel_then_pending_excludes_tombstones() {
+        // `pending()` must count live events only, not cancelled ones that
+        // still occupy calendar keys.
+        let w = World::new();
+        let ids: Vec<_> = (0..4)
+            .map(|i| w.schedule_at(Time(100 + i), || {}))
+            .collect();
+        assert_eq!(w.pending(), 4);
+        w.cancel(ids[1]);
+        assert_eq!(w.pending(), 3);
+        w.cancel(ids[1]); // double-cancel changes nothing
+        assert_eq!(w.pending(), 3);
+        w.run();
+        assert_eq!(w.pending(), 0);
+        assert_eq!(w.events_executed(), 3);
+    }
+
+    #[test]
+    fn cancelled_head_does_not_mask_run_until_deadline() {
+        // A cancelled key before the deadline must not cause run_until to
+        // execute a live event beyond it.
+        let w = World::new();
+        let fired = Rc::new(Cell::new(false));
+        let id = w.schedule_at(Time(50), || {});
+        let f = fired.clone();
+        w.schedule_at(Time(200), move || f.set(true));
+        w.cancel(id);
+        w.run_until(Time(100));
+        assert_eq!(w.now(), Time(100));
+        assert!(!fired.get(), "event beyond deadline must not run");
+        assert_eq!(w.pending(), 1);
+        w.run();
+        assert!(fired.get());
     }
 
     #[test]
@@ -287,5 +870,227 @@ mod tests {
         }
         w.run();
         assert_eq!(w.events_executed(), 7);
+    }
+
+    #[test]
+    fn overflow_horizon_ordering() {
+        // Events far beyond the near horizon interleave correctly with
+        // near events, including equal instants across the migration path.
+        let w = World::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let horizon = WHEEL_SLOTS as u64 * BUCKET_NS;
+        let far = Time(3 * horizon + 17);
+        let near = Time(horizon / 2);
+        for (i, t) in [(0u32, far), (1, near), (2, far), (3, Time(1)), (4, far)] {
+            let o = order.clone();
+            w.schedule_at(t, move || o.borrow_mut().push(i));
+        }
+        w.run();
+        // Sorted by (at, seq): t=1 first, then near, then the three far
+        // events in insertion order.
+        assert_eq!(*order.borrow(), vec![3, 1, 0, 2, 4]);
+        assert_eq!(w.now(), far);
+    }
+
+    #[test]
+    fn timer_fires_and_rearms_without_reboxing() {
+        let w = World::new();
+        let count = Rc::new(Cell::new(0u64));
+        let c = count.clone();
+        let t = w.timer(move || c.set(c.get() + 1));
+        t.arm_in(Dur::micros(1));
+        w.run_for(Dur::micros(5));
+        assert_eq!(count.get(), 1);
+        assert!(!t.is_armed(), "one-shot semantics until re-armed");
+        t.arm_in(Dur::micros(1));
+        w.run_for(Dur::micros(5));
+        assert_eq!(count.get(), 2);
+    }
+
+    #[test]
+    fn periodic_timer_auto_rearms() {
+        let w = World::new();
+        let count = Rc::new(Cell::new(0u64));
+        let c = count.clone();
+        let t = w.periodic(Dur::micros(10), move || c.set(c.get() + 1));
+        t.arm_in(Dur::micros(10));
+        w.run_for(Dur::millis(1));
+        assert_eq!(count.get(), 100);
+        assert_eq!(w.now(), Time(1_000_000));
+        assert!(t.is_armed(), "still ticking");
+    }
+
+    #[test]
+    fn timer_cancel_and_drop() {
+        let w = World::new();
+        let count = Rc::new(Cell::new(0u64));
+        let c = count.clone();
+        let t = w.timer(move || c.set(c.get() + 1));
+        t.arm_in(Dur::micros(1));
+        assert_eq!(w.pending(), 1);
+        t.cancel();
+        t.cancel(); // double-cancel is a no-op
+        assert_eq!(w.pending(), 0);
+        w.run_for(Dur::micros(5));
+        assert_eq!(count.get(), 0);
+        // Re-arm after cancel works, and dropping the handle cancels.
+        t.arm_in(Dur::micros(1));
+        drop(t);
+        assert_eq!(w.pending(), 0);
+        w.run_for(Dur::micros(5));
+        assert_eq!(count.get(), 0);
+    }
+
+    #[test]
+    fn timer_slot_recycled_after_drop() {
+        let w = World::new();
+        let a = w.timer(|| {});
+        let idx_a = a.idx;
+        drop(a);
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        let b = w.timer(move || h.set(h.get() + 1));
+        assert_eq!(b.idx, idx_a, "slot comes back off the free list");
+        b.arm_in(Dur::nanos(1));
+        w.run_for(Dur::nanos(10));
+        assert_eq!(hits.get(), 1);
+    }
+
+    #[test]
+    fn timer_fifo_with_one_shots_at_same_instant() {
+        // Arm order decides same-instant order, regardless of mechanism.
+        let w = World::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let o1 = order.clone();
+        w.schedule_at(Time(1000), move || o1.borrow_mut().push(0));
+        let o2 = order.clone();
+        let t = w.timer(move || o2.borrow_mut().push(1));
+        t.arm_at(Time(1000));
+        let o3 = order.clone();
+        w.schedule_at(Time(1000), move || o3.borrow_mut().push(2));
+        w.run_for(Dur::micros(2));
+        assert_eq!(*order.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn timer_rearm_inside_own_callback() {
+        // The retransmit-timer pattern: the callback re-arms its own timer.
+        let w = World::new();
+        let count = Rc::new(Cell::new(0u64));
+        let slot: Rc<RefCell<Option<Timer>>> = Rc::new(RefCell::new(None));
+        let c = count.clone();
+        let s = slot.clone();
+        let t = w.timer(move || {
+            c.set(c.get() + 1);
+            if c.get() < 3 {
+                s.borrow()
+                    .as_ref()
+                    .expect("installed")
+                    .arm_in(Dur::micros(7));
+            }
+        });
+        t.arm_in(Dur::micros(7));
+        *slot.borrow_mut() = Some(t);
+        w.run_for(Dur::millis(1));
+        assert_eq!(count.get(), 3);
+        assert_eq!(w.now(), Time(1_000_000));
+    }
+
+    #[test]
+    fn timer_dropped_inside_own_callback() {
+        let w = World::new();
+        let slot: Rc<RefCell<Option<Timer>>> = Rc::new(RefCell::new(None));
+        let count = Rc::new(Cell::new(0u64));
+        let c = count.clone();
+        let s = slot.clone();
+        let t = w.periodic(Dur::micros(1), move || {
+            c.set(c.get() + 1);
+            *s.borrow_mut() = None; // drop own handle mid-fire
+        });
+        t.arm_in(Dur::micros(1));
+        *slot.borrow_mut() = Some(t);
+        w.run_for(Dur::millis(1));
+        assert_eq!(count.get(), 1, "dropping the handle stops the timer");
+    }
+
+    /// Differential determinism: a randomized schedule/cancel/timer storm
+    /// must produce an identical execution trace on both kernels. This is
+    /// the executable form of the FIFO-at-equal-instant proof obligation.
+    #[test]
+    fn wheel_and_legacy_kernels_agree() {
+        fn storm(kernel: Kernel, seed: u64) -> (Vec<(u64, u32)>, u64, u64) {
+            let w = World::with_kernel(kernel);
+            let mut rng = SimRng::new(seed);
+            let trace: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+            let mut cancellable = Vec::new();
+            let horizon = WHEEL_SLOTS as u64 * BUCKET_NS;
+            for i in 0..2_000u32 {
+                // Mix of near, same-instant, bucket-boundary and far times.
+                let at = match rng.range(0, 5) {
+                    0 => rng.range(0, 200),               // dense same-instant ties
+                    1 => rng.range(0, horizon),           // near wheel
+                    2 => rng.range(0, 64) * BUCKET_NS,    // exact bucket edges
+                    3 => rng.range(horizon, 8 * horizon), // overflow
+                    _ => rng.range(0, 4 * horizon),
+                };
+                let tr = trace.clone();
+                let id = w.schedule_at(Time(at), move || tr.borrow_mut().push((at, i)));
+                if rng.range(0, 4) == 0 {
+                    cancellable.push(id);
+                }
+            }
+            for id in cancellable {
+                w.cancel(id);
+            }
+            // A few timers riding along, one cancelled mid-flight.
+            let mut timers = Vec::new();
+            for t in 0..8u32 {
+                let tr = trace.clone();
+                let period = Dur::nanos(1 + rng.range(0, horizon / 4));
+                let timer = w.periodic(period, move || tr.borrow_mut().push((u64::MAX, t)));
+                timer.arm_in(period);
+                timers.push(timer);
+            }
+            timers[3].cancel();
+            w.run_until(Time(6 * horizon));
+            let trace = trace.borrow().clone();
+            (trace, w.events_executed(), w.now().nanos())
+        }
+        for seed in [1u64, 7, 42] {
+            let a = storm(Kernel::Wheel, seed);
+            let b = storm(Kernel::Legacy, seed);
+            assert_eq!(a, b, "kernels diverged for seed {seed}");
+            assert!(a.1 > 1_000, "storm did real work: {} events", a.1);
+        }
+    }
+
+    #[test]
+    fn pending_counts_armed_timers() {
+        let w = World::new();
+        let t = w.timer(|| {});
+        assert_eq!(w.pending(), 0, "unarmed timer is not pending");
+        t.arm_in(Dur::micros(1));
+        assert_eq!(w.pending(), 1);
+        t.cancel();
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn one_shot_slots_are_recycled() {
+        // Slab recycling: a burst of events must not grow the arena past
+        // the high-water mark of concurrently pending events.
+        let w = World::new();
+        for round in 0..100u64 {
+            for i in 0..10u64 {
+                w.schedule_at(Time(round * 100 + i), || {});
+            }
+            w.run_until(Time(round * 100 + 50));
+        }
+        w.run();
+        assert!(
+            w.slots.borrow().events.len() <= 16,
+            "arena grew to {} slots for 10 concurrent events",
+            w.slots.borrow().events.len()
+        );
     }
 }

@@ -6,6 +6,8 @@
 //! event is a timestamp plus a small payload, so the JSONL log is trivially
 //! greppable and the Chrome-trace exporter needs no schema knowledge.
 
+use std::sync::Arc;
+
 use serde::{write_json_str, Serialize};
 use xrdma_sim::Time;
 
@@ -28,23 +30,27 @@ pub struct Event {
 pub enum EventKind {
     /// A packet entered an egress queue (packet-level, high volume).
     PktEnqueue {
-        port: String,
+        port: Arc<str>,
         prio: u8,
         bytes: u32,
         queued_bytes: u64,
     },
     /// A packet was tail-dropped at an egress queue.
-    PktDrop { port: String, prio: u8, bytes: u32 },
+    PktDrop {
+        port: Arc<str>,
+        prio: u8,
+        bytes: u32,
+    },
     /// RED/ECN marked a packet CE at a switch egress.
-    EcnMark { port: String, queued_bytes: u64 },
+    EcnMark { port: Arc<str>, queued_bytes: u64 },
     /// PFC pause asserted on an upstream port.
     PfcXoff {
-        port: String,
+        port: Arc<str>,
         prio: u8,
         to_host: bool,
     },
     /// PFC pause released.
-    PfcXon { port: String, prio: u8 },
+    PfcXon { port: Arc<str>, prio: u8 },
     /// The notification point generated a CNP toward the sender.
     CnpGenerated { node: u32, qpn: u32 },
     /// DCQCN reaction point updated its rate/alpha after a CNP.
@@ -382,7 +388,7 @@ mod tests {
     fn names_are_stable_and_unique() {
         let kinds = [
             EventKind::PktDrop {
-                port: String::new(),
+                port: "".into(),
                 prio: 0,
                 bytes: 0,
             },
@@ -396,7 +402,7 @@ mod tests {
     #[test]
     fn per_packet_volume_events_are_packet_level() {
         assert!(EventKind::PktEnqueue {
-            port: String::new(),
+            port: "".into(),
             prio: 0,
             bytes: 0,
             queued_bytes: 0,
@@ -408,7 +414,7 @@ mod tests {
         }
         .is_packet_level());
         assert!(!EventKind::PktDrop {
-            port: String::new(),
+            port: "".into(),
             prio: 0,
             bytes: 0,
         }

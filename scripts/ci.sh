@@ -12,6 +12,12 @@
 #                the runtime invariant checkers)
 #              - faults + telemetry + debug_invariants (fault injector
 #                live: chaos suite + fault-plan property tests)
+#   simperf  smoke run of the event-kernel throughput race (wheel vs
+#            legacy calendar) — results land in a temp dir so the
+#            committed full-scale results/simperf.json stays untouched
+#   golden   the test legs must not have rewritten any committed golden
+#            file (catches an XRDMA_UPDATE_GOLDEN leak or a determinism
+#            break that slipped past the byte-compare tests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,5 +36,8 @@ run cargo test -q --workspace
 run cargo test -q --workspace --features xrdma-tests/telemetry
 run cargo test -q --workspace --features xrdma-tests/telemetry,xrdma-tests/debug_invariants
 run cargo test -q --workspace --features xrdma-tests/faults,xrdma-tests/telemetry,xrdma-tests/debug_invariants
+run env XRDMA_SIMPERF_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
+    cargo run -q --release -p xrdma-bench --features xrdma-bench/faults --bin simperf
+run git diff --exit-code -- tests/golden results/simperf.json
 
 echo "==> ci.sh: all gates passed"
