@@ -31,6 +31,11 @@ pub struct StatRow {
     pub cnps_rx: u64,
     pub rnr_events: u64,
     pub retransmissions: u64,
+    /// Median CQEs this connection contributed per `poll_cq` drain (the
+    /// shared-CQ batching factor; 0 until the first completion).
+    pub cqe_batch_p50: u64,
+    /// Largest CQE batch observed for this connection in one drain.
+    pub cqe_batch_max: u64,
 }
 
 /// Machine-level health indexes.
@@ -43,6 +48,13 @@ pub struct HealthRow {
     pub cnps_received: u64,
     pub rnr_naks_sent: u64,
     pub poll_gap_warnings: u64,
+    /// Share of this context's lifetime the adaptive engine spent
+    /// busy-polling (0 when the engine never entered `Adaptive` mode).
+    pub busy_poll_pct: f64,
+    /// Share spent in event-driven (armed notification) mode.
+    pub event_mode_pct: f64,
+    /// Busy↔event transitions of the adaptive engine.
+    pub poll_mode_switches: u64,
 }
 
 /// Collect the per-connection table for a context.
@@ -70,6 +82,8 @@ pub fn connection_table(ctx: &Rc<XrdmaContext>) -> Vec<StatRow> {
                 cnps_rx: ch.qp.cnp_count(),
                 rnr_events: ch.qp.rnr_events.get(),
                 retransmissions: ch.qp.retransmissions.get(),
+                cqe_batch_p50: ch.cqe_batch_summary().map_or(0, |h| h.p50),
+                cqe_batch_max: ch.cqe_batch_summary().map_or(0, |h| h.max),
             }
         })
         .collect()
@@ -79,6 +93,14 @@ pub fn connection_table(ctx: &Rc<XrdmaContext>) -> Vec<StatRow> {
 pub fn health(ctx: &Rc<XrdmaContext>) -> HealthRow {
     let rs = ctx.rnic().stats();
     let cs = ctx.stats();
+    let resident = (cs.busy_poll_ns + cs.event_mode_ns) as f64;
+    let pct = |ns: u64| {
+        if resident > 0.0 {
+            100.0 * ns as f64 / resident
+        } else {
+            0.0
+        }
+    };
     HealthRow {
         node: ctx.node().0,
         qp_count: ctx.rnic().qp_count(),
@@ -87,6 +109,9 @@ pub fn health(ctx: &Rc<XrdmaContext>) -> HealthRow {
         cnps_received: rs.cnps_received,
         rnr_naks_sent: rs.rnr_naks_sent,
         poll_gap_warnings: cs.poll_gap_warnings,
+        busy_poll_pct: pct(cs.busy_poll_ns),
+        event_mode_pct: pct(cs.event_mode_ns),
+        poll_mode_switches: cs.poll_mode_switches,
     }
 }
 
@@ -137,11 +162,11 @@ pub fn event_summary(events: &[xrdma_telemetry::Event]) -> String {
 /// Render the connection table like `netstat` would.
 pub fn render_table(rows: &[StatRow]) -> String {
     let mut out = String::from(
-        "LOCAL  PEER   QPN    STATE  TX-MSGS  RX-MSGS  TX-BYTES     RX-BYTES     SMALL  LARGE  STALLS  RATE(Gbps)  ALPHA  CNPS\n",
+        "LOCAL  PEER   QPN    STATE  TX-MSGS  RX-MSGS  TX-BYTES     RX-BYTES     SMALL  LARGE  STALLS  RATE(Gbps)  ALPHA  CNPS  CQB-P50  CQB-MAX\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "n{:<5} n{:<5} {:<6} {:<6} {:<8} {:<8} {:<12} {:<12} {:<6} {:<6} {:<7} {:<11.2} {:<6.3} {}\n",
+            "n{:<5} n{:<5} {:<6} {:<6} {:<8} {:<8} {:<12} {:<12} {:<6} {:<6} {:<7} {:<11.2} {:<6.3} {:<5} {:<8} {}\n",
             r.local_node,
             r.peer_node,
             r.qpn,
@@ -156,9 +181,20 @@ pub fn render_table(rows: &[StatRow]) -> String {
             r.rate_gbps,
             r.dcqcn_alpha,
             r.cnps_rx,
+            r.cqe_batch_p50,
+            r.cqe_batch_max,
         ));
     }
     out
+}
+
+/// Render the health row's progress-engine residency ("where does this
+/// context's poll loop live?").
+pub fn render_engine_residency(h: &HealthRow) -> String {
+    format!(
+        "NODE   BUSY%   EVENT%  MODE-SW\nn{:<5} {:<7.1} {:<7.1} {}\n",
+        h.node, h.busy_poll_pct, h.event_mode_pct, h.poll_mode_switches,
+    )
 }
 
 #[cfg(test)]
@@ -186,6 +222,8 @@ mod tests {
             cnps_rx: 42,
             rnr_events: 0,
             retransmissions: 0,
+            cqe_batch_p50: 7,
+            cqe_batch_max: 31,
         }];
         let s = render_table(&rows);
         assert!(s.contains("n0"));
@@ -193,7 +231,30 @@ mod tests {
         assert!(s.contains("25.00"));
         assert!(s.contains("0.125"), "DCQCN alpha column: {s}");
         assert!(s.contains("42"), "CNP column");
+        assert!(s.contains("CQB-P50"), "batch columns in header: {s}");
+        assert!(s.contains("31"), "batch max column");
         assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn engine_residency_renders() {
+        let h = HealthRow {
+            node: 4,
+            qp_count: 2,
+            registered_mb: 8.0,
+            pfc_pauses_seen: 0,
+            cnps_received: 0,
+            rnr_naks_sent: 0,
+            poll_gap_warnings: 0,
+            busy_poll_pct: 62.5,
+            event_mode_pct: 37.5,
+            poll_mode_switches: 9,
+        };
+        let s = render_engine_residency(&h);
+        assert!(s.contains("BUSY%"));
+        assert!(s.contains("62.5"));
+        assert!(s.contains("37.5"));
+        assert!(s.lines().any(|l| l.ends_with('9')));
     }
 
     #[test]

@@ -160,6 +160,54 @@ fn bench_sparse_memory(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_shared_cq(c: &mut Criterion) {
+    use xrdma_rnic::verbs::Qpn;
+    use xrdma_rnic::{Cqe, CqeOpcode, CqeStatus, SharedCq};
+    let cqe = |i: u64| Cqe {
+        wr_id: i,
+        status: CqeStatus::Success,
+        opcode: CqeOpcode::Send,
+        byte_len: 64,
+        imm: None,
+        qpn: Qpn((i % 8) as u32),
+    };
+    let mut g = c.benchmark_group("shared_cq");
+    // The adaptive engine's spin case: polling an empty queue must cost
+    // next to nothing (it happens `poll_spin_limit` times per idle spell).
+    g.bench_function("poll_cq_empty", |b| {
+        let cq = SharedCq::new(0, 256);
+        let mut out = Vec::with_capacity(64);
+        b.iter(|| black_box(cq.poll_cq(&mut out, 64)))
+    });
+    // Steady-state drain: 32 CQEs in, one batched poll out.
+    g.throughput(Throughput::Elements(32));
+    g.bench_function("push32_poll_cq_batch64", |b| {
+        let cq = SharedCq::new(0, 256);
+        let mut out = Vec::with_capacity(64);
+        b.iter(|| {
+            for i in 0..32u64 {
+                cq.push(cqe(i));
+            }
+            black_box(cq.poll_cq(&mut out, 64))
+        })
+    });
+    // Overflow shape: the queue saturates at depth, the batch cap (16)
+    // is smaller than the backlog, and draining takes several calls.
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("overflow_then_drain_batch16", |b| {
+        let cq = SharedCq::new(0, 64);
+        let mut out = Vec::with_capacity(16);
+        b.iter(|| {
+            for i in 0..80u64 {
+                cq.push(cqe(i));
+            }
+            while cq.poll_cq(&mut out, 16) > 0 {}
+            black_box(cq.overflowed())
+        })
+    });
+    g.finish();
+}
+
 fn bench_ecmp(c: &mut Criterion) {
     let mut g = c.benchmark_group("fabric");
     let mut flow = 0u64;
@@ -180,6 +228,7 @@ criterion_group!(
     bench_header,
     bench_seqack,
     bench_sparse_memory,
+    bench_shared_cq,
     bench_ecmp
 );
 criterion_main!(benches);

@@ -11,6 +11,7 @@ use bytes::{Bytes, BytesMut};
 use xrdma_fabric::NodeId;
 use xrdma_rnic::verbs::Payload;
 use xrdma_rnic::{Qp, Rnic, SendOp, SendWr};
+use xrdma_sim::stats::{HistSummary, Histogram};
 use xrdma_sim::{Dur, Time};
 use xrdma_telemetry::tele;
 
@@ -228,6 +229,9 @@ pub struct XrdmaChannel {
     /// seen). Released to the context gate on teardown — otherwise WRs
     /// wiped by a QP reset would jam the gate forever.
     pub(crate) flow_slots: Cell<u32>,
+    /// Per-poll CQE batch sizes observed for this channel's QP (the
+    /// shared-CQ fast path's batching factor; xr-stat's CQ-BATCH column).
+    pub(crate) cqe_batch: RefCell<Histogram>,
 }
 
 struct RpcWaiter {
@@ -271,6 +275,7 @@ impl XrdmaChannel {
             probe_outstanding: Cell::new(false),
             last_probe: Cell::new(now),
             flow_slots: Cell::new(0),
+            cqe_batch: RefCell::new(Histogram::new()),
         });
         ch.prepost_recv_slots(ctx, depth + CTRL_SLACK);
         // Registration cost of the receive-slot arenas is paid here, at
@@ -288,9 +293,7 @@ impl XrdmaChannel {
                 .expect("memcache must cover receive slots");
             let id = self.next_slot.get();
             self.next_slot.set(id + 1);
-            self.recv_slots
-                .borrow_mut()
-                .insert(id, RecvSlot { buf: buf.clone() });
+            self.recv_slots.borrow_mut().insert(id, RecvSlot { buf });
             self.qp
                 .post_recv(xrdma_rnic::RecvWr::new(
                     id as u64, buf.addr, buf.len, buf.lkey,
@@ -309,17 +312,39 @@ impl XrdmaChannel {
 
     /// Register the inbound request/one-way handler.
     pub fn set_on_request(&self, f: impl Fn(&Rc<XrdmaChannel>, XrdmaMsg, ReplyToken) + 'static) {
+        // xrdma-lint: allow(hot-path-alloc) -- one-time handler install at channel setup
         *self.on_request.borrow_mut() = Some(Box::new(f));
     }
 
     /// Register a close notification.
     pub fn set_on_close(&self, f: impl Fn(CloseReason) + 'static) {
+        // xrdma-lint: allow(hot-path-alloc) -- one-time handler install at channel setup
         *self.on_close.borrow_mut() = Some(Box::new(f));
     }
 
     /// Per-connection statistics (the XR-Stat row).
     pub fn stats(&self) -> ChannelStats {
         *self.stats.borrow()
+    }
+
+    /// CQE batch sizes this channel's QP contributed per `poll_cq` drain
+    /// (None until the first completion). XR-Stat's CQ-BATCH columns.
+    pub fn cqe_batch_summary(&self) -> Option<HistSummary> {
+        let h = self.cqe_batch.borrow();
+        if h.count() > 0 {
+            Some(h.summary())
+        } else {
+            None
+        }
+    }
+
+    /// Final seq-ack machine state `(tx_in_flight, rx_wta, rx_rta,
+    /// rx_unsent_acks)` — the differential batching test asserts this is
+    /// identical with coalescing on and off.
+    pub fn seqack_state(&self) -> (u32, u32, u32, u32) {
+        let tx = self.tx.borrow();
+        let rx = self.rx.borrow();
+        (tx.in_flight(), rx.wta(), rx.rta(), rx.unsent_acks())
     }
 
     pub fn is_closed(&self) -> bool {
@@ -356,6 +381,7 @@ impl XrdmaChannel {
         body: Bytes,
         on_response: impl FnOnce(&Rc<XrdmaChannel>, XrdmaMsg) + 'static,
     ) -> Result<u32, XrdmaError> {
+        // xrdma-lint: allow(hot-path-alloc) -- per-RPC callback storage is the API contract, not payload copying
         self.request_inner(BodySpec::Data(body), Box::new(on_response))
     }
 
@@ -365,6 +391,7 @@ impl XrdmaChannel {
         len: u64,
         on_response: impl FnOnce(&Rc<XrdmaChannel>, XrdmaMsg) + 'static,
     ) -> Result<u32, XrdmaError> {
+        // xrdma-lint: allow(hot-path-alloc) -- per-RPC callback storage is the API contract, not payload copying
         self.request_inner(BodySpec::Size(len), Box::new(on_response))
     }
 
@@ -579,7 +606,13 @@ impl XrdmaChannel {
         };
         // The doorbell rings when the CPU work of this send completes:
         // defer the post through the thread queue so charged CPU costs
-        // actually delay the wire (and back-pressure under load).
+        // actually delay the wire (and back-pressure under load). With
+        // coalescing, every send deferred before the flush item runs joins
+        // one postlist and shares a single doorbell charge.
+        if ctx.config().doorbell_coalesce {
+            ctx.post_coalesced(self, wr);
+            return Ok(());
+        }
         let me = self.clone();
         ctx.thread().exec(Dur::ZERO, move |_| {
             let Some(ctx) = me.ctx.upgrade() else { return };
@@ -596,6 +629,8 @@ impl XrdmaChannel {
                     return;
                 }
                 let Some(ctx) = me2.ctx.upgrade() else { return };
+                // One doorbell per WR: the reference (batch=1) cost model.
+                ctx.charge_doorbell(1);
                 match ctx.rnic().post_send(&me2.qp, wr) {
                     Ok(()) => me2.flow_slots.set(me2.flow_slots.get() + 1),
                     Err(_) => {
@@ -853,7 +888,7 @@ impl XrdmaChannel {
                     seq,
                     InMsg {
                         hdr,
-                        buf: Some(buf.clone()),
+                        buf: Some(buf),
                         small_loc: None,
                         t2: now,
                     },

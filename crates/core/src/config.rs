@@ -31,6 +31,11 @@ pub enum PollMode {
     /// NAPI-style hybrid: epoll first, then stay in busy polling while
     /// traffic keeps arriving within `hybrid_window`.
     Hybrid,
+    /// Adaptive engine: busy-poll the shared CQ while completions keep
+    /// arriving, fall back to event-driven wakeup after `poll_spin_limit`
+    /// consecutive empty polls. Unlike `Hybrid` (a fixed time window),
+    /// this reacts to the observed completion stream itself.
+    Adaptive,
 }
 
 /// Flow-control parameters (§V-C).
@@ -134,6 +139,20 @@ pub struct XrdmaConfig {
     pub hybrid_window: Dur,
     /// Wake-up latency paid in Event mode (or Hybrid outside the window).
     pub wakeup_latency: Dur,
+    /// Maximum CQEs drained per `poll_cq` call (the batch size of the
+    /// shared-CQ fast path).
+    pub cq_poll_batch: usize,
+    /// Chain sends issued within one progress quantum into a single
+    /// postlist ringing one doorbell. Off = one doorbell per WR
+    /// (the pre-fast-path behaviour, kept for differential testing).
+    pub doorbell_coalesce: bool,
+    /// Adaptive engine: consecutive empty polls before busy polling gives
+    /// up and falls back to event-driven wakeup.
+    pub poll_spin_limit: u32,
+    /// Adaptive engine: simulated gap between consecutive busy polls
+    /// (models the spin loop's cycle cost; must be nonzero or an idle
+    /// busy-poller would spin at one instant forever).
+    pub poll_spin_gap: Dur,
     pub flowctl: FlowCtlConfig,
     pub memcache: MemCacheConfig,
     /// QP cache capacity (0 disables recycling).
@@ -148,6 +167,12 @@ pub struct XrdmaConfig {
     pub cpu_recv: Dur,
     /// Extra cost per side when tracing headers are on (req-rsp mode).
     pub cpu_trace: Dur,
+    /// Host CPU cost of one doorbell ring (MMIO write + WQE flush). Paid
+    /// once per postlist when coalescing, once per WR otherwise.
+    pub cpu_doorbell: Dur,
+    /// Host CPU cost of one `poll_cq` call, independent of how many CQEs
+    /// it drains — the per-call overhead batching amortizes.
+    pub cpu_poll: Dur,
 }
 
 impl Default for XrdmaConfig {
@@ -171,6 +196,10 @@ impl Default for XrdmaConfig {
             poll_mode: PollMode::Hybrid,
             hybrid_window: Dur::micros(100),
             wakeup_latency: Dur::micros(2),
+            cq_poll_batch: 64,
+            doorbell_coalesce: true,
+            poll_spin_limit: 4,
+            poll_spin_gap: Dur::nanos(200),
             flowctl: FlowCtlConfig::default(),
             memcache: MemCacheConfig::default(),
             qp_cache: 64,
@@ -180,6 +209,11 @@ impl Default for XrdmaConfig {
             cpu_send: Dur::nanos(1570),
             cpu_recv: Dur::nanos(1570),
             cpu_trace: Dur::nanos(100),
+            // Doorbell ≈ one MMIO write + WQE build; poll_cq ≈ one CQ
+            // cacheline sweep. Both are per-call, which is exactly what
+            // coalescing and batching amortize.
+            cpu_doorbell: Dur::nanos(800),
+            cpu_poll: Dur::nanos(250),
         }
     }
 }
@@ -230,9 +264,35 @@ impl XrdmaConfig {
                 };
                 Ok(())
             }
+            "poll_mode" => {
+                self.poll_mode = match value {
+                    "busy" => PollMode::Busy,
+                    "event" => PollMode::Event,
+                    "hybrid" => PollMode::Hybrid,
+                    "adaptive" => PollMode::Adaptive,
+                    _ => return Err(XrdmaError::BadConfig("expected busy|event|hybrid|adaptive")),
+                };
+                Ok(())
+            }
+            "doorbell_coalesce" => {
+                self.doorbell_coalesce = match value {
+                    "true" | "1" => true,
+                    "false" | "0" => false,
+                    _ => return Err(XrdmaError::BadConfig("expected bool")),
+                };
+                Ok(())
+            }
+            "poll_spin_limit" => {
+                let n = num(value)?;
+                if n == 0 {
+                    return Err(XrdmaError::BadConfig("poll_spin_limit must be >= 1"));
+                }
+                self.poll_spin_limit = n as u32;
+                Ok(())
+            }
             // Offline parameters cannot change at runtime.
             "use_srq" | "cq_size" | "srq_size" | "fork_safe" | "ibqp_alloc_type"
-            | "small_msg_size" => Err(XrdmaError::BadConfig("offline parameter")),
+            | "small_msg_size" | "cq_poll_batch" => Err(XrdmaError::BadConfig("offline parameter")),
             _ => Err(XrdmaError::BadConfig("unknown key")),
         }
     }
@@ -273,6 +333,14 @@ mod tests {
         assert!(!c.flowctl.enabled);
         c.set_flag("msg_mode", "reqrsp").unwrap();
         assert_eq!(c.msg_mode, MsgMode::ReqRsp);
+        c.set_flag("poll_mode", "adaptive").unwrap();
+        assert_eq!(c.poll_mode, PollMode::Adaptive);
+        c.set_flag("doorbell_coalesce", "0").unwrap();
+        assert!(!c.doorbell_coalesce);
+        c.set_flag("poll_spin_limit", "8").unwrap();
+        assert_eq!(c.poll_spin_limit, 8);
+        assert!(c.set_flag("poll_spin_limit", "0").is_err());
+        assert!(c.set_flag("poll_mode", "turbo").is_err());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::rc::Rc;
 use xrdma_fabric::{Fabric, NodeId};
 use xrdma_rnic::cq::CqeOpcode;
 use xrdma_rnic::mem::Pd;
-use xrdma_rnic::{CompletionQueue, ConnManager, Cqe, Qp, QpCaps, Rnic, RnicConfig, Srq};
+use xrdma_rnic::{CompletionQueue, ConnManager, Cqe, Qp, QpCaps, Rnic, RnicConfig, SendWr, Srq};
 use xrdma_sim::stats::Histogram;
 use xrdma_sim::{CpuThread, Dur, SimRng, Time, World};
 use xrdma_telemetry::tele;
@@ -118,6 +118,25 @@ pub struct XrdmaContext {
     /// re-armed from `tick` without further allocation.
     tick_timer: RefCell<Option<xrdma_sim::Timer>>,
     tick_count: Cell<u64>,
+    /// Scratch CQE buffer reused by every `polling` call (the shared-CQ
+    /// fast path drains into it without allocating).
+    poll_buf: RefCell<Vec<Cqe>>,
+    /// Data WRs awaiting the next doorbell flush (doorbell coalescing).
+    pending_doorbell: RefCell<Vec<(Rc<XrdmaChannel>, SendWr)>>,
+    /// Whether a doorbell flush is queued on the thread.
+    doorbell_armed: Cell<bool>,
+    /// Flow-queued WRs whose slot was granted this quantum: they re-join
+    /// the coalescing path instead of ringing one bell each.
+    granted_doorbell: RefCell<Vec<(Rc<XrdmaChannel>, SendWr)>>,
+    /// Whether a granted-WR flush is queued on the thread.
+    granted_armed: Cell<bool>,
+    /// Adaptive engine: currently busy-polling (`true`) or event-driven.
+    engine_hot: Cell<bool>,
+    /// Consecutive empty polls while busy (falls back to event mode at
+    /// `poll_spin_limit`).
+    empty_streak: Cell<u32>,
+    /// When the engine last switched modes (residency accounting).
+    mode_entered_at: Cell<Time>,
 }
 
 /// §VI-A method II edge rule: a poll gap is only a violation when it
@@ -202,6 +221,14 @@ impl XrdmaContext {
             timer_running: Cell::new(false),
             tick_timer: RefCell::new(None),
             tick_count: Cell::new(0),
+            poll_buf: RefCell::new(Vec::new()),
+            pending_doorbell: RefCell::new(Vec::new()),
+            doorbell_armed: Cell::new(false),
+            granted_doorbell: RefCell::new(Vec::new()),
+            granted_armed: Cell::new(false),
+            engine_hot: Cell::new(false),
+            empty_streak: Cell::new(0),
+            mode_entered_at: Cell::new(Time::ZERO),
         });
         // Wire the completion channel into the poll loop.
         {
@@ -289,13 +316,39 @@ impl XrdmaContext {
     /// `xrdma_polling` — drain completions and run handlers. Returns the
     /// number of completion events processed.
     pub fn polling(self: &Rc<Self>, max: usize) -> usize {
-        let cqes = self.cq.poll(max);
-        let n = cqes.len();
-        for cqe in cqes {
+        // Per-call cost of poll_cq, independent of how many CQEs it
+        // drains — the overhead CQ batching amortizes.
+        self.thread.charge(self.config().cpu_poll);
+        let mut buf = self.poll_buf.take();
+        let n = self.cq.poll_cq(&mut buf, max);
+        // Per-channel batch-size accounting (xr-stat's CQ-BATCH column).
+        if n > 0 {
+            let mut per_qp: BTreeMap<u32, u64> = BTreeMap::new();
+            for cqe in buf.iter() {
+                *per_qp.entry(cqe.qpn.0).or_insert(0) += 1;
+            }
+            let channels = self.channels.borrow();
+            for (qpn, count) in per_qp {
+                if let Some(ch) = channels.get(&qpn) {
+                    ch.cqe_batch.borrow_mut().record(count);
+                }
+            }
+        }
+        for cqe in buf.drain(..) {
             self.dispatch(cqe);
         }
-        self.stats.borrow_mut().events_polled += n as u64;
-        if self.cq.is_empty() {
+        self.poll_buf.replace(buf);
+        {
+            let mut st = self.stats.borrow_mut();
+            st.events_polled += n as u64;
+            st.cq_polls += 1;
+            if n == 0 {
+                st.cq_empty_polls += 1;
+            }
+        }
+        if self.config().poll_mode == PollMode::Adaptive {
+            self.adaptive_after_poll(n);
+        } else if self.cq.is_empty() {
             self.cq.req_notify();
         } else {
             self.schedule_pump();
@@ -529,6 +582,160 @@ impl XrdmaContext {
         cfg.enabled && self.flow.borrow().queue.len() >= cfg.queue_cap
     }
 
+    /// Acquire up to `want` outstanding-WR slots at once; returns how many
+    /// were granted (possibly zero). Batch counterpart of `flow_post` for
+    /// the doorbell-coalescing path.
+    fn flow_try_acquire(&self, want: usize) -> usize {
+        let cfg = self.config().flowctl;
+        let mut flow = self.flow.borrow_mut();
+        if !cfg.enabled {
+            flow.outstanding += want;
+            return want;
+        }
+        let take = want.min(cfg.max_outstanding.saturating_sub(flow.outstanding));
+        flow.outstanding += take;
+        take
+    }
+
+    // ------------------------------------------------------------------
+    // Doorbell coalescing (the shared-CQ fast path's send side)
+    // ------------------------------------------------------------------
+
+    /// Queue a data WR for the next doorbell flush. Every WR queued before
+    /// the flush item reaches the front of the thread FIFO — all sends
+    /// issued within the current progress quantum, plus any from handlers
+    /// queued ahead of the flush — is chained into per-QP postlists, and
+    /// each postlist rings a single doorbell.
+    pub(crate) fn post_coalesced(self: &Rc<Self>, ch: &Rc<XrdmaChannel>, wr: SendWr) {
+        self.pending_doorbell.borrow_mut().push((ch.clone(), wr));
+        if !self.doorbell_armed.replace(true) {
+            let me = self.clone();
+            self.thread.exec(Dur::ZERO, move |_| me.flush_doorbell());
+        }
+    }
+
+    fn flush_doorbell(self: &Rc<Self>) {
+        self.doorbell_armed.set(false);
+        let batch = self.pending_doorbell.take();
+        // One MMIO write batch covers every WR flushed in this quantum,
+        // regardless of how many QPs the postlists span — the CPU-side
+        // doorbell cost is paid once (tentpole contract: sends within one
+        // progress quantum share a single doorbell charge).
+        self.charge_doorbell(batch.len() as u64);
+        let mut iter = batch.into_iter().peekable();
+        while let Some((ch, wr)) = iter.next() {
+            let mut group = vec![wr];
+            while iter.peek().is_some_and(|(c, _)| Rc::ptr_eq(c, &ch)) {
+                group.push(iter.next().expect("peeked").1);
+            }
+            self.post_group(&ch, group);
+        }
+    }
+
+    /// Post one channel's chained WRs (doorbell already charged by the
+    /// flush): the prefix the flow gate admits goes out as one postlist;
+    /// the rest queue in software and re-coalesce when completions free
+    /// their slots (§V-C).
+    fn post_group(self: &Rc<Self>, ch: &Rc<XrdmaChannel>, mut wrs: Vec<SendWr>) {
+        if ch.closed.get() {
+            return; // no flow slots acquired yet; nothing to release
+        }
+        let granted = self.flow_try_acquire(wrs.len());
+        let rest = wrs.split_off(granted);
+        if !wrs.is_empty() {
+            let n = wrs.len() as u32;
+            match self.rnic.post_send_list(&ch.qp, wrs) {
+                Ok(()) => ch.flow_slots.set(ch.flow_slots.get() + n),
+                Err(_) => {
+                    // QP died under us (keepalive race); hand the slots
+                    // back and tear down. The remainder dies with the
+                    // channel.
+                    for _ in 0..n {
+                        self.flow_release();
+                    }
+                    ch.fail(CloseReason::PeerDead);
+                    return;
+                }
+            }
+        }
+        if rest.is_empty() {
+            return;
+        }
+        ch.stats.borrow_mut().flowctl_queued += rest.len() as u64;
+        let mut flow = self.flow.borrow_mut();
+        for wr in rest {
+            let me = ch.clone();
+            flow.queue.push_back(Box::new(move || {
+                if me.closed.get() {
+                    if let Some(ctx) = me.ctx.upgrade() {
+                        ctx.flow_release();
+                    }
+                    return;
+                }
+                let Some(ctx) = me.ctx.upgrade() else { return };
+                // The slot this WR waited for is already held. Slots free
+                // as completions drain, so several of these fire within
+                // one quantum — batch them under one deferred doorbell
+                // instead of ringing one bell each.
+                ctx.post_granted(&me, wr);
+            }));
+        }
+    }
+
+    /// Queue a flow-granted WR for the next granted-batch flush. Safe to
+    /// defer: while anything sits in the flow queue the gate is full, so
+    /// a fresh send for the same channel cannot overtake it through
+    /// `post_group` — it joins the flow queue behind this WR.
+    fn post_granted(self: &Rc<Self>, ch: &Rc<XrdmaChannel>, wr: SendWr) {
+        self.granted_doorbell.borrow_mut().push((ch.clone(), wr));
+        if !self.granted_armed.replace(true) {
+            let me = self.clone();
+            self.thread.exec(Dur::ZERO, move |_| me.flush_granted());
+        }
+    }
+
+    /// Post every WR whose flow slot was granted this quantum: per-QP
+    /// postlists under a single doorbell charge, mirroring
+    /// [`Self::flush_doorbell`] but without touching the gate (the slots
+    /// are already ours).
+    fn flush_granted(self: &Rc<Self>) {
+        self.granted_armed.set(false);
+        let batch = self.granted_doorbell.take();
+        self.charge_doorbell(batch.len() as u64);
+        let mut iter = batch.into_iter().peekable();
+        while let Some((ch, wr)) = iter.next() {
+            let mut group = vec![wr];
+            while iter.peek().is_some_and(|(c, _)| Rc::ptr_eq(c, &ch)) {
+                group.push(iter.next().expect("peeked").1);
+            }
+            let n = group.len() as u32;
+            if ch.closed.get() {
+                for _ in 0..n {
+                    self.flow_release();
+                }
+                continue;
+            }
+            match self.rnic.post_send_list(&ch.qp, group) {
+                Ok(()) => ch.flow_slots.set(ch.flow_slots.get() + n),
+                Err(_) => {
+                    for _ in 0..n {
+                        self.flow_release();
+                    }
+                    ch.fail(CloseReason::PeerDead);
+                }
+            }
+        }
+    }
+
+    /// Charge one doorbell ring carrying `wrs` WRs: CPU cost plus the
+    /// coalescing-factor counters.
+    pub(crate) fn charge_doorbell(&self, wrs: u64) {
+        self.thread.charge(self.config().cpu_doorbell);
+        let mut st = self.stats.borrow_mut();
+        st.doorbells_rung += 1;
+        st.doorbell_wrs += wrs;
+    }
+
     // ------------------------------------------------------------------
     // Poll loop
     // ------------------------------------------------------------------
@@ -550,6 +757,15 @@ impl XrdmaContext {
                 PollMode::Hybrid => {
                     let since = self.world.now().since(self.last_traffic.get());
                     if since <= cfg.hybrid_window {
+                        Dur::ZERO
+                    } else {
+                        cfg.wakeup_latency
+                    }
+                }
+                // Hot = already spinning on the CQ, no wake-up to pay;
+                // cold = armed notification, epoll wake-up cost applies.
+                PollMode::Adaptive => {
+                    if self.engine_hot.get() {
                         Dur::ZERO
                     } else {
                         cfg.wakeup_latency
@@ -587,9 +803,84 @@ impl XrdmaContext {
             }
         }
         self.last_traffic.set(now);
-        self.polling(64);
+        let batch = self.config().cq_poll_batch;
+        self.polling(batch);
         self.last_pump_end
             .set(self.world.now().max(self.thread.busy_until()));
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive progress engine (§IV-B): busy-poll while hot, fall back
+    // to event-driven wakeup after `poll_spin_limit` empty polls.
+    // ------------------------------------------------------------------
+
+    fn adaptive_after_poll(self: &Rc<Self>, n: usize) {
+        let (limit, gap) = {
+            let cfg = self.config();
+            (cfg.poll_spin_limit, cfg.poll_spin_gap)
+        };
+        if n > 0 {
+            self.empty_streak.set(0);
+            if !self.engine_hot.get() {
+                self.switch_mode(true);
+            }
+            if self.cq.is_empty() {
+                self.schedule_spin(gap);
+            } else {
+                self.schedule_pump();
+            }
+        } else if self.engine_hot.get() {
+            let streak = self.empty_streak.get() + 1;
+            self.empty_streak.set(streak);
+            if streak >= limit {
+                self.switch_mode(false);
+                self.cq.req_notify();
+            } else {
+                self.schedule_spin(gap);
+            }
+        } else {
+            // Cold and empty: stay event-driven, re-arm the notification.
+            self.cq.req_notify();
+        }
+    }
+
+    /// Busy-poll respin: re-run the pump after the spin-loop gap without
+    /// arming the completion channel and without counting as a poll-gap
+    /// request (an empty spin is not a completion waiting for service).
+    /// The gap must be nonzero: a zero-delay respin on an empty CQ would
+    /// pin the simulation at one instant forever.
+    fn schedule_spin(self: &Rc<Self>, gap: Dur) {
+        if self.pump_scheduled.replace(true) {
+            return;
+        }
+        let me = self.clone();
+        self.thread.exec(gap.max(Dur::nanos(1)), move |_| {
+            me.pump_scheduled.set(false);
+            me.pump();
+        });
+    }
+
+    /// Cross into busy (`hot = true`) or event mode, accumulating the
+    /// residency of the mode being left.
+    fn switch_mode(self: &Rc<Self>, hot: bool) {
+        let now = self.world.now();
+        let span = now.since(self.mode_entered_at.get()).as_nanos();
+        {
+            let mut st = self.stats.borrow_mut();
+            if self.engine_hot.get() {
+                st.busy_poll_ns += span;
+            } else {
+                st.event_mode_ns += span;
+            }
+            st.poll_mode_switches += 1;
+        }
+        self.engine_hot.set(hot);
+        self.mode_entered_at.set(now);
+        tele!(PollModeSwitch {
+            node: self.node().0,
+            to: if hot { "busy" } else { "event" },
+            empty_polls: self.stats.borrow().cq_empty_polls,
+        });
     }
 
     fn dispatch(self: &Rc<Self>, cqe: Cqe) {
@@ -733,6 +1024,20 @@ impl XrdmaContext {
 
     pub fn stats(&self) -> ContextStats {
         let mut st = self.stats.borrow().clone();
+        // Residency of the mode currently in progress (otherwise a context
+        // that never switched back would report zero).
+        if self.config().poll_mode == PollMode::Adaptive {
+            let span = self
+                .world
+                .now()
+                .since(self.mode_entered_at.get())
+                .as_nanos();
+            if self.engine_hot.get() {
+                st.busy_poll_ns += span;
+            } else {
+                st.event_mode_ns += span;
+            }
+        }
         st.channels_open = self.channels.borrow().len();
         st.memcache_occupied = self.memcache.occupied_bytes();
         st.memcache_in_use = self.memcache.in_use_bytes();

@@ -37,7 +37,7 @@ impl Arena {
 
 /// A buffer handed out by the cache. Return it with
 /// [`MemCache::release`]; the pool tracks arenas by MR key.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct McBuf {
     pub addr: u64,
     pub len: u64,

@@ -174,6 +174,8 @@ pub const SIM_RULES: RuleSet = RuleSet {
 
 /// `xrdma-core` / `xrdma-rnic` additionally expose the public verbs and
 /// middleware API, where panicking on caller input is a contract bug (D5).
+/// The send/completion path (`channel.rs` via `HOT_PATH_FILES`) also
+/// carries P1: the doorbell-coalescing fast path must not allocate per WR.
 pub const API_RULES: RuleSet = RuleSet {
     rules: &[
         Rule::WallClock,
@@ -183,6 +185,7 @@ pub const API_RULES: RuleSet = RuleSet {
         Rule::UnwrapInApi,
         Rule::RawTelemetry,
         Rule::UngatedFaultHook,
+        Rule::HotPathAlloc,
     ],
 };
 
@@ -663,10 +666,20 @@ fn chain_base_ident(prefix: &str) -> Option<String> {
     trailing_ident(p)
 }
 
-/// Files carrying the per-packet data path, where P1 applies. Everything
-/// else in the fabric/RNIC crates (config, memory registration, stats
-/// aggregation) allocates at setup or teardown time and is exempt.
-pub const HOT_PATH_FILES: &[&str] = &["port.rs", "switch.rs", "fabric.rs", "engine.rs", "wire.rs"];
+/// Files carrying the per-packet or per-WR data path, where P1 applies.
+/// Everything else in the fabric/RNIC/core crates (config, memory
+/// registration, stats aggregation) allocates at setup or teardown time
+/// and is exempt. `cq.rs` is the shared-CQ drain and `channel.rs` the
+/// send/completion path of the middleware.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "port.rs",
+    "switch.rs",
+    "fabric.rs",
+    "engine.rs",
+    "wire.rs",
+    "cq.rs",
+    "channel.rs",
+];
 
 /// Identifiers that name payload byte buffers; `.clone()` on one of these
 /// in a hot file duplicates packet data.

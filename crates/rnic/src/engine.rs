@@ -83,6 +83,11 @@ pub struct RnicStats {
     pub fault_rx_drops: u64,
     /// Packets delivered twice by an injected duplication fault.
     pub fault_rx_dups: u64,
+    /// Doorbell rings (one per `post_send`, one per posted WR *list*).
+    pub doorbells: u64,
+    /// Send WRs accepted across all doorbells; `posted_wrs / doorbells`
+    /// is the achieved postlist batching factor.
+    pub posted_wrs: u64,
 }
 
 /// A simple lazy-LRU touch cache modelling on-NIC context SRAM.
@@ -428,6 +433,8 @@ impl Rnic {
 
     pub fn destroy_qp(&self, qp: &Rc<Qp>) {
         qp.modify_to_reset();
+        qp.send_cq.deregister_qp(qp.qpn);
+        qp.recv_cq.deregister_qp(qp.qpn);
         self.qps.borrow_mut().remove(&qp.qpn);
     }
 
@@ -455,6 +462,42 @@ impl Rnic {
                 return Err(VerbsError::QueueFull);
             }
             tx.sq.push_back(wr);
+        }
+        self.activate(qp.qpn, Time::ZERO);
+        {
+            let mut st = self.stats.borrow_mut();
+            st.doorbells += 1;
+            st.posted_wrs += 1;
+        }
+        Ok(())
+    }
+
+    /// Post a chained list of send work requests, ringing one doorbell
+    /// (`ibv_post_send` with a linked WR list). All-or-nothing: every WR is
+    /// validated and the queue capacity checked before any is enqueued, so
+    /// a rejected postlist leaves the send queue untouched.
+    pub fn post_send_list(
+        self: &Rc<Self>,
+        qp: &Rc<Qp>,
+        wrs: Vec<SendWr>,
+    ) -> Result<(), VerbsError> {
+        if wrs.is_empty() {
+            return Ok(());
+        }
+        if !qp.can_send() {
+            return Err(VerbsError::InvalidState("post_send requires RTS"));
+        }
+        SendWr::validate_all(&wrs)?;
+        {
+            let mut tx = qp.tx.borrow_mut();
+            if tx.sq.len() + wrs.len() > qp.caps.max_send_wr {
+                return Err(VerbsError::QueueFull);
+            }
+            let n = wrs.len() as u64;
+            tx.sq.extend(wrs);
+            let mut st = self.stats.borrow_mut();
+            st.doorbells += 1;
+            st.posted_wrs += n;
         }
         self.activate(qp.qpn, Time::ZERO);
         Ok(())

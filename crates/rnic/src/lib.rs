@@ -38,7 +38,7 @@ pub mod wire;
 pub use cm::{CmConfig, ConnManager};
 pub use config::PageKind;
 pub use config::RnicConfig;
-pub use cq::{CompletionQueue, Cqe, CqeStatus};
+pub use cq::{CompletionQueue, Cqe, CqeOpcode, CqeStatus, SharedCq};
 pub use engine::Rnic;
 pub use mem::{AccessFlags, Mr, Pd};
 pub use qp::{Qp, QpCaps, QpState, Srq};

@@ -255,6 +255,8 @@ impl Qp {
         srq: Option<Rc<Srq>>,
         rp: DcqcnRp,
     ) -> Rc<Qp> {
+        send_cq.register_qp(qpn);
+        recv_cq.register_qp(qpn);
         Rc::new(Qp {
             qpn,
             pd_id,

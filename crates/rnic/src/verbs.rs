@@ -236,6 +236,16 @@ impl SendWr {
             }
         }
     }
+
+    /// Validate a chained WR list before any of it is accepted — postlist
+    /// semantics are all-or-nothing, so the whole chain is checked up
+    /// front.
+    pub fn validate_all(wrs: &[SendWr]) -> Result<(), VerbsError> {
+        for wr in wrs {
+            wr.validate()?;
+        }
+        Ok(())
+    }
 }
 
 /// A receive-queue work request: a buffer the NIC may place an incoming

@@ -42,6 +42,10 @@ pub struct CpuThread {
     queue: RefCell<VecDeque<(Time, Work)>>,
     /// Whether a pump event is currently scheduled.
     pump_armed: Cell<bool>,
+    /// Handlers executed so far. One executed handler is one "progress
+    /// quantum": work submitted while a handler runs lands in the same
+    /// queue behind it, which is what doorbell coalescing keys off.
+    items_executed: Cell<u64>,
 }
 
 type Work = Box<dyn FnOnce(&Rc<CpuThread>)>;
@@ -57,6 +61,7 @@ impl CpuThread {
             observers: RefCell::new(Vec::new()),
             queue: RefCell::new(VecDeque::new()),
             pump_armed: Cell::new(false),
+            items_executed: Cell::new(0),
         })
     }
 
@@ -76,6 +81,11 @@ impl CpuThread {
     /// Total CPU nanoseconds consumed by handlers on this thread.
     pub fn total_busy(&self) -> Dur {
         Dur(self.total_busy.get())
+    }
+
+    /// Handlers executed so far (progress quanta).
+    pub fn items_executed(&self) -> u64 {
+        self.items_executed.get()
     }
 
     /// Register an observer called after every handler with
@@ -136,6 +146,7 @@ impl CpuThread {
         self.running_since.set(Some(begin));
         f(self);
         self.running_since.set(None);
+        self.items_executed.set(self.items_executed.get() + 1);
         let cost = self.busy_until.get().since(begin);
         self.total_busy.set(self.total_busy.get() + cost.as_nanos());
         for obs in self.observers.borrow().iter() {
@@ -221,6 +232,7 @@ mod tests {
         assert_eq!(count.get(), 5);
         assert_eq!(w.now(), Time::ZERO);
         assert_eq!(t.total_busy().as_nanos(), 0);
+        assert_eq!(t.items_executed(), 5, "each handler is one quantum");
     }
 
     #[test]

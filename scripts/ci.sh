@@ -15,6 +15,8 @@
 #   simperf  smoke run of the event-kernel throughput race (wheel vs
 #            legacy calendar) — results land in a temp dir so the
 #            committed full-scale results/simperf.json stays untouched
+#   msgrate  smoke run of the CQ-batching/doorbell-coalescing message-rate
+#            sweep (batching on vs batch=1), same temp-dir discipline
 #   golden   the test legs must not have rewritten any committed golden
 #            file (catches an XRDMA_UPDATE_GOLDEN leak or a determinism
 #            break that slipped past the byte-compare tests)
@@ -38,6 +40,8 @@ run cargo test -q --workspace --features xrdma-tests/telemetry,xrdma-tests/debug
 run cargo test -q --workspace --features xrdma-tests/faults,xrdma-tests/telemetry,xrdma-tests/debug_invariants
 run env XRDMA_SIMPERF_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
     cargo run -q --release -p xrdma-bench --features xrdma-bench/faults --bin simperf
-run git diff --exit-code -- tests/golden results/simperf.json
+run env XRDMA_MSGRATE_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
+    cargo run -q --release -p xrdma-bench --bin msgrate
+run git diff --exit-code -- tests/golden results/simperf.json results/msgrate.json
 
 echo "==> ci.sh: all gates passed"
