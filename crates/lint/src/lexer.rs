@@ -1,0 +1,348 @@
+//! A minimal Rust lexer for the lint engine.
+//!
+//! The PR-1 scanner matched regex-ish patterns against raw source lines,
+//! which meant `Instant` inside a doc comment or a string literal produced
+//! a diagnostic. The lexer fixes that class of false positive *by
+//! construction*: rules match against [`Token`]s, and comment text or
+//! string contents never become `Ident` tokens. Comments are still
+//! collected (per line) so `xrdma-lint: allow(...)` annotations keep
+//! working, and string literal *values* are retained on [`TokKind::Str`]
+//! tokens because `#[cfg(feature = "...")]` parsing needs them.
+//!
+//! The lexer understands exactly as much Rust as the rules need: line and
+//! nested block comments, plain/raw/byte string literals (any `#` count),
+//! char and byte-char literals vs. lifetimes, identifiers (including
+//! `r#raw` identifiers), numeric literals, and single-character
+//! punctuation. Multi-character operators arrive as consecutive `Punct`
+//! tokens (`::` is `Punct(':') Punct(':')`), which the rule matchers
+//! handle explicitly.
+
+/// Token kind. `text` on [`Token`] holds the identifier name, literal
+/// contents (without quotes), or the punctuation character.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// `'a` — never confused with a char literal.
+    Lifetime,
+    /// String literal (plain, raw, or byte); `text` is the contents.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// One punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes() == [c as u8]
+    }
+}
+
+/// One comment line (line comments, and block comments split per line),
+/// with its 1-based source line. Used only for allow-annotation parsing.
+#[derive(Clone, Debug)]
+pub struct CommentLine {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexed source: the token stream, comment lines, and the raw source
+/// lines (diagnostics quote them as snippets).
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<CommentLine>,
+    pub raw_lines: Vec<String>,
+}
+
+pub fn lex(source: &str) -> Lexed {
+    let b: Vec<char> = source.chars().collect();
+    let n = b.len();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(CommentLine {
+                    line,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let mut depth = 1;
+                let mut text = String::from("/*");
+                let mut cline = line;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        text.push_str("/*");
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        text.push_str("*/");
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            comments.push(CommentLine {
+                                line: cline,
+                                text: std::mem::take(&mut text),
+                            });
+                            line += 1;
+                            cline = line;
+                        } else {
+                            text.push(b[i]);
+                        }
+                        i += 1;
+                    }
+                }
+                if !text.is_empty() {
+                    comments.push(CommentLine { line: cline, text });
+                }
+            }
+            '"' => {
+                let (contents, nl) = scan_string(&b, &mut i);
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: contents,
+                    line,
+                });
+                line += nl;
+            }
+            '\'' => {
+                // Char literal or lifetime. `'x'` / `'\n'` close with a
+                // quote; `'a` (lifetime) does not.
+                if let Some(end) = char_literal_end(&b, i) {
+                    tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: b[i + 1..end].iter().collect(),
+                        line,
+                    });
+                    line += b[i..=end].iter().filter(|&&c| c == '\n').count() as u32;
+                    i = end + 1;
+                } else {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: b[start..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                // Raw strings (r"", r#""#), byte strings (b"", br#""#) and
+                // byte chars (b'x') start with what looks like an ident.
+                if let Some((contents, consumed, nl)) = scan_prefixed_literal(&b, i) {
+                    let kind = if b[i] == 'b' && b.get(i + 1) == Some(&'\'') {
+                        TokKind::Char
+                    } else {
+                        TokKind::Str
+                    };
+                    tokens.push(Token {
+                        kind,
+                        text: contents,
+                        line,
+                    });
+                    line += nl;
+                    i += consumed;
+                } else {
+                    let start = i;
+                    let mut j = i;
+                    // `r#ident` raw identifiers.
+                    if b[j] == 'r' && j + 1 < n && b[j + 1] == '#' {
+                        j += 2;
+                    }
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    let text: String = b[start..j].iter().collect();
+                    let text = text.strip_prefix("r#").unwrap_or(&text).to_string();
+                    tokens.push(Token {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                // Fractional part — but not `..` ranges or method calls.
+                if j + 1 < n && b[j] == '.' && b[j + 1].is_ascii_digit() {
+                    j += 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: b[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            c => {
+                tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    Lexed {
+        tokens,
+        comments,
+        raw_lines: source.lines().map(str::to_string).collect(),
+    }
+}
+
+/// Scan a plain string literal starting at `b[*i] == '"'`. Returns the
+/// contents and the number of newlines consumed; advances `*i` past the
+/// closing quote.
+fn scan_string(b: &[char], i: &mut usize) -> (String, u32) {
+    let n = b.len();
+    let mut contents = String::new();
+    let mut nl = 0;
+    *i += 1;
+    while *i < n {
+        match b[*i] {
+            '\\' if *i + 1 < n => {
+                contents.push(b[*i]);
+                contents.push(b[*i + 1]);
+                if b[*i + 1] == '\n' {
+                    nl += 1;
+                }
+                *i += 2;
+            }
+            '"' => {
+                *i += 1;
+                break;
+            }
+            c => {
+                if c == '\n' {
+                    nl += 1;
+                }
+                contents.push(c);
+                *i += 1;
+            }
+        }
+    }
+    (contents, nl)
+}
+
+/// Scan `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##` or `b'…'` at position `i`.
+/// Returns `(contents, chars_consumed, newlines)` or `None` when `b[i]`
+/// starts a plain identifier instead.
+fn scan_prefixed_literal(b: &[char], i: usize) -> Option<(String, usize, u32)> {
+    let n = b.len();
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == 'b' {
+        j += 1;
+        if j < n && b[j] == 'r' {
+            raw = true;
+            j += 1;
+        }
+    } else if b[j] == 'r' {
+        raw = true;
+        j += 1;
+    } else {
+        return None;
+    }
+
+    if raw {
+        let mut hashes = 0;
+        while j < n && b[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= n || b[j] != '"' {
+            // `r#ident` raw identifier (hashes == 1) or plain ident.
+            return None;
+        }
+        j += 1;
+        let start = j;
+        let mut nl = 0;
+        while j < n {
+            if b[j] == '"' && (1..=hashes).all(|k| b.get(j + k) == Some(&'#')) {
+                let contents: String = b[start..j].iter().collect();
+                return Some((contents, j + 1 + hashes - i, nl));
+            }
+            if b[j] == '\n' {
+                nl += 1;
+            }
+            j += 1;
+        }
+        let contents: String = b[start..].iter().collect();
+        Some((contents, n - i, nl))
+    } else if j < n && b[j] == '"' {
+        let mut k = j;
+        let (contents, nl) = scan_string(b, &mut k);
+        Some((contents, k - i, nl))
+    } else if j < n && b[j] == '\'' {
+        let end = char_literal_end(b, j)?;
+        let contents: String = b[j + 1..end].iter().collect();
+        Some((contents, end + 1 - i, 0))
+    } else {
+        None
+    }
+}
+
+/// If `b[i]` starts a char literal, the index of its closing quote;
+/// `None` for lifetimes.
+fn char_literal_end(b: &[char], i: usize) -> Option<usize> {
+    let n = b.len();
+    if i + 1 >= n {
+        return None;
+    }
+    if b[i + 1] == '\\' {
+        // `'\n'`, `'\\'`, `'\x7f'`, `'\u{…}'`: the escape selector sits at
+        // i+2, so the first quote at or after i+3 closes the literal.
+        (i + 3..n.min(i + 14)).find(|&j| b[j] == '\'')
+    } else if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+        Some(i + 2)
+    } else {
+        None
+    }
+}

@@ -7,34 +7,66 @@
 //! `Instant::now()`, an unseeded `thread_rng()`, or one iteration over a
 //! `HashMap` in an event-scheduling path silently destroys
 //! reproducibility. This crate is a std-only static-analysis pass (the
-//! build environment is offline, so no syn/rustc plumbing) that walks the
-//! workspace sources and enforces:
+//! build environment is offline, so no syn/rustc plumbing) built on a
+//! small token pipeline:
+//!
+//! * [`lexer`] — a minimal Rust lexer. Rules match [`lexer::Token`]s, so
+//!   patterns inside string literals, doc comments and block comments can
+//!   never fire (the PR-1 false-positive class is gone by construction).
+//! * [`scope`] — brace-depth scope tracking with structural
+//!   `#[cfg(...)]`-attribute attachment: per-token `test` /
+//!   `faults_gated` / `pub_fn` flags.
+//! * [`symbols`] — a two-pass workspace symbol table (struct/enum fields,
+//!   type aliases, manual `impl Ord` blocks) shared by all rules, so
+//!   cross-file questions ("is this field reachable from `World`?",
+//!   "is this alias a `HashMap`?") have answers.
+//!
+//! The rule families:
 //!
 //! * **D1 `wall-clock`** — no `std::time::{Instant, SystemTime}` in the
 //!   simulation crates; virtual time comes from `World::now()` only.
 //! * **D2 `ambient-randomness`** — no `rand::thread_rng` / `rand::random`;
 //!   all randomness flows through `xrdma_sim::rng::SimRng` forks.
 //! * **D3 `nondeterministic-iter`** — no order-dependent iteration over
-//!   `HashMap`/`HashSet` in simulation crates; use `BTreeMap`/`BTreeSet`
-//!   or sort keys first. Lookup-only maps keep `HashMap` with an
-//!   explicit allow annotation.
+//!   `HashMap`/`HashSet` (including through `type` aliases); use
+//!   `BTreeMap`/`BTreeSet` or sort keys first.
 //! * **D4 `intra-world-parallelism`** — no `thread::spawn` / `static mut`
 //!   inside a world; parallelism in this project happens across worlds.
 //! * **D5 `unwrap-in-api`** — `unwrap()`/`expect()` on public API paths
 //!   of `xrdma-core`/`xrdma-rnic` must become `XrdmaError`/`VerbsError`
 //!   results (internal invariants go through `debug_invariants`).
-//! * **F1 `ungated-fault-hook`** — every `xrdma_faults::` hook in a
-//!   runtime crate must sit under `#[cfg(feature = "faults")]`, so
-//!   production builds carry zero fault-injection code and benchmark
-//!   numbers are unaffected.
+//! * **T1 `raw-telemetry-emit`** — telemetry goes through the `tele!`
+//!   macro; direct `emit_raw` calls defeat zero-overhead-when-off.
+//! * **F1 `ungated-fault-hook`** — every `xrdma_faults::` hook must sit
+//!   structurally under `#[cfg(feature = "faults")]`.
 //! * **P1 `hot-path-alloc`** — no per-packet heap allocation in the
-//!   fabric/RNIC data-path files (`Box::new`, `vec![`, `.to_vec()`,
-//!   `Bytes::from`, payload `.clone()`); the zero-copy contract carries
-//!   payloads as `bytes::Bytes` windows over a per-message gather buffer.
-//!   One-time setup sites carry an allow annotation with a reason.
+//!   fabric/RNIC data-path files; payloads ride `bytes::Bytes` windows.
+//! * **S1 `non-send-shard-state`** *(warning)* — `Rc<_>` / `RefCell<_>` /
+//!   `*mut` fields in types reachable from the shard roots (`World`,
+//!   `*Lane`). ROADMAP item 1 moves this state across rayon shard
+//!   boundaries; every S1 finding is a blocker for that refactor and
+//!   lives in the committed baseline until migrated.
+//! * **S2 `cross-shard-static`** *(warning)* — mutable or
+//!   lazily-initialized `static`s and `thread_local!` singletons in sim
+//!   crates: per-thread or process-global state silently forks or races
+//!   once one world's events execute on many worker threads.
+//! * **S3 `unordered-cross-shard-merge`** *(warning)* — event
+//!   containers keyed on bare `Time`, and manual `impl Ord` blocks for
+//!   `Time`-carrying entry types that never consult `seq`: cross-shard
+//!   merges must order on `(Time, seq)` or same-instant events interleave
+//!   nondeterministically.
+//! * **A1 `unused-allow`** — an `xrdma-lint: allow(...)` annotation that
+//!   no longer suppresses any diagnostic is itself a diagnostic; stale
+//!   escape hatches rot into silent holes in the contract.
 //!
-//! The escape hatch, for reviewed exceptions, is a line annotation in the
-//! source comment — it must carry a reason:
+//! Severity: S1–S3 are **warnings** — real debt, tracked in the committed
+//! baseline (`crates/lint/lint.baseline`) until the sharded kernel
+//! refactor retires them. Everything else (including A1) is an **error**
+//! and is never baselined. CI fails on any diagnostic not in the
+//! baseline, on any unused allow, and on any malformed annotation.
+//!
+//! The escape hatch, for reviewed exceptions, is a comment annotation —
+//! it must carry a reason:
 //!
 //! ```text
 //! // xrdma-lint: allow(nondeterministic-iter) -- lookup-only map, never iterated for scheduling
@@ -45,8 +77,21 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The determinism-contract rules, D1–D5.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub mod json;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+pub mod symbols;
+
+pub use rules::HOT_PATH_FILES;
+
+use lexer::{CommentLine, Lexed, Token};
+use scope::Flags;
+use symbols::Symbols;
+
+/// The contract rules: determinism (D), telemetry (T), faults (F),
+/// performance (P), shard-safety (S), and annotation hygiene (A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
     /// D1: wall-clock time sources in simulation crates.
     WallClock,
@@ -67,10 +112,40 @@ pub enum Rule {
     UngatedFaultHook,
     /// P1: a heap allocation (`Box::new`, `vec![`, `.to_vec()`,
     /// `Bytes::from`, or `.clone()` of a payload buffer) in one of the
-    /// per-packet hot files of the fabric/RNIC data path. The zero-copy
-    /// contract (see `Packet` docs) keeps the steady-state path
-    /// allocation-free; one-time setup sites carry an allow annotation.
+    /// per-packet hot files of the fabric/RNIC data path.
     HotPathAlloc,
+    /// S1: `Rc<_>` / `RefCell<_>` / `*mut` in a type reachable from a
+    /// shard root (`World`, `*Lane`) — cannot cross a rayon shard
+    /// boundary. Workspace-level; computed from the symbol table.
+    NonSendShardState,
+    /// S2: mutable or lazily-initialized `static` (or `thread_local!`)
+    /// in a sim crate — cross-shard shared state.
+    CrossShardStatic,
+    /// S3: event insertion keyed on bare `Time` (no `seq` tie-break) —
+    /// cross-shard merges become nondeterministic at equal timestamps.
+    UnorderedMerge,
+    /// A1: an `xrdma-lint: allow(...)` annotation that suppresses
+    /// nothing. Reported via `FileReport::unused_allows`; the variant
+    /// exists so the rule has a name, a severity, and fixture coverage.
+    UnusedAllow,
+}
+
+/// Diagnostic severity. Warnings are real findings that may live in the
+/// committed baseline (tracked debt for a named refactor); errors must
+/// be fixed or carry an `allow(...)` with a reason, never baselined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
 }
 
 impl Rule {
@@ -85,24 +160,29 @@ impl Rule {
             Rule::RawTelemetry => "raw-telemetry-emit",
             Rule::UngatedFaultHook => "ungated-fault-hook",
             Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::NonSendShardState => "non-send-shard-state",
+            Rule::CrossShardStatic => "cross-shard-static",
+            Rule::UnorderedMerge => "unordered-cross-shard-merge",
+            Rule::UnusedAllow => "unused-allow",
         }
     }
 
     pub fn from_name(s: &str) -> Option<Rule> {
-        Some(match s {
-            "wall-clock" => Rule::WallClock,
-            "ambient-randomness" => Rule::AmbientRandomness,
-            "nondeterministic-iter" => Rule::NondeterministicIter,
-            "intra-world-parallelism" => Rule::IntraWorldParallelism,
-            "unwrap-in-api" => Rule::UnwrapInApi,
-            "raw-telemetry-emit" => Rule::RawTelemetry,
-            "ungated-fault-hook" => Rule::UngatedFaultHook,
-            "hot-path-alloc" => Rule::HotPathAlloc,
-            _ => return None,
-        })
+        Rule::ALL.into_iter().find(|r| r.name() == s)
     }
 
-    pub const ALL: [Rule; 8] = [
+    /// S1–S3 prepare a refactor that has not landed; they are warnings
+    /// recorded in the baseline. Everything else is an error.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::NonSendShardState | Rule::CrossShardStatic | Rule::UnorderedMerge => {
+                Severity::Warning
+            }
+            _ => Severity::Error,
+        }
+    }
+
+    pub const ALL: [Rule; 12] = [
         Rule::WallClock,
         Rule::AmbientRandomness,
         Rule::NondeterministicIter,
@@ -111,6 +191,10 @@ impl Rule {
         Rule::RawTelemetry,
         Rule::UngatedFaultHook,
         Rule::HotPathAlloc,
+        Rule::NonSendShardState,
+        Rule::CrossShardStatic,
+        Rule::UnorderedMerge,
+        Rule::UnusedAllow,
     ];
 }
 
@@ -135,9 +219,10 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}\n    {}",
+            "{}:{}: {} [{}] {}\n    {}",
             self.file.display(),
             self.line,
+            self.rule.severity(),
             self.rule,
             self.message,
             self.snippet.trim()
@@ -145,12 +230,23 @@ impl fmt::Display for Violation {
     }
 }
 
-/// An allow annotation that matched no violation (stale escape hatch).
+/// An allow annotation that matched no violation (stale escape hatch,
+/// rule A1).
 #[derive(Clone, Debug)]
 pub struct UnusedAllow {
     pub file: PathBuf,
     pub line: usize,
     pub rule: Rule,
+}
+
+/// An allow annotation that *did* suppress a finding: the reviewed
+/// exceptions, reported in the JSON output with their reasons.
+#[derive(Clone, Debug)]
+pub struct AllowSite {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: Rule,
+    pub reason: String,
 }
 
 /// Which rules apply to a crate, derived from its role in the system.
@@ -159,8 +255,14 @@ pub struct RuleSet {
     pub rules: &'static [Rule],
 }
 
+impl RuleSet {
+    pub fn contains(&self, rule: Rule) -> bool {
+        self.rules.contains(&rule)
+    }
+}
+
 /// Simulation crates: everything that runs inside a `World` must be fully
-/// deterministic, so D1–D4 all apply.
+/// deterministic (D1–D4) and shard-migratable (S1–S3).
 pub const SIM_RULES: RuleSet = RuleSet {
     rules: &[
         Rule::WallClock,
@@ -169,13 +271,16 @@ pub const SIM_RULES: RuleSet = RuleSet {
         Rule::IntraWorldParallelism,
         Rule::RawTelemetry,
         Rule::UngatedFaultHook,
+        Rule::NonSendShardState,
+        Rule::CrossShardStatic,
+        Rule::UnorderedMerge,
     ],
 };
 
-/// `xrdma-core` / `xrdma-rnic` additionally expose the public verbs and
-/// middleware API, where panicking on caller input is a contract bug (D5).
-/// The send/completion path (`channel.rs` via `HOT_PATH_FILES`) also
-/// carries P1: the doorbell-coalescing fast path must not allocate per WR.
+/// `xrdma-core` additionally exposes the public verbs and middleware API,
+/// where panicking on caller input is a contract bug (D5). The
+/// send/completion path (`channel.rs` via `HOT_PATH_FILES`) also carries
+/// P1: the doorbell-coalescing fast path must not allocate per WR.
 pub const API_RULES: RuleSet = RuleSet {
     rules: &[
         Rule::WallClock,
@@ -186,6 +291,9 @@ pub const API_RULES: RuleSet = RuleSet {
         Rule::RawTelemetry,
         Rule::UngatedFaultHook,
         Rule::HotPathAlloc,
+        Rule::NonSendShardState,
+        Rule::CrossShardStatic,
+        Rule::UnorderedMerge,
     ],
 };
 
@@ -200,6 +308,9 @@ pub const FABRIC_RULES: RuleSet = RuleSet {
         Rule::RawTelemetry,
         Rule::UngatedFaultHook,
         Rule::HotPathAlloc,
+        Rule::NonSendShardState,
+        Rule::CrossShardStatic,
+        Rule::UnorderedMerge,
     ],
 };
 
@@ -215,23 +326,46 @@ pub const RNIC_RULES: RuleSet = RuleSet {
         Rule::RawTelemetry,
         Rule::UngatedFaultHook,
         Rule::HotPathAlloc,
+        Rule::NonSendShardState,
+        Rule::CrossShardStatic,
+        Rule::UnorderedMerge,
     ],
 };
 
 /// `xrdma-telemetry` itself defines `emit_raw` (it is the hub's delivery
 /// path under the `tele!` macro), so T1 does not apply there; the
-/// determinism rules still do.
+/// determinism and shard-safety rules still do.
 pub const TELEMETRY_CRATE_RULES: RuleSet = RuleSet {
     rules: &[
         Rule::WallClock,
         Rule::AmbientRandomness,
         Rule::NondeterministicIter,
         Rule::IntraWorldParallelism,
+        Rule::NonSendShardState,
+        Rule::CrossShardStatic,
+        Rule::UnorderedMerge,
     ],
 };
 
-/// Crates the pass walks, with their rule sets. `src/` only: test code may
-/// use whatever it likes (tests run outside worlds).
+/// Integration tests and examples drive simulations whose digests are
+/// golden-file checked, so the core determinism rules apply; they run
+/// outside worlds, so the structural rules (D4, D5, P1, S-family) do not.
+pub const TEST_RULES: RuleSet = RuleSet {
+    rules: &[
+        Rule::WallClock,
+        Rule::AmbientRandomness,
+        Rule::NondeterministicIter,
+    ],
+};
+
+/// Benches legitimately read wall-clock time (they measure it); ambient
+/// randomness and hash-order iteration would still make runs
+/// incomparable.
+pub const BENCH_RULES: RuleSet = RuleSet {
+    rules: &[Rule::AmbientRandomness, Rule::NondeterministicIter],
+};
+
+/// Crates the pass walks, with their rule sets (the crate's `src/` tree).
 pub fn workspace_targets() -> Vec<(&'static str, RuleSet)> {
     vec![
         ("crates/sim", SIM_RULES),
@@ -252,735 +386,158 @@ pub fn workspace_targets() -> Vec<(&'static str, RuleSet)> {
     ]
 }
 
-// ---------------------------------------------------------------------------
-// Source model: comment/string stripping with line fidelity
-// ---------------------------------------------------------------------------
-
-/// A source file after lexical preprocessing: `code` has comments and
-/// string/char literal *contents* blanked (structure and line numbers
-/// preserved), `raw` is the original, and `allows` records the escape-hatch
-/// annotations found in comments.
-pub struct PreparedSource {
-    pub code_lines: Vec<String>,
-    pub raw_lines: Vec<String>,
-    /// (line, rule) pairs: annotation on line N covers lines N and N+1.
-    pub allows: Vec<(usize, Rule)>,
-    /// Annotations with a missing/empty reason: hard errors.
-    pub malformed_allows: Vec<usize>,
-}
-
-/// Strip comments and literal contents from Rust source, preserving line
-/// structure so findings carry accurate line numbers. Handles nested block
-/// comments, raw strings with hashes, char literals vs. lifetimes.
-pub fn prepare(source: &str) -> PreparedSource {
-    let bytes: Vec<char> = source.chars().collect();
-    let mut out = String::with_capacity(source.len());
-    let mut i = 0;
-    let n = bytes.len();
-    while i < n {
-        let c = bytes[i];
-        match c {
-            '/' if i + 1 < n && bytes[i + 1] == '/' => {
-                // Line comment: blank to end of line.
-                while i < n && bytes[i] != '\n' {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            '/' if i + 1 < n && bytes[i + 1] == '*' => {
-                let mut depth = 1;
-                out.push_str("  ");
-                i += 2;
-                while i < n && depth > 0 {
-                    if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
-                        depth += 1;
-                        out.push_str("  ");
-                        i += 2;
-                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
-                        depth -= 1;
-                        out.push_str("  ");
-                        i += 2;
-                    } else {
-                        out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
-                        i += 1;
-                    }
-                }
-            }
-            '"' => {
-                out.push('"');
-                i += 1;
-                while i < n {
-                    if bytes[i] == '\\' && i + 1 < n {
-                        out.push_str("  ");
-                        i += 2;
-                    } else if bytes[i] == '"' {
-                        out.push('"');
-                        i += 1;
-                        break;
-                    } else {
-                        out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
-                        i += 1;
-                    }
-                }
-            }
-            'r' if is_raw_string_start(&bytes, i) => {
-                // r"..." or r#"..."# etc.
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while j < n && bytes[j] == '#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                // bytes[j] == '"'
-                out.push('r');
-                for _ in 0..hashes {
-                    out.push('#');
-                }
-                out.push('"');
-                i = j + 1;
-                while i < n {
-                    if bytes[i] == '"' && closes_raw(&bytes, i, hashes) {
-                        out.push('"');
-                        for _ in 0..hashes {
-                            out.push('#');
-                        }
-                        i += 1 + hashes;
-                        break;
-                    }
-                    out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            '\'' => {
-                // Char literal or lifetime. A char literal closes within a
-                // few chars; a lifetime has no closing quote.
-                if let Some(close) = char_literal_end(&bytes, i) {
-                    out.push('\'');
-                    for &b in &bytes[i + 1..close] {
-                        out.push(if b == '\n' { '\n' } else { ' ' });
-                    }
-                    out.push('\'');
-                    i = close + 1;
-                } else {
-                    out.push('\'');
-                    i += 1;
-                }
-            }
-            c => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-
-    let code_lines: Vec<String> = out.lines().map(str::to_string).collect();
-    let raw_lines: Vec<String> = source.lines().map(str::to_string).collect();
-    let mut allows = Vec::new();
-    let mut malformed = Vec::new();
-    for (idx, raw) in raw_lines.iter().enumerate() {
-        if let Some(pos) = raw.find("xrdma-lint:") {
-            let rest = raw[pos + "xrdma-lint:".len()..].trim_start();
-            if let Some(args) = rest.strip_prefix("allow(") {
-                if let Some(end) = args.find(')') {
-                    let name = args[..end].trim();
-                    let tail = args[end + 1..].trim_start();
-                    let has_reason = tail
-                        .strip_prefix("--")
-                        .map(|r| !r.trim().is_empty())
-                        .unwrap_or(false);
-                    match (Rule::from_name(name), has_reason) {
-                        (Some(rule), true) => allows.push((idx + 1, rule)),
-                        _ => malformed.push(idx + 1),
-                    }
-                } else {
-                    malformed.push(idx + 1);
-                }
-            } else {
-                malformed.push(idx + 1);
-            }
-        }
-    }
-
-    PreparedSource {
-        code_lines,
-        raw_lines,
-        allows,
-        malformed_allows: malformed,
-    }
-}
-
-fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
-    // Preceded by an identifier char? Then it's part of a name like `for`.
-    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
-        return false;
-    }
-    let mut j = i + 1;
-    while j < bytes.len() && bytes[j] == '#' {
-        j += 1;
-    }
-    j < bytes.len() && bytes[j] == '"'
-}
-
-fn closes_raw(bytes: &[char], i: usize, hashes: usize) -> bool {
-    (1..=hashes).all(|k| bytes.get(i + k) == Some(&'#'))
-}
-
-/// If `bytes[i]` starts a char literal, return the index of its closing
-/// quote; `None` for lifetimes.
-fn char_literal_end(bytes: &[char], i: usize) -> Option<usize> {
-    let n = bytes.len();
-    if i + 1 >= n {
-        return None;
-    }
-    if bytes[i + 1] == '\\' {
-        // Escaped: scan to the next '\'' within a small window.
-        (i + 2..n.min(i + 12)).find(|&j| bytes[j] == '\'' && bytes[j - 1] != '\\')
-    } else if i + 2 < n && bytes[i + 2] == '\'' && bytes[i + 1] != '\'' {
-        Some(i + 2)
-    } else {
-        None
-    }
-}
-
-/// Mark which lines fall inside a `#[cfg(test)]` module. The determinism
-/// contract governs code that runs inside a `World`; unit tests run outside
-/// worlds (and through the harness) and may use whatever std offers.
-pub fn test_mod_lines(code_lines: &[String]) -> Vec<bool> {
-    let mut in_test = vec![false; code_lines.len()];
-    let mut depth: i32 = 0;
-    // Depths at which a #[cfg(test)] mod body is open.
-    let mut test_depths: Vec<i32> = Vec::new();
-    let mut armed = false;
-    for (idx, line) in code_lines.iter().enumerate() {
-        let trimmed = line.trim_start();
-        if trimmed.contains("#[cfg(test)]") {
-            armed = true;
-        }
-        let opens_test_mod = armed && (trimmed.starts_with("mod ") || trimmed.contains(" mod "));
-        if !test_depths.is_empty() {
-            in_test[idx] = true;
-        }
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    if opens_test_mod && test_depths.is_empty() {
-                        test_depths.push(depth);
-                        armed = false;
-                        in_test[idx] = true;
-                    }
-                }
-                '}' => {
-                    if test_depths.last() == Some(&depth) {
-                        test_depths.pop();
-                    }
-                    depth -= 1;
-                }
-                _ => {}
-            }
-        }
-    }
-    in_test
-}
-
-/// Mark which lines are covered by a `#[cfg(feature = "faults")]` gate.
-/// The attribute covers the item/statement that follows it: either up to
-/// the matching `}` of the first brace it opens (blocks, fns, `if`/`match`
-/// statements) or up to a `;` / `,` at the attribute's depth (plain
-/// statements, struct fields). String contents are blanked in `code_lines`,
-/// so the feature name is matched against `raw_lines`.
-pub fn fault_gated_lines(code_lines: &[String], raw_lines: &[String]) -> Vec<bool> {
-    let mut gated = vec![false; code_lines.len()];
-    let mut depth: i32 = 0;
-    // Depths at which a gated braced region is open.
-    let mut gate_depths: Vec<i32> = Vec::new();
-    // Saw the attribute; the gated item has not opened a brace yet.
-    let mut armed = false;
-    // Paren/bracket nesting within the armed item's head, so a `,` inside
-    // an argument list (`fn f(a: A, b: B) {`) doesn't end the region.
-    let mut inner: i32 = 0;
-    for (idx, line) in code_lines.iter().enumerate() {
-        let trimmed = line.trim_start();
-        if trimmed.contains("#[cfg(") && raw_lines[idx].contains("feature = \"faults\"") {
-            armed = true;
-            inner = 0;
-        }
-        if armed || !gate_depths.is_empty() {
-            gated[idx] = true;
-        }
-        // Further attributes between the cfg and its item (e.g. a derive
-        // with commas) must not end the armed region.
-        let is_attr_line = trimmed.starts_with("#[");
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    if armed {
-                        gate_depths.push(depth);
-                        armed = false;
-                    }
-                }
-                '}' => {
-                    if gate_depths.last() == Some(&depth) {
-                        gate_depths.pop();
-                    }
-                    depth -= 1;
-                }
-                '(' | '[' if armed => inner += 1,
-                ')' | ']' if armed => inner -= 1,
-                ';' | ',' if armed && !is_attr_line && inner == 0 => {
-                    armed = false;
-                }
-                _ => {}
-            }
-        }
-    }
-    gated
+/// Additional scan roots outside crate `src/` trees: integration tests,
+/// examples, and the bench harness (directories, relative to the
+/// workspace root).
+pub fn extra_targets() -> Vec<(&'static str, RuleSet)> {
+    vec![
+        ("tests", TEST_RULES),
+        ("examples", TEST_RULES),
+        ("crates/bench/src", BENCH_RULES),
+    ]
 }
 
 // ---------------------------------------------------------------------------
-// The rules
+// Delimiter matching shared by scope/symbols/rules
 // ---------------------------------------------------------------------------
 
-/// Identifier-boundary substring search: `needle` must not be embedded in a
-/// longer identifier.
-fn contains_ident(line: &str, needle: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = line[start..].find(needle) {
-        let abs = start + pos;
-        let before_ok = abs == 0
-            || !line[..abs]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = abs + needle.len();
-        let after_ok = after >= line.len()
-            || !line[after..]
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        start = abs + needle.len();
-    }
-    false
+/// Index of the token matching the opening delimiter at `open`;
+/// `tokens.len()` when unbalanced.
+pub(crate) fn scope_match_delim(
+    tokens: &[Token],
+    open: usize,
+    open_c: char,
+    close_c: char,
+) -> usize {
+    scope::match_delim(tokens, open, open_c, close_c)
 }
 
-/// Per-file analysis context.
-struct FileCtx<'a> {
-    prepared: &'a PreparedSource,
-    /// Identifiers known (by declaration or construction) to be
-    /// `HashMap`/`HashSet` values in this file.
-    hash_idents: Vec<String>,
-    /// Lines under a `#[cfg(feature = "faults")]` gate (F1).
-    fault_gated: Vec<bool>,
-}
-
-fn collect_hash_idents(prepared: &PreparedSource) -> Vec<String> {
-    let mut idents = Vec::new();
-    for line in &prepared.code_lines {
-        // Field or binding declarations whose type mentions a hash
-        // container: `name: HashMap<..>`, `name: RefCell<HashMap<..>>`,
-        // `let name: HashSet<..>`, and constructions `name = HashMap::new()`.
-        for marker in ["HashMap", "HashSet"] {
-            if !line.contains(marker) {
-                continue;
-            }
-            if let Some(colon) = line.find(':') {
-                let (head, tail) = line.split_at(colon);
-                if tail.contains(marker) {
-                    if let Some(name) = trailing_ident(head) {
-                        push_unique(&mut idents, name);
-                    }
-                }
-            }
-            if let Some(eq) = line.find('=') {
-                let (head, tail) = line.split_at(eq);
-                if tail.contains(&format!("{marker}::")) {
-                    if let Some(name) = trailing_ident(head.trim_end()) {
-                        push_unique(&mut idents, name);
-                    }
-                }
-            }
-        }
-    }
-    idents
-}
-
-fn push_unique(v: &mut Vec<String>, s: String) {
-    if !v.contains(&s) {
-        v.push(s);
-    }
-}
-
-/// The last identifier in `s` (e.g. the field/binding name before `:`).
-fn trailing_ident(s: &str) -> Option<String> {
-    let s = s.trim_end();
-    let end = s.len();
-    let start = s
-        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
-        .map(|p| p + 1)
-        .unwrap_or(0);
-    if start < end {
-        let id = &s[start..end];
-        if id
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_alphabetic() || c == '_')
-        {
-            return Some(id.to_string());
-        }
-    }
-    None
-}
-
-/// Iteration-shaped method calls whose order leaks into behavior.
-const ITER_METHODS: [&str; 8] = [
-    ".iter()",
-    ".iter_mut()",
-    ".values()",
-    ".values_mut()",
-    ".keys()",
-    ".drain()",
-    ".retain(",
-    ".into_iter()",
-];
-
-/// The identifier a method chain like `self.qps.borrow().values()` hangs
-/// off: strips interior-mutability adapters, then takes the last path
-/// segment.
-fn chain_base_ident(prefix: &str) -> Option<String> {
-    let mut p = prefix.trim_end();
-    for adapter in [
-        ".borrow()",
-        ".borrow_mut()",
-        ".lock()",
-        ".as_ref()",
-        ".as_mut()",
-    ] {
-        if let Some(stripped) = p.strip_suffix(adapter) {
-            p = stripped;
-        }
-    }
-    trailing_ident(p)
-}
-
-/// Files carrying the per-packet or per-WR data path, where P1 applies.
-/// Everything else in the fabric/RNIC/core crates (config, memory
-/// registration, stats aggregation) allocates at setup or teardown time
-/// and is exempt. `cq.rs` is the shared-CQ drain and `channel.rs` the
-/// send/completion path of the middleware.
-pub const HOT_PATH_FILES: &[&str] = &[
-    "port.rs",
-    "switch.rs",
-    "fabric.rs",
-    "engine.rs",
-    "wire.rs",
-    "cq.rs",
-    "channel.rs",
-];
-
-/// Identifiers that name payload byte buffers; `.clone()` on one of these
-/// in a hot file duplicates packet data.
-const PAYLOAD_IDENTS: &[&str] = &["data", "payload", "body", "bytes", "buf", "frag", "gather"];
-
-fn check_line(rule: Rule, line_no: usize, ctx: &FileCtx, file: &Path, out: &mut Vec<Violation>) {
-    let line = &ctx.prepared.code_lines[line_no - 1];
-    let mut hit = |message: String| {
-        out.push(Violation {
-            rule,
-            file: file.to_path_buf(),
-            line: line_no,
-            snippet: ctx.prepared.raw_lines[line_no - 1].clone(),
-            message,
-        });
-    };
-    match rule {
-        Rule::WallClock => {
-            for pat in ["Instant", "SystemTime"] {
-                if contains_ident(line, pat) {
-                    hit(format!(
-                        "wall-clock `{pat}` in a simulation crate; use `World::now()` \
-                         (virtual time) instead"
-                    ));
-                    return;
-                }
-            }
-        }
-        Rule::AmbientRandomness => {
-            for pat in ["thread_rng", "from_entropy", "OsRng", "getrandom"] {
-                if contains_ident(line, pat) {
-                    hit(format!(
-                        "ambient randomness `{pat}`; draw from a forked `xrdma_sim::SimRng` \
-                         stream instead"
-                    ));
-                    return;
-                }
-            }
-            if line.contains("rand::random") {
-                hit("ambient randomness `rand::random`; draw from a forked \
-                     `xrdma_sim::SimRng` stream instead"
-                    .to_string());
-            }
-        }
-        Rule::NondeterministicIter => {
-            for m in ITER_METHODS {
-                let mut search = 0;
-                while let Some(pos) = line[search..].find(m) {
-                    let abs = search + pos;
-                    if let Some(base) = chain_base_ident(&line[..abs]) {
-                        if ctx.hash_idents.contains(&base) {
-                            hit(format!(
-                                "order-dependent iteration over hash container `{base}` \
-                                 (`{}`); use BTreeMap/BTreeSet or sort keys first",
-                                m.trim_end_matches('(')
-                            ));
-                            return;
-                        }
-                    }
-                    search = abs + m.len();
-                }
-            }
-            // `for x in &map` / `for x in map` over a known hash ident.
-            if let Some(pos) = line.find("for ") {
-                if let Some(inpos) = line[pos..].find(" in ") {
-                    let expr = line[pos + inpos + 4..].trim();
-                    let expr = expr.split('{').next().unwrap_or(expr).trim();
-                    let expr = expr
-                        .trim_start_matches('&')
-                        .trim_start_matches("mut ")
-                        .trim();
-                    if let Some(base) = trailing_ident(expr) {
-                        if expr
-                            .chars()
-                            .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
-                            && ctx.hash_idents.contains(&base)
-                        {
-                            hit(format!(
-                                "order-dependent `for` loop over hash container `{base}`; \
-                                 use BTreeMap/BTreeSet or sort keys first"
-                            ));
-                        }
-                    }
-                }
-            }
-        }
-        Rule::IntraWorldParallelism => {
-            if contains_ident(line, "spawn")
-                && (line.contains("thread::spawn") || line.contains("std::thread::spawn"))
-            {
-                hit(
-                    "`thread::spawn` inside a simulation crate; parallelism happens across \
-                     worlds, never inside one"
-                        .to_string(),
-                );
-            } else if line.contains("static mut ") {
-                hit(
-                    "`static mut` shared state breaks world isolation; thread state through \
-                     the `World`"
-                        .to_string(),
-                );
-            }
-        }
-        Rule::UnwrapInApi => {
-            // Handled by the pub-fn scanner (needs function context).
-        }
-        Rule::RawTelemetry => {
-            if contains_ident(line, "emit_raw") {
-                hit(
-                    "direct `emit_raw` call bypasses the `tele!` macro; events emitted \
-                     outside the macro are not compiled out in telemetry-off builds"
-                        .to_string(),
-                );
-            }
-        }
-        Rule::UngatedFaultHook => {
-            if contains_ident(line, "xrdma_faults")
-                && !ctx.fault_gated.get(line_no - 1).copied().unwrap_or(false)
-            {
-                hit(
-                    "`xrdma_faults` hook outside a `#[cfg(feature = \"faults\")]` gate; \
-                     fault hooks must compile to nothing when the feature is off"
-                        .to_string(),
-                );
-            }
-        }
-        Rule::HotPathAlloc => {
-            let hot = file
-                .file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| HOT_PATH_FILES.contains(&n));
-            if !hot {
-                return;
-            }
-            for pat in [".to_vec()", "Box::new(", "vec![", "Bytes::from("] {
-                if line.contains(pat) {
-                    hit(format!(
-                        "heap allocation `{}` on the per-packet path; carry payloads as \
-                         `bytes::Bytes` slices of the per-message gather buffer (annotate \
-                         one-time setup sites with a reason)",
-                        pat.trim_end_matches(['(', '['])
-                    ));
-                    return;
-                }
-            }
-            let mut search = 0;
-            while let Some(pos) = line[search..].find(".clone()") {
-                let abs = search + pos;
-                if let Some(base) = chain_base_ident(&line[..abs]) {
-                    if PAYLOAD_IDENTS.contains(&base.as_str()) {
-                        hit(format!(
-                            "`.clone()` of payload buffer `{base}` on the per-packet path; \
-                             `bytes::Bytes` windows are refcounted — slice instead of copying"
-                        ));
-                        return;
-                    }
-                }
-                search = abs + ".clone()".len();
-            }
-        }
-    }
-}
-
-/// Scan for D5: `.unwrap()` / `.expect(` inside the body of a `pub fn`
-/// (not `pub(crate)`), outside `#[cfg(test)]` modules.
-fn check_unwrap_in_api(ctx: &FileCtx, file: &Path, out: &mut Vec<Violation>) {
-    #[derive(Clone, Copy, PartialEq)]
-    enum Region {
-        Normal,
-        PubFn,
-        TestMod,
-    }
-    // Stack of (region kind, brace depth at entry).
-    let mut stack: Vec<(Region, i32)> = Vec::new();
-    let mut depth: i32 = 0;
-    let mut pending: Option<Region> = None;
-    let mut cfg_test_armed = false;
-
-    for (idx, line) in ctx.prepared.code_lines.iter().enumerate() {
-        let line_no = idx + 1;
-        let trimmed = line.trim_start();
-
-        if trimmed.contains("#[cfg(test)]") {
-            cfg_test_armed = true;
-        }
-        // A `pub fn` signature opens a public region at its `{`. The
-        // signature may span lines; arm and resolve at the next `{`.
-        let is_pub_fn = (trimmed.starts_with("pub fn ") || trimmed.contains(" pub fn "))
-            && !trimmed.starts_with("pub(crate)");
-        if is_pub_fn && pending.is_none() {
-            pending = Some(Region::PubFn);
-        }
-        if cfg_test_armed && trimmed.starts_with("mod ") {
-            pending = Some(Region::TestMod);
-            cfg_test_armed = false;
-        }
-
-        let in_pub_api = stack
-            .iter()
-            .rev()
-            .find(|(r, _)| *r != Region::Normal)
-            .map(|(r, _)| *r == Region::PubFn)
-            .unwrap_or(false);
-
-        // A one-line `pub fn api() { x.unwrap() }` opens and closes its
-        // region within this line, so also check the line body directly.
-        let in_test = stack.iter().any(|(r, _)| *r == Region::TestMod);
-        let check_here = !in_test && (in_pub_api || (is_pub_fn && line.contains('{')));
-        if check_here {
-            let from = if in_pub_api {
-                0
-            } else {
-                line.find('{').unwrap_or(0)
-            };
-            for pat in [".unwrap()", ".expect("] {
-                if line[from..].contains(pat) && !line.contains("unwrap_or") {
-                    out.push(Violation {
-                        rule: Rule::UnwrapInApi,
-                        file: file.to_path_buf(),
-                        line: line_no,
-                        snippet: ctx.prepared.raw_lines[idx].clone(),
-                        message: format!(
-                            "`{}` on a public API path; return an error (XrdmaError / \
-                             VerbsError) or assert via debug_invariants",
-                            pat.trim_end_matches('(')
-                        ),
-                    });
-                    break;
-                }
-            }
-        }
-
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    let region = pending.take().unwrap_or(Region::Normal);
-                    stack.push((region, depth));
-                }
-                '}' => {
-                    while let Some(&(_, d)) = stack.last() {
-                        if d >= depth {
-                            stack.pop();
-                        } else {
-                            break;
-                        }
-                    }
-                    depth -= 1;
-                }
-                ';' => {
-                    // `pub fn f(...);` in a trait: the pending region never
-                    // opens.
-                    pending = None;
-                }
-                _ => {}
-            }
-        }
-    }
+/// Index of the `}` matching the `{` at `open`.
+pub(crate) fn scope_match_brace(tokens: &[Token], open: usize) -> usize {
+    scope::match_delim(tokens, open, '{', '}')
 }
 
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
-/// Result of analyzing one source file.
+/// Result of analyzing one source file (or, via [`analyze_workspace`],
+/// the whole tree).
 pub struct FileReport {
     pub violations: Vec<Violation>,
     pub unused_allows: Vec<UnusedAllow>,
     pub malformed_allows: Vec<(PathBuf, usize)>,
+    /// Allow annotations that suppressed at least one finding.
+    pub allows: Vec<AllowSite>,
 }
 
-/// Analyze one file's source text under a rule set.
-pub fn analyze_source(file: &Path, source: &str, rules: RuleSet) -> FileReport {
-    let prepared = prepare(source);
-    let ctx = FileCtx {
-        hash_idents: collect_hash_idents(&prepared),
-        fault_gated: fault_gated_lines(&prepared.code_lines, &prepared.raw_lines),
-        prepared: &prepared,
-    };
-
-    let in_test = test_mod_lines(&prepared.code_lines);
-    let mut raw_violations = Vec::new();
-    for rule in rules.rules {
-        if *rule == Rule::UnwrapInApi {
-            check_unwrap_in_api(&ctx, file, &mut raw_violations);
-        } else {
-            for line_no in 1..=ctx.prepared.code_lines.len() {
-                check_line(*rule, line_no, &ctx, file, &mut raw_violations);
-            }
+impl FileReport {
+    fn empty() -> FileReport {
+        FileReport {
+            violations: Vec::new(),
+            unused_allows: Vec::new(),
+            malformed_allows: Vec::new(),
+            allows: Vec::new(),
         }
     }
-    raw_violations.retain(|v| !in_test.get(v.line - 1).copied().unwrap_or(false));
+}
+
+/// Parse `xrdma-lint: allow(rule) -- reason` annotations out of the
+/// comment stream. Returns `(line, rule, reason)` triples plus the lines
+/// of malformed annotations (unknown rule, missing reason, bad syntax).
+fn parse_allows(comments: &[CommentLine]) -> (Vec<(usize, Rule, String)>, Vec<usize>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for c in comments {
+        let Some(pos) = c.text.find("xrdma-lint:") else {
+            continue;
+        };
+        let rest = c.text[pos + "xrdma-lint:".len()..].trim_start();
+        let line = c.line as usize;
+        let Some(args) = rest.strip_prefix("allow(") else {
+            malformed.push(line);
+            continue;
+        };
+        let Some(end) = args.find(')') else {
+            malformed.push(line);
+            continue;
+        };
+        let name = args[..end].trim();
+        let tail = args[end + 1..].trim_start();
+        let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        match (Rule::from_name(name), !reason.is_empty()) {
+            (Some(rule), true) => allows.push((line, rule, reason.to_string())),
+            _ => malformed.push(line),
+        }
+    }
+    (allows, malformed)
+}
+
+/// Analyze a lexed file under a rule set, with a (possibly
+/// workspace-wide) symbol table.
+fn analyze_tokens(
+    file: &Path,
+    lexed: &Lexed,
+    flags: &[Flags],
+    rules: RuleSet,
+    symbols: &Symbols,
+) -> FileReport {
+    let ctx = rules::FileCtx::new(file, &lexed.tokens, flags, &lexed.raw_lines, symbols);
+    let mut raw_violations = Vec::new();
+    rules::check_file(&ctx, rules.rules, &mut raw_violations);
+
+    let snippet = |line: usize| lexed.raw_lines.get(line - 1).cloned().unwrap_or_default();
+
+    // Workspace-level rules, attributed to the declaring file so each
+    // finding is emitted exactly once.
+    if rules.contains(Rule::NonSendShardState) {
+        for f in symbols.non_send_shard_fields() {
+            if f.file != file {
+                continue;
+            }
+            raw_violations.push(Violation {
+                rule: Rule::NonSendShardState,
+                file: file.to_path_buf(),
+                line: f.line as usize,
+                snippet: snippet(f.line as usize),
+                message: format!(
+                    "field `{}.{}: {}` contains `{}` and is reachable from shard root \
+                     `{}`; this state cannot migrate to a rayon shard — refactor to \
+                     owned/Send state before the sharded kernel lands",
+                    f.ty, f.field, f.rendered, f.pattern, f.root
+                ),
+            });
+        }
+    }
+    if rules.contains(Rule::UnorderedMerge) {
+        for io in symbols.unordered_event_ords() {
+            if io.file != file {
+                continue;
+            }
+            raw_violations.push(Violation {
+                rule: Rule::UnorderedMerge,
+                file: file.to_path_buf(),
+                line: io.line as usize,
+                snippet: snippet(io.line as usize),
+                message: format!(
+                    "manual `impl Ord for {}` orders a `Time`-carrying event type \
+                     without consulting `seq`; same-instant events would merge in \
+                     arbitrary order across shards — order by `(Time, seq)`",
+                    io.ty
+                ),
+            });
+        }
+    }
 
     // Apply allow annotations: an allow on line N suppresses matching
     // violations on N (trailing comment) and N+1 (comment-above).
-    let mut used = vec![false; prepared.allows.len()];
+    let (allow_sites, malformed) = parse_allows(&lexed.comments);
+    let mut used = vec![false; allow_sites.len()];
     raw_violations.sort_by(|a, b| (a.line, a.rule.name()).cmp(&(b.line, b.rule.name())));
     let violations: Vec<Violation> = raw_violations
         .into_iter()
         .filter(|v| {
-            for (ai, (aline, arule)) in prepared.allows.iter().enumerate() {
+            for (ai, (aline, arule, _)) in allow_sites.iter().enumerate() {
                 if *arule == v.rule && (v.line == *aline || v.line == *aline + 1) {
                     used[ai] = true;
                     return false;
@@ -990,29 +547,46 @@ pub fn analyze_source(file: &Path, source: &str, rules: RuleSet) -> FileReport {
         })
         .collect();
 
-    let unused_allows = prepared
-        .allows
-        .iter()
-        .zip(&used)
-        .filter(|(_, u)| !**u)
-        .map(|((line, rule), _)| UnusedAllow {
-            file: file.to_path_buf(),
-            line: *line,
-            rule: *rule,
-        })
-        .collect();
-
-    let malformed_allows = prepared
-        .malformed_allows
-        .iter()
-        .map(|l| (file.to_path_buf(), *l))
-        .collect();
+    let mut unused_allows = Vec::new();
+    let mut allows = Vec::new();
+    for ((line, rule, reason), used) in allow_sites.into_iter().zip(used) {
+        if used {
+            allows.push(AllowSite {
+                file: file.to_path_buf(),
+                line,
+                rule,
+                reason,
+            });
+        } else {
+            unused_allows.push(UnusedAllow {
+                file: file.to_path_buf(),
+                line,
+                rule,
+            });
+        }
+    }
 
     FileReport {
         violations,
         unused_allows,
-        malformed_allows,
+        malformed_allows: malformed
+            .into_iter()
+            .map(|l| (file.to_path_buf(), l))
+            .collect(),
+        allows,
     }
+}
+
+/// Analyze one file's source text under a rule set. The symbol table is
+/// built from this file alone, so workspace-level rules (S1, the
+/// `impl Ord` half of S3) see only local definitions — which is exactly
+/// what the fixture self-tests exercise.
+pub fn analyze_source(file: &Path, source: &str, rules: RuleSet) -> FileReport {
+    let lexed = lexer::lex(source);
+    let flags = scope::scopes(&lexed.tokens);
+    let mut symbols = Symbols::default();
+    symbols.absorb(file, &lexed.tokens, &flags);
+    analyze_tokens(file, &lexed, &flags, rules, &symbols)
 }
 
 /// Recursively collect `.rs` files under `dir`.
@@ -1038,26 +612,71 @@ pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
     files
 }
 
-/// Walk the workspace at `root` and analyze every target crate's `src/`.
+/// Walk the workspace at `root` in two passes: absorb every target
+/// file's items into one symbol table, then run all rules per file with
+/// the workspace-wide table. Violations come back stably sorted by
+/// `(file, line, rule, message)`.
 pub fn analyze_workspace(root: &Path) -> FileReport {
-    let mut report = FileReport {
-        violations: Vec::new(),
-        unused_allows: Vec::new(),
-        malformed_allows: Vec::new(),
-    };
-    for (rel, rules) in workspace_targets() {
-        let src = root.join(rel).join("src");
-        for file in rust_files(&src) {
+    struct Prepared {
+        display: PathBuf,
+        lexed: Lexed,
+        flags: Vec<Flags>,
+        rules: RuleSet,
+    }
+
+    let mut targets: Vec<(PathBuf, RuleSet)> = workspace_targets()
+        .into_iter()
+        .map(|(rel, rs)| (root.join(rel).join("src"), rs))
+        .collect();
+    targets.extend(
+        extra_targets()
+            .into_iter()
+            .map(|(rel, rs)| (root.join(rel), rs)),
+    );
+
+    let mut symbols = Symbols::default();
+    let mut prepared: Vec<Prepared> = Vec::new();
+    for (dir, rules) in targets {
+        for file in rust_files(&dir) {
             let Ok(text) = std::fs::read_to_string(&file) else {
                 continue;
             };
             let display = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-            let mut r = analyze_source(&display, &text, rules);
-            report.violations.append(&mut r.violations);
-            report.unused_allows.append(&mut r.unused_allows);
-            report.malformed_allows.append(&mut r.malformed_allows);
+            let lexed = lexer::lex(&text);
+            let flags = scope::scopes(&lexed.tokens);
+            symbols.absorb(&display, &lexed.tokens, &flags);
+            prepared.push(Prepared {
+                display,
+                lexed,
+                flags,
+                rules,
+            });
         }
     }
+
+    let mut report = FileReport::empty();
+    for p in &prepared {
+        let mut r = analyze_tokens(&p.display, &p.lexed, &p.flags, p.rules, &symbols);
+        report.violations.append(&mut r.violations);
+        report.unused_allows.append(&mut r.unused_allows);
+        report.malformed_allows.append(&mut r.malformed_allows);
+        report.allows.append(&mut r.allows);
+    }
+    report.violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule.name(), &a.message).cmp(&(
+            &b.file,
+            b.line,
+            b.rule.name(),
+            &b.message,
+        ))
+    });
+    report
+        .unused_allows
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report.malformed_allows.sort();
+    report
+        .allows
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     report
 }
 
@@ -1091,6 +710,8 @@ mod tests {
         assert!(run("// the Instant the window stalled", SIM_RULES).is_empty());
         assert!(run("let m = \"Instant::now\";", SIM_RULES).is_empty());
         assert!(run("struct InstantaneousRate;", SIM_RULES).is_empty());
+        assert!(run("/* block Instant comment */", SIM_RULES).is_empty());
+        assert!(run("/// doc: Instant::now() is banned", SIM_RULES).is_empty());
     }
 
     #[test]
@@ -1129,6 +750,17 @@ mod tests {
     }
 
     #[test]
+    fn d3_sees_through_type_aliases() {
+        let src = "type QpMap = HashMap<u32, Qp>;\n\
+                   struct S { qps: QpMap }\n\
+                   fn f(s: &S) { for qp in s.qps.values() { qp.reset(); } }";
+        let v = run(src, SIM_RULES);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::NondeterministicIter);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
     fn t1_catches_direct_emit_raw() {
         let v = run(
             "fn f() { xrdma_telemetry::hub::emit_raw(EventKind::SeqDuplicate { seq }); }",
@@ -1160,6 +792,8 @@ mod tests {
         let report = analyze_source(Path::new("t.rs"), src, SIM_RULES);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert!(report.unused_allows.is_empty());
+        assert_eq!(report.allows.len(), 1);
+        assert_eq!(report.allows[0].reason, "lookup cache, order-free sum");
     }
 
     #[test]
@@ -1361,5 +995,170 @@ mod tests {
         let src = "use std::time::Instant;\npub fn now_ns() -> u64 { Instant::now().elapsed().as_nanos() as u64 }";
         let v = run(src, SIM_RULES);
         assert!(v.iter().any(|v| v.rule == Rule::WallClock));
+    }
+
+    // --- S-family -----------------------------------------------------
+
+    #[test]
+    fn s1_flags_refcell_field_on_world() {
+        let src = "pub struct World {\n    now: Cell<Time>,\n    calendar: RefCell<Calendar>,\n}\n\
+                   struct Calendar { wheel: Vec<u32> }";
+        let v = run(src, SIM_RULES);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::NonSendShardState);
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("RefCell<_>"), "{v:?}");
+    }
+
+    #[test]
+    fn s1_follows_reachability_through_fields() {
+        let src = "pub struct World { calendar: Calendar }\n\
+                   struct Calendar { slot: Rc<Slot> }\n\
+                   struct Slot { n: u64 }";
+        let v = run(src, SIM_RULES);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("reachable from shard root `World`"));
+    }
+
+    #[test]
+    fn s1_lane_structs_are_roots() {
+        let src = "pub struct EventLane { q: RefCell<Vec<u8>> }";
+        let v = run(src, SIM_RULES);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::NonSendShardState);
+    }
+
+    #[test]
+    fn s1_silent_on_send_safe_state_and_unreachable_types() {
+        // Cell<T: Copy> is fine to migrate (it is Send); RefCell in a type
+        // not reachable from a root is someone else's problem.
+        let src = "pub struct World { now: Cell<Time>, slots: Vec<Slot> }\n\
+                   struct Slot { n: u64 }\n\
+                   struct Detached { inner: RefCell<u32> }";
+        assert!(run(src, SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn s2_flags_thread_local_and_lazy_statics() {
+        let src =
+            "thread_local! {\n    static CURRENT: RefCell<Option<Hub>> = RefCell::new(None);\n}\n\
+                   static REGISTRY: Mutex<Vec<u32>> = Mutex::new(Vec::new());";
+        let v = run(src, SIM_RULES);
+        let s2: Vec<_> = v
+            .iter()
+            .filter(|v| v.rule == Rule::CrossShardStatic)
+            .collect();
+        assert_eq!(s2.len(), 2, "{v:?}");
+        assert_eq!(s2[0].line, 1);
+        assert_eq!(s2[1].line, 4);
+    }
+
+    #[test]
+    fn s2_silent_on_const_statics() {
+        let src = "static NAME: &str = \"xrdma\";\nstatic SIZES: [usize; 3] = [64, 512, 4096];";
+        assert!(run(src, SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn s3_flags_impl_ord_without_seq_tiebreak() {
+        let src = "struct Key { at: Time, target: u32 }\n\
+                   impl Ord for Key {\n\
+                   fn cmp(&self, o: &Self) -> Ordering { self.at.cmp(&o.at) }\n\
+                   }";
+        let v = run(src, SIM_RULES);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnorderedMerge);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn s3_accepts_impl_ord_with_seq() {
+        let src = "struct Key { at: Time, seq: u64 }\n\
+                   impl Ord for Key {\n\
+                   fn cmp(&self, o: &Self) -> Ordering {\n\
+                   self.at.cmp(&o.at).then(self.seq.cmp(&o.seq))\n\
+                   }\n\
+                   }";
+        assert!(run(src, SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn s3_flags_bare_time_heap_and_map_decls() {
+        let src = "struct Q { heap: BinaryHeap<Reverse<Time>>, byt: BTreeMap<Time, Event> }";
+        let v = run(src, SIM_RULES);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::UnorderedMerge));
+    }
+
+    #[test]
+    fn s3_accepts_keyed_heaps() {
+        let src = "struct Q { heap: BinaryHeap<Reverse<Key>>, byt: BTreeMap<Key, Event> }";
+        assert!(run(src, SIM_RULES).is_empty());
+    }
+
+    #[test]
+    fn s_rules_respect_allow_annotations() {
+        let src = "pub struct World {\n\
+                   // xrdma-lint: allow(non-send-shard-state) -- migrates in the shard PR\n\
+                   calendar: RefCell<Calendar>,\n\
+                   }\n\
+                   struct Calendar { wheel: Vec<u32> }";
+        let report = analyze_source(Path::new("t.rs"), src, SIM_RULES);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.allows.len(), 1);
+    }
+
+    #[test]
+    fn severities_split_shard_family_from_the_rest() {
+        for rule in Rule::ALL {
+            let expect = matches!(
+                rule,
+                Rule::NonSendShardState | Rule::CrossShardStatic | Rule::UnorderedMerge
+            );
+            assert_eq!(rule.severity() == Severity::Warning, expect, "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+
+    // --- baseline + json ----------------------------------------------
+
+    #[test]
+    fn baseline_round_trip_covers_all_and_flags_stale() {
+        let src = "pub struct World { calendar: RefCell<Calendar> }\n\
+                   struct Calendar { wheel: Vec<u32> }";
+        let report = analyze_source(Path::new("crates/sim/src/world.rs"), src, SIM_RULES);
+        assert_eq!(report.violations.len(), 1);
+        let text = json::render_baseline(&report.violations);
+        let entries = json::parse_baseline(&text).expect("well-formed");
+        let diff = json::diff_baseline(&report.violations, &entries);
+        assert!(diff.baselined.iter().all(|b| *b));
+        assert!(diff.stale.is_empty());
+
+        // A baseline entry for a finding that no longer exists is stale.
+        let extra = format!("{text}wall-clock\tcrates/sim/src/gone.rs\tlet t = Instant::now();\n");
+        let entries = json::parse_baseline(&extra).expect("well-formed");
+        let diff = json::diff_baseline(&report.violations, &entries);
+        assert_eq!(diff.stale.len(), 1);
+        assert_eq!(diff.stale[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn json_output_is_deterministic_and_escaped() {
+        let src = "fn f() { let t = Instant::now(); } // path \"quote\"\n";
+        let report = analyze_source(Path::new("crates/sim/src/a.rs"), src, SIM_RULES);
+        let diff = json::diff_baseline(&report.violations, &[]);
+        let a = json::render_json(&report, &diff);
+        let b = json::render_json(&report, &diff);
+        assert_eq!(a, b);
+        assert!(a.contains("\\\"quote\\\""), "{a}");
+        assert!(a.contains("\"severity\": \"error\""));
     }
 }

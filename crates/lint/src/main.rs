@@ -1,18 +1,39 @@
-//! CLI driver: `cargo run -p xrdma-lint [workspace-root]`.
+//! CLI driver: `cargo run -p xrdma-lint -- [workspace-root] [options]`.
 //!
-//! Exit status 0 when the workspace is clean; 1 when any determinism-
-//! contract violation (or malformed allow annotation) is found. Unused
-//! allow annotations are reported as warnings but do not fail the run,
-//! so a fix that removes the last offending line doesn't immediately
-//! break CI before the annotation is cleaned up.
+//! Options:
+//!
+//! * `--format text|json` — output format (default `text`). JSON output
+//!   is deterministic and stably sorted, suitable for committing
+//!   (`results/lint.json`) under the CI golden-diff gate.
+//! * `--out PATH` — write the report to a file (relative to the
+//!   workspace root) instead of stdout; a one-line human summary still
+//!   goes to stdout.
+//! * `--baseline PATH` — committed-baseline file to diff against.
+//!   Defaults to `crates/lint/lint.baseline` under the workspace root
+//!   when that file exists; `--no-baseline` disables the default.
+//! * `--write-baseline` — regenerate the baseline file from the current
+//!   findings (then review the diff and commit). Exits 0.
+//!
+//! Exit status: 0 when the workspace is clean — no diagnostics outside
+//! the baseline, zero unused allows (A1), zero malformed annotations.
+//! 1 otherwise; 2 on usage errors. Stale baseline entries (paid-down
+//! debt) are warnings: they never fail the run, but should be deleted.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-fn workspace_root() -> PathBuf {
-    if let Some(arg) = std::env::args().nth(1) {
-        return PathBuf::from(arg);
-    }
+use xrdma_lint::json;
+
+struct Options {
+    root: PathBuf,
+    json_format: bool,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: bool,
+}
+
+fn default_root() -> PathBuf {
     // crates/lint/../.. is the workspace root when run via `cargo run -p`.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest
@@ -22,55 +43,206 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: default_root(),
+        json_format: false,
+        out: None,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json_format = true,
+                Some("text") => opts.json_format = false,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--out" => {
+                opts.out = Some(PathBuf::from(args.next().ok_or("--out expects a path")?));
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    args.next().ok_or("--baseline expects a path")?,
+                ));
+            }
+            "--no-baseline" => opts.no_baseline = true,
+            "--write-baseline" => opts.write_baseline = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            root => opts.root = PathBuf::from(root),
+        }
+    }
+    Ok(opts)
+}
+
+/// Resolve a possibly root-relative path.
+fn under_root(root: &Path, p: &Path) -> PathBuf {
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        root.join(p)
+    }
+}
+
 fn main() -> ExitCode {
-    let root = workspace_root();
-    if !root.join("Cargo.toml").exists() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xrdma-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !opts.root.join("Cargo.toml").exists() {
         eprintln!(
             "xrdma-lint: no Cargo.toml at {} — pass the workspace root as the first argument",
-            root.display()
+            opts.root.display()
         );
         return ExitCode::from(2);
     }
 
-    let report = xrdma_lint::analyze_workspace(&root);
+    let report = xrdma_lint::analyze_workspace(&opts.root);
 
-    for v in &report.violations {
-        println!("{v}");
-    }
-    for (file, line) in &report.malformed_allows {
-        println!(
-            "{}:{}: [allow-syntax] malformed annotation; expected \
-             `// xrdma-lint: allow(<rule>) -- <reason>` with a non-empty reason",
-            file.display(),
-            line
-        );
-    }
-    for u in &report.unused_allows {
-        println!(
-            "{}:{}: warning: unused `allow({})` annotation — remove it",
-            u.file.display(),
-            u.line,
-            u.rule
-        );
-    }
+    let baseline_path = if opts.no_baseline {
+        None
+    } else {
+        let p = opts
+            .baseline
+            .clone()
+            .map(|p| under_root(&opts.root, &p))
+            .unwrap_or_else(|| opts.root.join("crates/lint/lint.baseline"));
+        // The default baseline is optional; an explicitly passed one is not.
+        if p.exists() || opts.baseline.is_some() {
+            Some(p)
+        } else {
+            None
+        }
+    };
 
-    let failures = report.violations.len() + report.malformed_allows.len();
-    if failures == 0 {
+    if opts.write_baseline {
+        let path = baseline_path.unwrap_or_else(|| opts.root.join("crates/lint/lint.baseline"));
+        let text = json::render_baseline(&report.violations);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("xrdma-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
         println!(
-            "xrdma-lint: workspace clean ({} unused allow warning{})",
-            report.unused_allows.len(),
-            if report.unused_allows.len() == 1 {
-                ""
+            "xrdma-lint: wrote {} entr{} to {}",
+            report.violations.len(),
+            if report.violations.len() == 1 {
+                "y"
             } else {
-                "s"
-            }
+                "ies"
+            },
+            path.display()
         );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match &baseline_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => match json::parse_baseline(&text) {
+                Ok(entries) => entries,
+                Err(lines) => {
+                    eprintln!(
+                        "xrdma-lint: malformed baseline {} (lines {:?})",
+                        p.display(),
+                        lines
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("xrdma-lint: cannot read baseline {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => Vec::new(),
+    };
+    let diff = json::diff_baseline(&report.violations, &baseline);
+    let new_violations: Vec<_> = report
+        .violations
+        .iter()
+        .zip(&diff.baselined)
+        .filter(|(_, b)| !**b)
+        .map(|(v, _)| v)
+        .collect();
+
+    if opts.json_format {
+        let doc = json::render_json(&report, &diff);
+        match &opts.out {
+            Some(out) => {
+                let path = under_root(&opts.root, out);
+                if let Err(e) = std::fs::write(&path, doc) {
+                    eprintln!("xrdma-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            None => print!("{doc}"),
+        }
+    } else {
+        for v in new_violations.iter() {
+            println!("{v}");
+        }
+        for (file, line) in &report.malformed_allows {
+            println!(
+                "{}:{}: error [allow-syntax] malformed annotation; expected \
+                 `// xrdma-lint: allow(<rule>) -- <reason>` with a non-empty reason",
+                file.display(),
+                line
+            );
+        }
+        for u in &report.unused_allows {
+            println!(
+                "{}:{}: error [unused-allow] stale `allow({})` annotation suppresses \
+                 nothing — delete it or re-justify it",
+                u.file.display(),
+                u.line,
+                u.rule
+            );
+        }
+        for e in &diff.stale {
+            println!(
+                "{}: warning [stale-baseline] entry `{}` matches no finding — paid-down \
+                 debt, remove it from the baseline",
+                e.file, e.rule
+            );
+        }
+    }
+
+    let failures =
+        new_violations.len() + report.malformed_allows.len() + report.unused_allows.len();
+    let summary = format!(
+        "xrdma-lint: {} finding{} ({} baselined, {} new), {} unused allow{}, \
+         {} malformed, {} stale baseline entr{}",
+        report.violations.len(),
+        if report.violations.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.violations.len() - new_violations.len(),
+        new_violations.len(),
+        report.unused_allows.len(),
+        if report.unused_allows.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.malformed_allows.len(),
+        diff.stale.len(),
+        if diff.stale.len() == 1 { "y" } else { "ies" },
+    );
+    if !opts.json_format || opts.out.is_some() {
+        println!("{summary}");
+    } else {
+        eprintln!("{summary}");
+    }
+
+    if failures == 0 {
         ExitCode::SUCCESS
     } else {
-        println!(
-            "xrdma-lint: {failures} violation{} of the determinism contract (see DESIGN.md)",
-            if failures == 1 { "" } else { "s" }
-        );
         ExitCode::FAILURE
     }
 }

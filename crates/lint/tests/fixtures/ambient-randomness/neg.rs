@@ -1,0 +1,4 @@
+fn jitter(rng: &mut SimRng) -> u64 {
+    let _label = "thread_rng is banned; this string must not fire";
+    rng.next_u64()
+}

@@ -1,0 +1,4 @@
+fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

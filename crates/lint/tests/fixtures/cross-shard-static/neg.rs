@@ -1,0 +1,2 @@
+static PROTOCOL_NAME: &str = "xrdma";
+static SLAB_SIZES: [usize; 3] = [64, 512, 4096];

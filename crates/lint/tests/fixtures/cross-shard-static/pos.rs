@@ -1,0 +1,3 @@
+thread_local! {
+    static CURRENT: RefCell<Option<Hub>> = RefCell::new(None);
+}

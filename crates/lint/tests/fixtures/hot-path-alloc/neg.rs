@@ -1,0 +1,4 @@
+fn deliver(pkt: &Packet, sink: &mut Sink) {
+    let window = pkt.payload.slice(8..);
+    sink.push(window);
+}

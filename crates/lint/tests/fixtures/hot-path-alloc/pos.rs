@@ -1,0 +1,4 @@
+fn deliver(pkt: &Packet, sink: &mut Sink) {
+    let copy = pkt.payload.clone();
+    sink.push(copy);
+}

@@ -1,0 +1,5 @@
+fn fanout(world: &mut World, jobs: Vec<Job>) {
+    for job in jobs {
+        world.schedule(world.now(), Event::Run(job));
+    }
+}

@@ -1,0 +1,5 @@
+fn fanout(jobs: Vec<Job>) {
+    for job in jobs {
+        std::thread::spawn(move || job.run());
+    }
+}

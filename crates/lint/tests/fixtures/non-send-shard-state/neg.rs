@@ -1,0 +1,12 @@
+pub struct World {
+    now: Cell<Time>,
+    calendar: Calendar,
+}
+
+struct Calendar {
+    wheel: Vec<u64>,
+}
+
+struct DetachedDebugState {
+    scratch: RefCell<Vec<u8>>,
+}

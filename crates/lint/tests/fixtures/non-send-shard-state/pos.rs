@@ -1,0 +1,7 @@
+pub struct World {
+    calendar: RefCell<Calendar>,
+}
+
+struct Calendar {
+    wheel: Vec<u64>,
+}

@@ -1,0 +1,14 @@
+use std::collections::{BTreeMap, HashMap};
+
+struct Qps {
+    map: BTreeMap<u32, u64>,
+    cache: HashMap<u32, u64>,
+}
+
+fn reset_all(q: &mut Qps) {
+    for (_, v) in q.map.iter_mut() {
+        *v = 0;
+    }
+    q.cache.insert(1, 2);
+    let _hit = q.cache.get(&1);
+}

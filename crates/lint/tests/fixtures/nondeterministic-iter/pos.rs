@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+
+struct Qps {
+    map: HashMap<u32, u64>,
+}
+
+fn reset_all(q: &mut Qps) {
+    for (_, v) in q.map.iter_mut() {
+        *v = 0;
+    }
+}

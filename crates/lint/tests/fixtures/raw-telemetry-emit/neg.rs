@@ -1,0 +1,3 @@
+fn emit(seq: u64) {
+    tele!(SeqDuplicate { seq });
+}

@@ -1,0 +1,3 @@
+fn leak(seq: u64) {
+    xrdma_telemetry::hub::emit_raw(EventKind::SeqDuplicate { seq });
+}

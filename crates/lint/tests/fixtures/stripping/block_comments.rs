@@ -1,0 +1,4 @@
+/* Instant::now(), SystemTime, thread_rng(), emit_raw(),
+   /* nested: xrdma_faults::port_drop, static mut GLOBAL, vec![0; 9] */
+   still inside the outer comment: payload.clone().to_vec() */
+fn after_comment() {}

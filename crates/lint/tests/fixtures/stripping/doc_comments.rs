@@ -1,0 +1,6 @@
+//! Instant::now() is banned here; so are thread_rng() and emit_raw().
+
+/// Iterating a HashMap via `.values()` is nondeterministic; Box::new(
+/// payload.clone()) would allocate on the hot path; xrdma_faults::drop
+/// must be gated; thread_local! singletons fork under sharding.
+fn documented() {}

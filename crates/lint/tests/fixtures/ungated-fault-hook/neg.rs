@@ -1,0 +1,6 @@
+fn poll(port: &Port) {
+    #[cfg(feature = "faults")]
+    if xrdma_faults::port_drop(&port.label) {
+        return;
+    }
+}

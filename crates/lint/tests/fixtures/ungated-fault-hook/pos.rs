@@ -1,0 +1,5 @@
+fn poll(port: &Port) {
+    if xrdma_faults::port_drop(&port.label) {
+        return;
+    }
+}

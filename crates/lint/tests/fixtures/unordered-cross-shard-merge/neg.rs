@@ -1,0 +1,10 @@
+struct Entry {
+    at: Time,
+    seq: u64,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}

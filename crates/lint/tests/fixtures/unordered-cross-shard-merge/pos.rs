@@ -1,0 +1,10 @@
+struct Entry {
+    at: Time,
+    target: u32,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at.cmp(&other.at)
+    }
+}

@@ -1,0 +1,8 @@
+struct Cache {
+    m: HashMap<u32, u64>,
+}
+
+fn total(c: &Cache) -> u64 {
+    // xrdma-lint: allow(nondeterministic-iter) -- order-free sum over a lookup cache
+    c.m.values().sum()
+}

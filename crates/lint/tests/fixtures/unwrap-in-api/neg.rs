@@ -1,0 +1,7 @@
+pub fn lookup(map: &BTreeMap<u32, u64>, k: u32) -> Result<u64, XrdmaError> {
+    map.get(&k).copied().ok_or(XrdmaError::NoSuchKey(k))
+}
+
+fn internal_invariant(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

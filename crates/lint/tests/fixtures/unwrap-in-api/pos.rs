@@ -1,0 +1,3 @@
+pub fn lookup(map: &BTreeMap<u32, u64>, k: u32) -> u64 {
+    *map.get(&k).unwrap()
+}

@@ -1,0 +1,6 @@
+use std::time::Instant;
+
+pub fn elapsed_ns() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -4,7 +4,12 @@
 #   build    release build of the whole workspace
 #   fmt      rustfmt in check mode
 #   clippy   all targets, warnings are errors
-#   lint     xrdma-lint determinism-contract pass (DESIGN.md §7)
+#   lint     xrdma-lint determinism/shard-safety pass (DESIGN.md §7):
+#            regenerates results/lint.json and fails on any diagnostic
+#            not in the committed baseline (crates/lint/lint.baseline),
+#            on unused allow annotations, and on malformed annotations;
+#            coverage spans the sim crates plus tests/, examples/ and
+#            crates/bench
 #   test     full suite across the feature matrix:
 #              - default (telemetry compiled out)
 #              - telemetry (event bus + exporters live)
@@ -33,7 +38,7 @@ run cargo build --release --workspace --features xrdma-bench/telemetry,xrdma-tes
 run cargo build --release --workspace --features xrdma-bench/faults,xrdma-tests/faults
 run cargo fmt --check
 run cargo clippy --workspace --all-targets -- -D warnings
-run cargo run -q --release -p xrdma-lint
+run cargo run -q --release -p xrdma-lint -- --format json --out results/lint.json
 run cargo test -q --workspace
 run cargo test -q --workspace --features xrdma-tests/telemetry
 run cargo test -q --workspace --features xrdma-tests/telemetry,xrdma-tests/debug_invariants
@@ -42,6 +47,6 @@ run env XRDMA_SIMPERF_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
     cargo run -q --release -p xrdma-bench --features xrdma-bench/faults --bin simperf
 run env XRDMA_MSGRATE_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
     cargo run -q --release -p xrdma-bench --bin msgrate
-run git diff --exit-code -- tests/golden results/simperf.json results/msgrate.json
+run git diff --exit-code -- tests/golden results/simperf.json results/msgrate.json results/lint.json
 
 echo "==> ci.sh: all gates passed"
