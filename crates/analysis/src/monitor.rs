@@ -133,6 +133,19 @@ impl Monitor {
                     cs.memcache_occupied as f64,
                 );
                 m.gauge_set(&format!("n{node}.cnps_rx"), rs.cnps_received as f64);
+                // Shared-CQ and doorbell efficiency counters (ISSUE 7): raw
+                // CQ-side numbers come straight off the queue, send-side
+                // coalescing off the RNIC, so xr-stat and exported series
+                // can compute wakeup- and postlist-coalescing factors.
+                let cq = t.ctx.cq();
+                m.gauge_set(&format!("n{node}.cq_polls"), cq.polls() as f64);
+                m.gauge_set(&format!("n{node}.cq_empty_polls"), cq.empty_polls() as f64);
+                m.gauge_set(
+                    &format!("n{node}.cq_notify_fires"),
+                    cq.notify_fires() as f64,
+                );
+                m.gauge_set(&format!("n{node}.doorbells"), rs.doorbells as f64);
+                m.gauge_set(&format!("n{node}.posted_wrs"), rs.posted_wrs as f64);
             });
             self.samples.borrow_mut().push(Sample {
                 t_ns: now,

@@ -7,6 +7,7 @@ use std::rc::Rc;
 use serde::Serialize;
 use xrdma_core::XrdmaContext;
 use xrdma_fabric::Fabric;
+use xrdma_telemetry::{HubGuard, StageStat};
 
 /// One connection row.
 #[derive(Clone, Debug, Serialize)]
@@ -188,6 +189,71 @@ pub fn render_table(rows: &[StatRow]) -> String {
     out
 }
 
+/// Render the per-stage latency breakdown (DESIGN.md §8): one row per
+/// pipeline stage in order, then the `e2e` summary row whose sum the
+/// stage sums telescope to exactly. Rows come pre-sorted from
+/// [`xrdma_telemetry::TelemetryHub::latency_breakdown`].
+pub fn render_latency_breakdown(bd: &[StageStat]) -> String {
+    if bd.is_empty() {
+        return String::from("LATENCY-BREAKDOWN: no spans captured\n");
+    }
+    let mut out = String::from(
+        "STAGE     COUNT    P50(ns)      P99(ns)      P999(ns)     MEAN(ns)       SUM(ns)\n",
+    );
+    for s in bd {
+        out.push_str(&format!(
+            "{:<9} {:<8} {:<12} {:<12} {:<12} {:<14.1} {}\n",
+            s.stage, s.count, s.p50_ns, s.p99_ns, s.p999_ns, s.mean_ns, s.sum_ns,
+        ));
+    }
+    out
+}
+
+/// Flight-recorder occupancy (ring-wrap visibility): events currently
+/// held, total ever seen, and the count that wrapped out. Nonzero drops
+/// mean a dump is a *suffix* of history, not all of it.
+pub fn render_recorder_status(kept: usize, seen: u64, dropped: u64) -> String {
+    format!("FLIGHT-RECORDER kept={kept} seen={seen} dropped={dropped}\n")
+}
+
+/// `xr-stat --format json`: the latency-breakdown table plus span/recorder
+/// health as a deterministic JSON document — fixed key order, stably
+/// sorted rows, no timestamps — following the same conventions as the
+/// lint report (`crates/lint/src/json.rs`), so it can sit under a
+/// golden-diff gate.
+pub fn latency_breakdown_json(hub: &HubGuard) -> String {
+    let bd = hub.latency_breakdown();
+    let (kept, seen, dropped) = hub.recorder_occupancy();
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"summary\": {{\"stages\": {}, \"slow_trees\": {}, \"slow_dropped\": {}, \
+         \"recorder_kept\": {}, \"recorder_seen\": {}, \"recorder_dropped\": {}}},\n",
+        bd.len(),
+        hub.slow_span_trees().len(),
+        hub.slow_span_dropped(),
+        kept,
+        seen,
+        dropped,
+    ));
+    out.push_str("  \"stages\": [");
+    for (i, s) in bd.iter().enumerate() {
+        if i == 0 {
+            out.push_str("\n    ");
+        } else {
+            out.push_str(",\n    ");
+        }
+        out.push_str(&format!(
+            "{{\"stage\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"p999_ns\": {}, \"mean_ns\": {:.1}, \"sum_ns\": {}}}",
+            s.stage, s.count, s.p50_ns, s.p99_ns, s.p999_ns, s.mean_ns, s.sum_ns,
+        ));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
 /// Render the health row's progress-engine residency ("where does this
 /// context's poll loop live?").
 pub fn render_engine_residency(h: &HealthRow) -> String {
@@ -255,6 +321,64 @@ mod tests {
         assert!(s.contains("62.5"));
         assert!(s.contains("37.5"));
         assert!(s.lines().any(|l| l.ends_with('9')));
+    }
+
+    #[test]
+    fn latency_breakdown_renders_rows_and_empty_marker() {
+        assert_eq!(
+            render_latency_breakdown(&[]),
+            "LATENCY-BREAKDOWN: no spans captured\n"
+        );
+        let bd = vec![
+            StageStat {
+                stage: "submit",
+                count: 4,
+                p50_ns: 100,
+                p99_ns: 180,
+                p999_ns: 190,
+                mean_ns: 120.5,
+                sum_ns: 482,
+            },
+            StageStat {
+                stage: "e2e",
+                count: 4,
+                p50_ns: 900,
+                p99_ns: 1400,
+                p999_ns: 1500,
+                mean_ns: 1000.0,
+                sum_ns: 4000,
+            },
+        ];
+        let s = render_latency_breakdown(&bd);
+        assert!(s.starts_with("STAGE"), "header first: {s}");
+        assert!(s.contains("submit"));
+        assert!(s.contains("120.5"));
+        assert!(s.lines().last().unwrap().starts_with("e2e"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn recorder_status_renders_drop_count() {
+        let s = render_recorder_status(256, 1000, 744);
+        assert_eq!(s, "FLIGHT-RECORDER kept=256 seen=1000 dropped=744\n");
+    }
+
+    /// The JSON document must be byte-identical across renders of the
+    /// same hub state (it sits under the golden-diff gate) and carry the
+    /// fixed key order the lint report established.
+    #[test]
+    fn latency_breakdown_json_is_deterministic() {
+        use xrdma_sim::World;
+        use xrdma_telemetry::{HubConfig, TelemetryHub};
+        let world = World::new();
+        let guard = TelemetryHub::install(&world, HubConfig::default());
+        let a = latency_breakdown_json(&guard);
+        let b = latency_breakdown_json(&guard);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n  \"version\": 1,\n"));
+        assert!(a.contains("\"recorder_dropped\": 0"));
+        assert!(a.contains("\"stages\": ["));
+        assert!(a.ends_with("]\n}\n"));
     }
 
     #[test]

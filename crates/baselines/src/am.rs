@@ -176,6 +176,7 @@ impl AmEndpoint {
                 imm: None,
                 local: None,
                 signaled: true,
+                span: xrdma_rnic::SpanToken::NONE,
             };
             let me = self.clone();
             self.thread.exec(Dur::ZERO, move |_| {
@@ -202,6 +203,7 @@ impl AmEndpoint {
                 imm: None,
                 local: None,
                 signaled: true,
+                span: xrdma_rnic::SpanToken::NONE,
             };
             let me = self.clone();
             self.thread.exec(Dur::ZERO, move |_| {

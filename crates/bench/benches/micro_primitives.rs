@@ -170,6 +170,7 @@ fn bench_shared_cq(c: &mut Criterion) {
         byte_len: 64,
         imm: None,
         qpn: Qpn((i % 8) as u32),
+        span: xrdma_rnic::SpanToken::NONE,
     };
     let mut g = c.benchmark_group("shared_cq");
     // The adaptive engine's spin case: polling an empty queue must cost

@@ -13,7 +13,7 @@ use xrdma_rnic::verbs::Payload;
 use xrdma_rnic::{Qp, Rnic, SendOp, SendWr};
 use xrdma_sim::stats::{HistSummary, Histogram};
 use xrdma_sim::{Dur, Time};
-use xrdma_telemetry::tele;
+use xrdma_telemetry::{span_end, span_mark, span_open, tele, SpanToken};
 
 use crate::config::MsgMode;
 use crate::context::XrdmaContext;
@@ -178,6 +178,9 @@ struct InMsg {
     small_loc: Option<(u32, u64)>, // (lkey, addr)
     /// Receiver-side arrival time (for ReplyToken/t2).
     t2: Time,
+    /// Causal span carried over from the sender's CQE; closed after the
+    /// application handler runs.
+    span: SpanToken,
 }
 
 /// An in-flight large fetch (read-replace-write, §IV-C).
@@ -528,6 +531,11 @@ impl XrdmaChannel {
         let len = body.len();
         let small = ctx.config().is_small(len);
         let now = ctx.world().now();
+        // Root of the causal span (DESIGN.md §8): opened when the message
+        // enters the middleware TX path, in the `submit` stage until the
+        // doorbell actually rings. `NONE` with telemetry off or no hub.
+        let span = span_open!(ctx.node().0, self.qp.qpn.0, seq, len);
+        span_mark!(span, Submit);
 
         let mut hdr = Header::new(kind, seq, ack, rpc_id, len);
         hdr.trace = trace;
@@ -603,6 +611,7 @@ impl XrdmaChannel {
             imm: Some(ack),
             local: None,
             signaled: true,
+            span,
         };
         // The doorbell rings when the CPU work of this send completes:
         // defer the post through the thread queue so charged CPU costs
@@ -709,6 +718,7 @@ impl XrdmaChannel {
             imm: Some(ack),
             local: None,
             signaled: true,
+            span: SpanToken::NONE,
         };
         // Controls bypass flow control: they are tiny and bounded.
         if ctx.rnic().post_send(&self.qp, wr).is_err() {
@@ -743,6 +753,7 @@ impl XrdmaChannel {
             imm: None,
             local: None,
             signaled: true,
+            span: SpanToken::NONE,
         };
         if ctx.rnic().post_send(&self.qp, wr).is_err() {
             // The QP is already in Error: the probe can never complete and
@@ -757,8 +768,9 @@ impl XrdmaChannel {
     // Receive path (driven by the context's poll loop)
     // ------------------------------------------------------------------
 
-    /// A receive completion landed on this channel.
-    pub(crate) fn on_recv(self: &Rc<Self>, slot_id: u32, byte_len: u64) {
+    /// A receive completion landed on this channel. `span` is the causal
+    /// span the sender attached to the message (rides the CQE).
+    pub(crate) fn on_recv(self: &Rc<Self>, slot_id: u32, byte_len: u64, span: SpanToken) {
         let Some(ctx) = self.ctx.upgrade() else {
             return;
         };
@@ -798,7 +810,7 @@ impl XrdmaChannel {
             }
             MsgKind::KeepAlive => {}
             MsgKind::Request | MsgKind::Response | MsgKind::OneWay => {
-                self.on_sequenced(&ctx, hdr, hdr_len as u64, &slot, now);
+                self.on_sequenced(&ctx, hdr, hdr_len as u64, &slot, now, span);
             }
         }
         self.repost_slot(slot_id, &slot);
@@ -812,6 +824,7 @@ impl XrdmaChannel {
         hdr_len: u64,
         slot: &RecvSlot,
         now: Time,
+        span: SpanToken,
     ) {
         let seq = hdr.seq;
         match self.rx.borrow_mut().on_arrival(seq) {
@@ -857,6 +870,7 @@ impl XrdmaChannel {
                         buf,
                         small_loc: small,
                         t2: now,
+                        span,
                     },
                 );
                 let ready = self.rx.borrow_mut().on_complete(seq);
@@ -891,6 +905,7 @@ impl XrdmaChannel {
                         buf: Some(buf),
                         small_loc: None,
                         t2: now,
+                        span,
                     },
                 );
                 self.issue_fetch(ctx, seq, desc, len, buf);
@@ -1077,6 +1092,9 @@ impl XrdmaChannel {
         if crate::context::slow_op_violates(handler_cost, ctx.config().slow_threshold) {
             ctx.record_slow_op("app-handler", handler_cost);
         }
+        // Span closes when the handler's charged CPU actually finishes, so
+        // the `app` stage carries the handler cost (DESIGN.md §8).
+        span_end!(msg.span, ctx.thread().busy_until().nanos());
 
         // Release the staging buffer now the handler is done.
         if let Some(buf) = msg.buf {

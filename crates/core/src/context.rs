@@ -273,6 +273,13 @@ impl XrdmaContext {
         &self.rnic
     }
 
+    /// The context's shared completion queue. Exposed so the monitor can
+    /// surface the raw CQ counters (polls / empty polls / notify fires) as
+    /// gauges without the context re-counting them.
+    pub fn cq(&self) -> &Rc<CompletionQueue> {
+        &self.cq
+    }
+
     pub fn node(&self) -> NodeId {
         self.rnic.node()
     }
@@ -890,7 +897,10 @@ impl XrdmaContext {
             CqeOpcode::Recv | CqeOpcode::RecvWriteImm => {
                 if let Some(ch) = ch {
                     if ok {
-                        ch.on_recv(cqe.wr_id as u32, cqe.byte_len);
+                        // CQE delivered to software: the span enters its
+                        // final, application-side stage.
+                        xrdma_telemetry::span_mark!(cqe.span, App);
+                        ch.on_recv(cqe.wr_id as u32, cqe.byte_len, cqe.span);
                     }
                     // Flush errors on receive need no action: teardown is
                     // driven from the send side / keepalive.

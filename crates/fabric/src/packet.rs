@@ -3,6 +3,8 @@
 use std::any::Any;
 use std::fmt;
 
+use xrdma_telemetry::SpanToken;
+
 /// Number of 802.1p priority classes per port.
 pub const NPRIO: usize = 8;
 
@@ -64,6 +66,13 @@ pub struct Packet {
     /// Stable per-flow value used for ECMP path selection. All packets of
     /// one RC queue pair share it, which preserves in-order delivery.
     pub flow_hash: u64,
+    /// Causal span riding this packet (the last fragment of a traced
+    /// message; `NONE` otherwise). Zero-sized with telemetry off.
+    pub span: SpanToken,
+    /// When this packet entered the egress queue of the port currently
+    /// carrying it — restamped at every hop, so each per-hop span child
+    /// covers that hop's queueing + serialization + propagation.
+    pub hop_started_ns: u64,
     /// Opaque upper-layer body.
     pub body: Box<dyn Any>,
 }
@@ -87,6 +96,8 @@ impl Packet {
             ecn_capable: true,
             ecn_marked: false,
             flow_hash,
+            span: SpanToken::NONE,
+            hop_started_ns: 0,
             body,
         }
     }

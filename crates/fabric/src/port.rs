@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 use std::rc::{Rc, Weak};
 
 use xrdma_sim::{time::wire_time, Dur, World};
-use xrdma_telemetry::tele;
+use xrdma_telemetry::{span_hop, tele};
 
 use crate::fabric::NicSink;
 use crate::packet::{Packet, NPRIO};
@@ -153,7 +153,10 @@ impl Port {
     /// Enqueue a packet for transmission. `ingress` is the owning switch's
     /// ingress index the packet arrived by (`usize::MAX` for host ports).
     /// Returns false (and counts a drop) if the priority queue is full.
-    pub(crate) fn enqueue(self: &Rc<Self>, pkt: Packet, ingress: usize) -> bool {
+    pub(crate) fn enqueue(self: &Rc<Self>, mut pkt: Packet, ingress: usize) -> bool {
+        // Restamp the hop clock: each traversed port measures its own
+        // queueing + serialization + propagation in the packet's span.
+        pkt.hop_started_ns = self.world.now().nanos();
         let prio = pkt.prio as usize;
         let size = pkt.size_bytes as u64;
         // Edge fault hooks: a scheduled fault window on this port's label
@@ -292,7 +295,9 @@ impl Port {
             PortDest::Switch { sw, ingress } => {
                 let sw = sw.clone();
                 let ingress = *ingress;
+                let label = self.label.clone();
                 self.world.schedule_in(self.prop_delay, move || {
+                    record_hop(&label, &pkt);
                     if let Some(sw) = sw.upgrade() {
                         sw.receive(pkt, ingress);
                     }
@@ -301,8 +306,10 @@ impl Port {
             PortDest::Host { sink } => {
                 let sink = sink.borrow().clone();
                 let stats = self.stats.clone();
+                let label = self.label.clone();
                 self.world.schedule_in(self.prop_delay, move || {
                     stats.on_delivered(pkt.size_bytes);
+                    record_hop(&label, &pkt);
                     if let Some(sink) = sink.as_ref().and_then(Weak::upgrade) {
                         sink.deliver(pkt);
                     }
@@ -322,6 +329,13 @@ impl Port {
             }
         }
     }
+}
+
+/// Record one per-hop span child at delivery time (end of propagation).
+/// Underscore names keep the no-telemetry build warning-free — the macro
+/// expands to nothing there.
+fn record_hop(_label: &std::sync::Arc<str>, _pkt: &Packet) {
+    span_hop!(_pkt.span, _label, _pkt.hop_started_ns);
 }
 
 #[cfg(test)]

@@ -35,8 +35,9 @@
 //! * **D5 `unwrap-in-api`** — `unwrap()`/`expect()` on public API paths
 //!   of `xrdma-core`/`xrdma-rnic` must become `XrdmaError`/`VerbsError`
 //!   results (internal invariants go through `debug_invariants`).
-//! * **T1 `raw-telemetry-emit`** — telemetry goes through the `tele!`
-//!   macro; direct `emit_raw` calls defeat zero-overhead-when-off.
+//! * **T1 `raw-telemetry-emit`** — telemetry goes through the `tele!` and
+//!   `span_*!` macros; direct `emit_raw`/`span_*_raw` calls defeat
+//!   zero-overhead-when-off.
 //! * **F1 `ungated-fault-hook`** — every `xrdma_faults::` hook must sit
 //!   structurally under `#[cfg(feature = "faults")]`.
 //! * **P1 `hot-path-alloc`** — no per-packet heap allocation in the
@@ -103,8 +104,10 @@ pub enum Rule {
     IntraWorldParallelism,
     /// D5: unwrap/expect on public API paths.
     UnwrapInApi,
-    /// T1: telemetry emitted around the `tele!` macro (direct `emit_raw`
-    /// calls), which would defeat the zero-overhead-when-off contract.
+    /// T1: telemetry emitted around the `tele!`/`span_*!` macros (direct
+    /// `emit_raw` or `span_open_raw`/`span_mark_raw`/`span_hop_raw`/
+    /// `span_end_raw` calls), which would defeat the
+    /// zero-overhead-when-off contract.
     RawTelemetry,
     /// F1: a fault-injection hook (`xrdma_faults::...`) not under
     /// `#[cfg(feature = "faults")]`, which would leave injection code in
@@ -782,6 +785,35 @@ mod tests {
         let src = "pub fn emit_raw(kind: EventKind) {}";
         assert!(run(src, TELEMETRY_CRATE_RULES).is_empty());
         assert_eq!(run(src, SIM_RULES).len(), 1);
+    }
+
+    #[test]
+    fn t1_catches_raw_span_calls() {
+        for call in [
+            "xrdma_telemetry::hub::span_open_raw(0, 1, 2, 64)",
+            "xrdma_telemetry::hub::span_mark_raw(tok, Stage::Rx)",
+            "hub::span_hop_raw(tok, &label, t0)",
+            "span_end_raw(tok, now)",
+        ] {
+            let v = run(&format!("fn f() {{ {call}; }}"), SIM_RULES);
+            assert_eq!(v.len(), 1, "{call}: {v:?}");
+            assert_eq!(v[0].rule, Rule::RawTelemetry);
+        }
+    }
+
+    #[test]
+    fn t1_ignores_span_macros_and_lookalikes() {
+        assert!(run("fn f() { span_mark!(tok, Rx); }", SIM_RULES).is_empty());
+        assert!(run("fn f() { span_end!(tok, now); }", SIM_RULES).is_empty());
+        assert!(run("// span_open_raw is the hub's entry point", SIM_RULES).is_empty());
+        assert!(run("fn span_open_raw_counts() {}", SIM_RULES).is_empty());
+        // The telemetry crate defines the raw span entry points, like
+        // `emit_raw`.
+        assert!(run(
+            "pub fn span_mark_raw(tok: SpanToken, stage: Stage) {}",
+            TELEMETRY_CRATE_RULES
+        )
+        .is_empty());
     }
 
     #[test]

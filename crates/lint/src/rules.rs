@@ -209,14 +209,24 @@ fn intra_world_parallelism(ctx: &FileCtx, out: &mut Vec<Violation>) {
 }
 
 fn raw_telemetry(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    // The raw span entry points share `emit_raw`'s contract: stack code
+    // goes through the `span_open!`/`span_mark!`/`span_hop!`/`span_end!`
+    // macros, whose expansions vanish in telemetry-off builds.
+    const RAW_ENTRY_POINTS: [&str; 5] = [
+        "emit_raw",
+        "span_open_raw",
+        "span_mark_raw",
+        "span_hop_raw",
+        "span_end_raw",
+    ];
     for (i, t) in ctx.tokens.iter().enumerate() {
-        if live(ctx, i) && t.is_ident("emit_raw") {
+        if live(ctx, i) && RAW_ENTRY_POINTS.iter().any(|name| t.is_ident(name)) {
             ctx.hit(
                 out,
                 Rule::RawTelemetry,
                 t.line,
-                "direct `emit_raw` call bypasses the `tele!` macro; events emitted \
-                 outside the macro are not compiled out in telemetry-off builds"
+                "direct raw telemetry call bypasses the `tele!`/`span_*!` macros; \
+                 emission outside the macros is not compiled out in telemetry-off builds"
                     .to_string(),
             );
         }

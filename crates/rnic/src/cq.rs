@@ -13,6 +13,7 @@ use std::collections::{BTreeSet, VecDeque};
 use std::rc::Rc;
 
 use crate::verbs::{Qpn, WrId};
+use xrdma_telemetry::SpanToken;
 
 /// Completion status, mirroring the interesting subset of `ibv_wc_status`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +57,9 @@ pub struct Cqe {
     pub byte_len: u64,
     pub imm: Option<u32>,
     pub qpn: Qpn,
+    /// Causal span of the operation this CQE completes (receive CQEs carry
+    /// the sender's span across; local completions are `NONE`).
+    pub span: SpanToken,
 }
 
 /// A completion queue shared by many QPs, with bounded depth and one-shot
@@ -245,6 +249,7 @@ mod tests {
             byte_len: 0,
             imm: None,
             qpn: Qpn(1),
+            span: SpanToken::NONE,
         }
     }
 

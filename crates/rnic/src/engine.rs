@@ -34,7 +34,7 @@ use xrdma_fabric::packet::{PRIO_CTRL, PRIO_RDMA};
 use xrdma_fabric::port::Port;
 use xrdma_fabric::{Fabric, NicSink, NodeId, Packet};
 use xrdma_sim::{Dur, SimRng, Time, World};
-use xrdma_telemetry::tele;
+use xrdma_telemetry::{span_mark, tele, SpanToken};
 
 use crate::config::{PageKind, RnicConfig};
 use crate::cq::{CompletionQueue, Cqe, CqeOpcode, CqeStatus};
@@ -456,6 +456,7 @@ impl Rnic {
             return Err(VerbsError::InvalidState("post_send requires RTS"));
         }
         wr.validate()?;
+        span_mark!(wr.span, Doorbell);
         {
             let mut tx = qp.tx.borrow_mut();
             if tx.sq.len() >= qp.caps.max_send_wr {
@@ -488,6 +489,9 @@ impl Rnic {
             return Err(VerbsError::InvalidState("post_send requires RTS"));
         }
         SendWr::validate_all(&wrs)?;
+        for _wr in &wrs {
+            span_mark!(_wr.span, Doorbell);
+        }
         {
             let mut tx = qp.tx.borrow_mut();
             if tx.sq.len() + wrs.len() > qp.caps.max_send_wr {
@@ -734,6 +738,9 @@ impl Rnic {
         if !msg.started {
             msg.started = true;
             extra += self.cfg.wqe_process;
+            // Retransmits reset `started`, so a replay re-enters the WQE
+            // stage — the span's stage residencies accumulate per stage.
+            span_mark!(msg.wr.span, Wqe);
         }
         let (remote_node, _remote_qpn) = qp.remote().expect("RTS implies remote");
         let dst_qpn = qp.remote().unwrap().1;
@@ -779,6 +786,7 @@ impl Rnic {
                     dst: remote_node,
                     extra,
                     prio: PRIO_RDMA,
+                    span: SpanToken::NONE,
                 });
             }
             SendOp::FetchAdd(operand) => {
@@ -815,6 +823,7 @@ impl Rnic {
                     dst: remote_node,
                     extra,
                     prio: PRIO_RDMA,
+                    span: SpanToken::NONE,
                 });
             }
             SendOp::CompareSwap { expect, swap } => {
@@ -851,6 +860,7 @@ impl Rnic {
                     dst: remote_node,
                     extra,
                     prio: PRIO_RDMA,
+                    span: SpanToken::NONE,
                 });
             }
             SendOp::Send | SendOp::Write | SendOp::WriteImm => {}
@@ -936,6 +946,9 @@ impl Rnic {
             data,
         };
         msg.sent_off = off + frag_len as u64;
+        // Only the final fragment carries the span across the wire — one
+        // hop/RX record per message, not per MTU fragment.
+        let seg_span = if last { msg.wr.span } else { SpanToken::NONE };
         if last {
             // Message fully on the wire: move to the unacked window.
             let msg = if retx {
@@ -965,6 +978,7 @@ impl Rnic {
             dst: remote_node,
             extra,
             prio: PRIO_RDMA,
+            span: seg_span,
         })
     }
 
@@ -987,6 +1001,7 @@ impl Rnic {
                     dst: remote_node,
                     extra: Dur::ZERO,
                     prio: PRIO_RDMA,
+                    span: SpanToken::NONE,
                 })
             }
             RespJob::Read {
@@ -1026,6 +1041,7 @@ impl Rnic {
                     dst: remote_node,
                     extra: Dur::ZERO,
                     prio: PRIO_RDMA,
+                    span: SpanToken::NONE,
                 })
             }
         }
@@ -1052,7 +1068,7 @@ impl Rnic {
         let pace = xrdma_sim::time::wire_time(wire_size as u64, rate);
         qp.next_allowed.set(now + delay + pace);
 
-        let pkt = Packet::new(
+        let mut pkt = Packet::new(
             self.node,
             seg.dst,
             seg.prio,
@@ -1064,11 +1080,17 @@ impl Rnic {
                 bth: seg.bth,
             }) as Box<dyn Any>,
         );
+        pkt.span = seg.span;
         if delay == Dur::ZERO {
+            // The WQE stage ends when the last fragment actually reaches
+            // the wire, so pipeline/pacing delays land in `wqe`, not
+            // `fabric`.
+            span_mark!(pkt.span, Fabric);
             self.port().send(pkt);
         } else {
             let port = self.port();
             self.world.schedule_in(delay, move || {
+                span_mark!(pkt.span, Fabric);
                 port.send(pkt);
             });
         }
@@ -1095,6 +1117,7 @@ impl Rnic {
                     byte_len: 0,
                     imm: None,
                     qpn: qp.qpn,
+                    span: msg.wr.span,
                 },
             );
         }
@@ -1261,6 +1284,7 @@ impl Rnic {
                             imm: None,
                             local: Some(p.local),
                             signaled: p.signaled,
+                            span: SpanToken::NONE,
                         },
                         seq: s,
                         sent_off: 0,
@@ -1363,6 +1387,7 @@ impl Rnic {
                     byte_len: 0,
                     imm: None,
                     qpn: qp.qpn,
+                    span: SpanToken::NONE,
                 },
             );
         };
@@ -1403,6 +1428,7 @@ impl Rnic {
                     byte_len: 0,
                     imm: None,
                     qpn: qp.qpn,
+                    span: SpanToken::NONE,
                 },
             );
         }
@@ -1517,6 +1543,7 @@ impl Rnic {
         remote: Option<(u64, u32)>,
         imm: Option<u32>,
         data: FragData,
+        span: SpanToken,
     ) {
         if !qp.can_recv() {
             return;
@@ -1715,6 +1742,9 @@ impl Rnic {
                 } else {
                     CqeOpcode::Recv
                 };
+                // Marked before push so a fault-injected CQE stall
+                // (`CqeDelay`) is attributed to the `cqe` stage.
+                span_mark!(span, Cqe);
                 self.push_cqe(
                     &qp.recv_cq,
                     Cqe {
@@ -1724,6 +1754,7 @@ impl Rnic {
                         byte_len: total_len,
                         imm,
                         qpn: qp.qpn,
+                        span,
                     },
                 );
             }
@@ -1776,6 +1807,7 @@ impl Rnic {
                     byte_len,
                     imm: None,
                     qpn: qp.qpn,
+                    span: SpanToken::NONE,
                 },
             );
         }
@@ -1824,6 +1856,7 @@ impl Rnic {
                             byte_len: 0,
                             imm: None,
                             qpn: qp.qpn,
+                            span: u.wr.span,
                         },
                     );
                 }
@@ -2025,6 +2058,7 @@ impl Rnic {
                         byte_len: p.total,
                         imm: None,
                         qpn: qp.qpn,
+                        span: SpanToken::NONE,
                     },
                 );
             }
@@ -2050,6 +2084,7 @@ impl Rnic {
                         byte_len: 8,
                         imm: None,
                         qpn: qp.qpn,
+                        span: SpanToken::NONE,
                     },
                 );
             }
@@ -2112,6 +2147,9 @@ struct Seg {
     dst: NodeId,
     extra: Dur,
     prio: u8,
+    /// Span riding the last fragment of a message onto the wire (`NONE`
+    /// for non-final fragments and control-plane segments).
+    span: SpanToken,
 }
 
 fn op_to_cqe(op: &SendOp) -> CqeOpcode {
@@ -2160,6 +2198,8 @@ impl NicSink for Rnic {
                         );
                         copy.ecn_capable = pkt.ecn_capable;
                         copy.ecn_marked = pkt.ecn_marked;
+                        copy.span = pkt.span;
+                        copy.hop_started_ns = pkt.hop_started_ns;
                         self.stats.borrow_mut().fault_rx_dups += 1;
                         let me2 = me.clone();
                         self.world
@@ -2210,6 +2250,7 @@ impl Rnic {
     fn deliver_filtered(self: &Rc<Self>, pkt: Packet) {
         let me = self.clone();
         let mut pkt = pkt;
+        let span = pkt.span;
         let tb = match pkt.body.downcast::<TokenedBth>() {
             Ok(tb) => *tb,
             Err(other) => {
@@ -2268,9 +2309,13 @@ impl Rnic {
                 data,
                 ..
             } => {
+                if last {
+                    // Wire transit ends here; RX-pipeline residency starts.
+                    span_mark!(span, Rx);
+                }
                 me.rx_process(qp, move |nic, qp| {
                     nic.handle_data(
-                        qp, msg_seq, op, frag_off, total_len, last, remote, imm, data,
+                        qp, msg_seq, op, frag_off, total_len, last, remote, imm, data, span,
                     );
                 });
             }

@@ -43,3 +43,6 @@ pub use engine::Rnic;
 pub use mem::{AccessFlags, Mr, Pd};
 pub use qp::{Qp, QpCaps, QpState, Srq};
 pub use verbs::{RecvWr, SendOp, SendWr, VerbsError};
+/// Re-exported because `SendWr`/`Cqe` carry one: literal constructors in
+/// dependent crates need the type without a direct telemetry dependency.
+pub use xrdma_telemetry::SpanToken;

@@ -205,6 +205,8 @@ impl TcpStack {
             ecn_capable: false,
             ecn_marked: false,
             flow_hash: (self.node().0 as u64) << 32 | dst.0 as u64,
+            span: xrdma_telemetry::SpanToken::NONE,
+            hop_started_ns: 0,
             body: Box::new(seg) as Box<dyn Any>,
         };
         let fabric = self.fabric.clone();

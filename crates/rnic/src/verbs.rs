@@ -2,6 +2,7 @@
 
 use bytes::Bytes;
 use std::fmt;
+use xrdma_telemetry::SpanToken;
 
 /// Queue-pair number, unique per node.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -131,6 +132,9 @@ pub struct SendWr {
     pub local: Option<(u64, u32)>,
     /// Whether a success CQE is generated (errors always complete).
     pub signaled: bool,
+    /// Causal span riding this WR through coalescing, segmentation and
+    /// retransmission (DESIGN.md §8). Zero-sized with telemetry off.
+    pub span: SpanToken,
 }
 
 impl SendWr {
@@ -143,6 +147,7 @@ impl SendWr {
             imm: None,
             local: None,
             signaled: true,
+            span: SpanToken::NONE,
         }
     }
 
@@ -162,6 +167,7 @@ impl SendWr {
             imm: None,
             local: None,
             signaled: true,
+            span: SpanToken::NONE,
         }
     }
 
@@ -195,6 +201,7 @@ impl SendWr {
             imm: None,
             local: Some((local_addr, lkey)),
             signaled: true,
+            span: SpanToken::NONE,
         }
     }
 
@@ -307,6 +314,7 @@ mod tests {
             imm: None,
             local: None,
             signaled: true,
+            span: SpanToken::NONE,
         };
         assert!(wr.validate().is_ok());
     }
@@ -321,6 +329,7 @@ mod tests {
             imm: None,
             local: None,
             signaled: true,
+            span: SpanToken::NONE,
         };
         assert!(wr.validate().is_err());
         let wr = SendWr {
@@ -331,6 +340,7 @@ mod tests {
             imm: None,
             local: None,
             signaled: true,
+            span: SpanToken::NONE,
         };
         assert!(matches!(wr.validate(), Err(VerbsError::BadWorkRequest(_))));
     }

@@ -278,6 +278,7 @@ fn peer_crash_detected_by_retry_timeout() {
             imm: None,
             local: None,
             signaled: true,
+            span: xrdma_rnic::SpanToken::NONE,
         },
     )
     .unwrap();
@@ -301,6 +302,7 @@ fn zero_byte_probe_acked_when_alive() {
             imm: None,
             local: None,
             signaled: true,
+            span: xrdma_rnic::SpanToken::NONE,
         },
     )
     .unwrap();
@@ -361,6 +363,7 @@ fn atomics_fetch_add_and_cas() {
             imm: None,
             local: Some((sink.addr, sink.lkey)),
             signaled: true,
+            span: xrdma_rnic::SpanToken::NONE,
         },
     )
     .unwrap();
@@ -391,6 +394,7 @@ fn atomics_fetch_add_and_cas() {
             imm: None,
             local: Some((sink.addr, sink.lkey)),
             signaled: true,
+            span: xrdma_rnic::SpanToken::NONE,
         },
     )
     .unwrap();

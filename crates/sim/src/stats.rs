@@ -111,6 +111,13 @@ impl Histogram {
         self.max
     }
 
+    /// Exact sum of all recorded values (not quantized). This is what lets
+    /// per-stage span histograms reconcile with end-to-end latency to the
+    /// nanosecond even though percentiles are log-bucketed.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Arithmetic mean (exact, not quantized).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {

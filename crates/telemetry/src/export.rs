@@ -10,6 +10,7 @@ use xrdma_sim::stats::{SeriesKind, TimeSeries};
 use xrdma_sim::Dur;
 
 use crate::event::{Event, EventKind};
+use crate::span::SpanNode;
 
 /// One compact JSON object per line, trailing newline included.
 pub fn to_jsonl(events: &[Event]) -> String {
@@ -73,6 +74,90 @@ pub fn chrome_trace(events: &[Event]) -> String {
             buf.push_str("}}");
             push(&buf, &mut out);
         }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Span trees as JSONL: one [`SpanNode`] object per line, in close order
+/// (root first within each tree). Deterministic byte-for-byte across
+/// same-seed runs, like [`to_jsonl`].
+pub fn spans_to_jsonl(nodes: &[SpanNode]) -> String {
+    let mut out = String::new();
+    for n in nodes {
+        n.json_into(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Chrome-trace track index per span-node kind: the root `op` plus each
+/// pipeline stage gets its own lane, hops share a ninth.
+fn span_track(name: &str) -> u64 {
+    match name {
+        "op" => 0,
+        "submit" => 1,
+        "doorbell" => 2,
+        "wqe" => 3,
+        "fabric" => 4,
+        "rx" => 5,
+        "cqe" => 6,
+        "app" => 7,
+        _ => 8, // hop
+    }
+}
+
+/// Span trees as Chrome `trace_event` JSON: nested `B`/`E` duration pairs,
+/// `pid` = origin node, one `tid` track per stage (hops on their own
+/// track). Events are sorted by timestamp with `E` before `B` at equal
+/// instants, so back-to-back spans on one track close before the next
+/// opens; ties are broken by input order, keeping the output
+/// deterministic.
+pub fn spans_chrome_trace(nodes: &[SpanNode]) -> String {
+    // (ts_ns, phase_rank, input_ordinal, rendered event)
+    let mut evs: Vec<(u64, u8, usize, String)> = Vec::with_capacity(nodes.len() * 2);
+    for (i, n) in nodes.iter().enumerate() {
+        let pid = u64::from(n.node);
+        let tid = span_track(n.name);
+        let mut b = String::from("{\"name\":");
+        match &n.label {
+            Some(label) => write_json_str(&format!("{}:{}", n.name, label), &mut b),
+            None => write_json_str(n.name, &mut b),
+        }
+        b.push_str(",\"ph\":\"B\",\"pid\":");
+        pid.json_into(&mut b);
+        b.push_str(",\"tid\":");
+        tid.json_into(&mut b);
+        b.push_str(",\"ts\":");
+        (n.start_ns as f64 / 1000.0).json_into(&mut b);
+        b.push_str(",\"args\":{\"id\":");
+        n.id.json_into(&mut b);
+        b.push_str(",\"qpn\":");
+        u64::from(n.qpn).json_into(&mut b);
+        b.push_str(",\"seq\":");
+        u64::from(n.seq).json_into(&mut b);
+        b.push_str(",\"bytes\":");
+        n.bytes.json_into(&mut b);
+        b.push_str("}}");
+        evs.push((n.start_ns, 1, i, b));
+        let mut e = String::from("{\"ph\":\"E\",\"pid\":");
+        pid.json_into(&mut e);
+        e.push_str(",\"tid\":");
+        tid.json_into(&mut e);
+        e.push_str(",\"ts\":");
+        (n.end_ns as f64 / 1000.0).json_into(&mut e);
+        e.push('}');
+        // Zero-duration spans still open before they close.
+        let rank = if n.end_ns == n.start_ns { 2 } else { 0 };
+        evs.push((n.end_ns, rank, i, e));
+    }
+    evs.sort();
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, (_, _, _, s)) in evs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(s);
     }
     out.push_str("]}");
     out
@@ -172,5 +257,52 @@ mod tests {
     fn csv_rows() {
         let s = series_csv("cnps_per_s", &[(0.0, 1.0), (0.5, 2.0)]);
         assert_eq!(s, "t_secs,cnps_per_s\n0,1\n0.5,2\n");
+    }
+
+    fn span_nodes() -> Vec<SpanNode> {
+        let mk = |id, parent, name: &'static str, start, end| SpanNode {
+            id,
+            parent,
+            name,
+            label: None,
+            start_ns: start,
+            end_ns: end,
+            node: 2,
+            qpn: 5,
+            seq: 1,
+            bytes: 64,
+        };
+        vec![
+            mk(11, None, "op", 1_000, 4_000),
+            mk(21, Some(11), "submit", 1_000, 2_000),
+            mk(22, Some(11), "app", 2_000, 4_000),
+        ]
+    }
+
+    #[test]
+    fn span_jsonl_one_line_per_node() {
+        let s = spans_to_jsonl(&span_nodes());
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.starts_with("{\"id\":11,\"parent\":null,\"name\":\"op\""));
+        assert!(s.contains("\"parent\":11"));
+    }
+
+    #[test]
+    fn span_chrome_trace_nests_b_e_pairs() {
+        let s = spans_chrome_trace(&span_nodes());
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.ends_with("]}"));
+        assert_eq!(s.matches("\"ph\":\"B\"").count(), 3);
+        assert_eq!(s.matches("\"ph\":\"E\"").count(), 3);
+        // One track per stage: op=0, submit=1, app=7.
+        assert!(s.contains("\"tid\":0"));
+        assert!(s.contains("\"tid\":1"));
+        assert!(s.contains("\"tid\":7"));
+        // The submit E (ts=2) sorts before the app B (ts=2) on equal ts.
+        let e_sub = s
+            .find("{\"ph\":\"E\",\"pid\":2,\"tid\":1,\"ts\":2.0}")
+            .unwrap();
+        let b_app = s.find("\"tid\":7,\"ts\":2.0,").unwrap();
+        assert!(e_sub < b_app, "E closes before the next B opens: {s}");
     }
 }

@@ -37,6 +37,15 @@ pub struct HubConfig {
     pub packet_level: bool,
     /// Flight-recorder ring capacity.
     pub ring_capacity: usize,
+    /// Retain every closed span tree for export (span JSONL / Chrome
+    /// trace). Slow-op forensics and the latency-breakdown histograms work
+    /// regardless.
+    pub capture_spans: bool,
+    /// End-to-end latency (ns) at or above which an operation's full span
+    /// tree is retained in the slow-op store.
+    pub slow_span_ns: u64,
+    /// Bounded slow-op store capacity (whole trees; oldest dropped first).
+    pub slow_span_capacity: usize,
 }
 
 impl Default for HubConfig {
@@ -45,6 +54,9 @@ impl Default for HubConfig {
             capture_log: true,
             packet_level: false,
             ring_capacity: 256,
+            capture_spans: true,
+            slow_span_ns: 1_000_000,
+            slow_span_capacity: 32,
         }
     }
 }
@@ -55,6 +67,9 @@ pub struct TelemetryHub {
     events: RefCell<Vec<Event>>,
     recorder: RefCell<FlightRecorder>,
     metrics: MetricsRegistry,
+    /// Causal span bookkeeping (DESIGN.md §8).
+    #[cfg(feature = "telemetry")]
+    spans: RefCell<crate::span::SpanTracker>,
     /// The most recent flight-recorder dump, kept for tests and reports.
     last_dump: RefCell<Option<Vec<Event>>>,
 }
@@ -75,6 +90,12 @@ impl TelemetryHub {
             events: RefCell::new(Vec::new()),
             recorder: RefCell::new(FlightRecorder::new(cfg.ring_capacity)),
             metrics: MetricsRegistry::new(),
+            #[cfg(feature = "telemetry")]
+            spans: RefCell::new(crate::span::SpanTracker::new(
+                cfg.capture_spans,
+                cfg.slow_span_ns,
+                cfg.slow_span_capacity,
+            )),
             last_dump: RefCell::new(None),
         });
         CURRENT.with(|c| *c.borrow_mut() = Some(hub.clone()));
@@ -103,6 +124,15 @@ impl TelemetryHub {
             t: self.world.now(),
             kind,
         };
+        // The slow-op tracer retains any span that was in flight across a
+        // watchdog violation, whatever its own latency.
+        #[cfg(feature = "telemetry")]
+        if matches!(
+            &ev.kind,
+            EventKind::PollGap { .. } | EventKind::SlowOp { .. }
+        ) {
+            self.spans.borrow_mut().note_violation(ev.t.nanos());
+        }
         self.recorder.borrow_mut().push(ev.clone());
         let abnormal_close = matches!(
             &ev.kind,
@@ -133,12 +163,15 @@ impl TelemetryHub {
     }
 
     /// Write the flight-recorder contents to stderr (JSONL) and remember
-    /// them in `last_dump`.
+    /// them in `last_dump`. Retained slow-op span trees are dumped
+    /// alongside — the two together are the §VI "black box".
     pub fn dump_flight_recorder(&self, why: &str) {
         let snap = self.recorder.borrow().snapshot();
         let total = self.recorder.borrow().total_seen();
+        let dropped = self.recorder.borrow().dropped();
         eprintln!(
-            "[xrdma-telemetry] flight recorder dump ({why}): last {} of {} events at {}",
+            "[xrdma-telemetry] flight recorder dump ({why}): last {} of {} events \
+             ({dropped} dropped by ring wrap) at {}",
             snap.len(),
             total,
             self.world.now()
@@ -149,11 +182,130 @@ impl TelemetryHub {
             ev.json_into(&mut line);
             eprintln!("[xrdma-telemetry] {line}");
         }
+        #[cfg(feature = "telemetry")]
+        {
+            let trees = self.spans.borrow().slow_trees();
+            if !trees.is_empty() {
+                eprintln!(
+                    "[xrdma-telemetry] slow-op spans: {} retained tree(s), {} dropped",
+                    trees.len(),
+                    self.spans.borrow().slow_dropped()
+                );
+                for tree in &trees {
+                    for node in tree {
+                        line.clear();
+                        node.json_into(&mut line);
+                        eprintln!("[xrdma-telemetry] {line}");
+                    }
+                }
+            }
+        }
         *self.last_dump.borrow_mut() = Some(snap);
     }
 
     pub fn last_dump(&self) -> Option<Vec<Event>> {
         self.last_dump.borrow().clone()
+    }
+
+    /// Flight-recorder occupancy: `(kept, total_seen, dropped)`. Dropped
+    /// events were overwritten by the bounded ring's wrap — xr-stat
+    /// surfaces this so a truncated black box is never mistaken for a
+    /// complete one.
+    pub fn recorder_occupancy(&self) -> (usize, u64, u64) {
+        let r = self.recorder.borrow();
+        (r.len(), r.total_seen(), r.dropped())
+    }
+
+    // ------------------------------------------------------------------
+    // Causal spans (DESIGN.md §8). The query surface exists regardless of
+    // the feature so consumers (xr-stat, benches) need no cfg; with
+    // telemetry compiled out everything is empty.
+    // ------------------------------------------------------------------
+
+    /// Flattened nodes of every closed span tree, in close order.
+    pub fn span_nodes(&self) -> Vec<crate::span::SpanNode> {
+        #[cfg(feature = "telemetry")]
+        {
+            self.spans.borrow().closed_nodes()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Retained slow-op span trees (each a flattened root-first node list).
+    pub fn slow_span_trees(&self) -> Vec<Vec<crate::span::SpanNode>> {
+        #[cfg(feature = "telemetry")]
+        {
+            self.spans.borrow().slow_trees()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Slow-op trees evicted from the bounded store.
+    pub fn slow_span_dropped(&self) -> u64 {
+        #[cfg(feature = "telemetry")]
+        {
+            self.spans.borrow().slow_dropped()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            0
+        }
+    }
+
+    /// Per-stage latency breakdown (one row per [`crate::span::Stage`] in
+    /// pipeline order, then a final `e2e` row). Stably ordered.
+    pub fn latency_breakdown(&self) -> Vec<crate::span::StageStat> {
+        #[cfg(feature = "telemetry")]
+        {
+            self.spans.borrow().breakdown()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            Vec::new()
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn span_open(
+        &self,
+        node: u32,
+        qpn: u32,
+        seq: u32,
+        bytes: u64,
+    ) -> crate::span::SpanToken {
+        self.spans
+            .borrow_mut()
+            .open(self.world.now().nanos(), node, qpn, seq, bytes)
+    }
+
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn span_mark(&self, tok: crate::span::SpanToken, stage: crate::span::Stage) {
+        self.spans
+            .borrow_mut()
+            .mark(tok, stage, self.world.now().nanos());
+    }
+
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn span_hop(
+        &self,
+        tok: crate::span::SpanToken,
+        label: &std::sync::Arc<str>,
+        started_ns: u64,
+    ) {
+        self.spans
+            .borrow_mut()
+            .hop(tok, label, started_ns, self.world.now().nanos());
+    }
+
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn span_end(&self, tok: crate::span::SpanToken, end_ns: u64) {
+        self.spans.borrow_mut().end(tok, end_ns);
     }
 
     /// Schedule `f(hub)` every `period` of virtual time, starting one
@@ -234,4 +386,47 @@ pub fn emit_raw(kind: EventKind) {
 pub fn with_active<R>(f: impl FnOnce(&TelemetryHub) -> R) -> Option<R> {
     let hub = CURRENT.with(|c| c.borrow().clone());
     hub.map(|h| f(&h))
+}
+
+/// Open a span tree for one operation and return its root token. Do not
+/// call from stack code — use `span_open!` (enforced by the
+/// `raw-telemetry-emit` lint rule, like `emit_raw`).
+#[cfg(feature = "telemetry")]
+pub fn span_open_raw(node: u32, qpn: u32, seq: u32, bytes: u64) -> crate::span::SpanToken {
+    let hub = CURRENT.with(|c| c.borrow().clone());
+    match hub {
+        Some(h) => h.span_open(node, qpn, seq, bytes),
+        None => crate::span::SpanToken::NONE,
+    }
+}
+
+/// Close the open stage and enter `stage`, at the current virtual time.
+/// Do not call from stack code — use `span_mark!`.
+#[cfg(feature = "telemetry")]
+pub fn span_mark_raw(tok: crate::span::SpanToken, stage: crate::span::Stage) {
+    let hub = CURRENT.with(|c| c.borrow().clone());
+    if let Some(h) = hub {
+        h.span_mark(tok, stage);
+    }
+}
+
+/// Record one per-hop fabric transit that started at `started_ns` and
+/// ends now. Do not call from stack code — use `span_hop!`.
+#[cfg(feature = "telemetry")]
+pub fn span_hop_raw(tok: crate::span::SpanToken, label: &std::sync::Arc<str>, started_ns: u64) {
+    let hub = CURRENT.with(|c| c.borrow().clone());
+    if let Some(h) = hub {
+        h.span_hop(tok, label, started_ns);
+    }
+}
+
+/// Complete an operation at `end_ns` (explicit, so the caller can charge
+/// handler CPU via `busy_until`). Do not call from stack code — use
+/// `span_end!`.
+#[cfg(feature = "telemetry")]
+pub fn span_end_raw(tok: crate::span::SpanToken, end_ns: u64) {
+    let hub = CURRENT.with(|c| c.borrow().clone());
+    if let Some(h) = hub {
+        h.span_end(tok, end_ns);
+    }
 }

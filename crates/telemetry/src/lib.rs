@@ -23,11 +23,13 @@ pub mod export;
 pub mod hub;
 pub mod metrics;
 pub mod recorder;
+pub mod span;
 
 pub use event::{Event, EventKind};
 pub use hub::{HubConfig, HubGuard, TelemetryHub};
 pub use metrics::MetricsRegistry;
 pub use recorder::FlightRecorder;
+pub use span::{SpanNode, SpanToken, Stage, StageStat};
 
 /// Emit a telemetry event, for free when telemetry is off.
 ///
@@ -50,6 +52,87 @@ macro_rules! tele {
             if $crate::hub::active() {
                 $crate::hub::emit_raw($crate::event::EventKind::$($ev)+);
             }
+        }
+    }};
+}
+
+/// Open a causal span for one operation (DESIGN.md §8), yielding its
+/// [`span::SpanToken`]. Expands to [`span::SpanToken::NONE`] — and
+/// evaluates no operands — unless the invoking crate's `telemetry` feature
+/// is on *and* a hub is installed, mirroring [`tele!`].
+#[macro_export]
+macro_rules! span_open {
+    ($node:expr, $qpn:expr, $seq:expr, $bytes:expr) => {{
+        #[cfg(feature = "telemetry")]
+        {
+            if $crate::hub::active() {
+                $crate::hub::span_open_raw($node, $qpn, $seq, $bytes)
+            } else {
+                $crate::span::SpanToken::NONE
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            $crate::span::SpanToken::NONE
+        }
+    }};
+}
+
+/// Close the open stage of `tok`'s span at the current virtual time and
+/// enter `Stage::$stage`. Free when telemetry is off; ignored for
+/// `SpanToken::NONE` and closed spans.
+///
+/// The feature-off arm captures the operands in a closure that is never
+/// called: nothing is evaluated, no code is generated, but bindings and
+/// struct fields named in the operands still count as used.
+#[macro_export]
+macro_rules! span_mark {
+    ($tok:expr, $stage:ident) => {{
+        #[cfg(feature = "telemetry")]
+        {
+            if $crate::hub::active() {
+                $crate::hub::span_mark_raw($tok, $crate::span::Stage::$stage);
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = || $tok;
+        }
+    }};
+}
+
+/// Record one per-hop fabric transit on `tok`'s span: started at
+/// `$started_ns`, ending now, labelled with the egress port.
+#[macro_export]
+macro_rules! span_hop {
+    ($tok:expr, $label:expr, $started_ns:expr) => {{
+        #[cfg(feature = "telemetry")]
+        {
+            if $crate::hub::active() {
+                $crate::hub::span_hop_raw($tok, $label, $started_ns);
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = || ($tok, $label, $started_ns);
+        }
+    }};
+}
+
+/// Complete `tok`'s span at the explicit instant `$end_ns` (callers pass
+/// `busy_until` so the final stage carries the handler's CPU charge).
+#[macro_export]
+macro_rules! span_end {
+    ($tok:expr, $end_ns:expr) => {{
+        #[cfg(feature = "telemetry")]
+        {
+            if $crate::hub::active() {
+                $crate::hub::span_end_raw($tok, $end_ns);
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = || ($tok, $end_ns);
         }
     }};
 }
@@ -177,6 +260,62 @@ mod tests {
         });
         let dump = guard.last_dump().expect("peer-dead close dumps");
         assert_eq!(dump.len(), 3);
+    }
+
+    /// The span macros share `tele!`'s compile-side zero-cost contract:
+    /// with the feature off they expand to nothing (`span_open!` to
+    /// `SpanToken::NONE`) and evaluate no operands.
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    // The `unreachable!` operands make the macros' never-called capture
+    // closures diverge mid-body, which trips `unreachable_code` even
+    // though nothing runs.
+    #[allow(unreachable_code)]
+    fn span_macros_are_no_ops_without_the_feature() {
+        let world = World::new();
+        let guard = TelemetryHub::install(&world, HubConfig::default());
+        let tok = span_open!(
+            unreachable!("operands must not be evaluated"),
+            0u32,
+            0u32,
+            0u64
+        );
+        assert!(tok.is_none());
+        span_mark!(tok, Rx);
+        span_end!(tok, unreachable!("operands must not be evaluated"));
+        assert!(guard.span_nodes().is_empty());
+        assert!(guard.latency_breakdown().is_empty());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn span_macros_build_trees_with_the_feature_on() {
+        let world = World::new();
+        let guard = TelemetryHub::install(&world, HubConfig::default());
+        let tok = span_open!(1u32, 4u32, 7u32, 64u64);
+        assert!(!tok.is_none());
+        world.run_for(Dur::micros(2));
+        span_mark!(tok, Doorbell);
+        world.run_for(Dur::micros(3));
+        span_end!(tok, world.now().nanos());
+        let nodes = guard.span_nodes();
+        assert_eq!(nodes.len(), 3, "root + submit + doorbell: {nodes:?}");
+        assert_eq!(nodes[0].name, "op");
+        assert_eq!(nodes[1].name, "submit");
+        assert_eq!(nodes[2].name, "doorbell");
+        let bd = guard.latency_breakdown();
+        assert_eq!(bd.last().unwrap().stage, "e2e");
+        assert_eq!(bd.last().unwrap().sum_ns, 5_000);
+        let stage_sum: u128 = bd[..bd.len() - 1].iter().map(|s| s.sum_ns).sum();
+        assert_eq!(stage_sum, 5_000);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn span_open_without_a_hub_yields_none() {
+        assert!(!hub::active());
+        let tok = span_open!(0u32, 0u32, 0u32, 0u64);
+        assert!(tok.is_none());
     }
 
     #[test]

@@ -58,6 +58,13 @@ impl FlightRecorder {
     pub fn total_seen(&self) -> u64 {
         self.seen
     }
+
+    /// Events lost to the ring wrap: pushed but no longer retrievable.
+    /// Surfaced in the dump header and xr-stat so a truncated black box
+    /// is never mistaken for a complete record.
+    pub fn dropped(&self) -> u64 {
+        self.seen - self.buf.len() as u64
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +90,18 @@ mod tests {
         let ts: Vec<u64> = snap.iter().map(|e| e.t.nanos()).collect();
         assert_eq!(ts, [6, 7, 8, 9]);
         assert_eq!(r.total_seen(), 10);
+        assert_eq!(r.dropped(), 6, "ring wrap counted, not silent");
+    }
+
+    #[test]
+    fn nothing_dropped_before_the_ring_wraps() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..4 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.dropped(), 0);
+        r.push(ev(4));
+        assert_eq!(r.dropped(), 1);
     }
 
     #[test]

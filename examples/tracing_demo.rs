@@ -3,20 +3,28 @@
 //! and catch a slow application with the poll-gap watchdog — the §VII-D
 //! case-study workflow end to end.
 //!
-//! Run with: `cargo run --example tracing_demo`
+//! Run with: `cargo run --example tracing_demo`. Build with
+//! `--features telemetry` and pass `-- --format json` for the xr-stat
+//! machine-readable latency-breakdown document.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use xrdma_analysis::clocksync::ClockSync;
+use xrdma_analysis::xrstat;
 use xrdma_analysis::{Filter, Tracer};
 use xrdma_core::{MsgMode, XrdmaChannel, XrdmaConfig, XrdmaContext};
 use xrdma_fabric::{Fabric, FabricConfig, NodeId};
 use xrdma_rnic::{CmConfig, ConnManager, RnicConfig};
 use xrdma_sim::{Dur, SimRng, World};
+use xrdma_telemetry::{HubConfig, TelemetryHub};
 
 fn main() {
     let world = World::new();
+    // Causal-span capture (DESIGN.md §8): with the `telemetry` feature off
+    // the hub still installs but every span macro compiles to nothing, so
+    // the breakdown at the end prints its empty marker.
+    let hub = TelemetryHub::install(&world, HubConfig::default());
     let rng = SimRng::new(11);
     let fabric = Fabric::new(world.clone(), FabricConfig::pair(), &rng);
     let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
@@ -123,5 +131,24 @@ fn main() {
         client.rnic().stats().retransmissions
     );
     assert_eq!(done.get(), 50);
+
+    // Step 5: xr-stat per-stage latency breakdown from the causal spans —
+    // where did each message's time go, submit through app? `--format json`
+    // emits the deterministic machine-readable document instead.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--format=json")
+        || args
+            .windows(2)
+            .any(|w| w[0] == "--format" && w[1] == "json");
+    if json {
+        print!("{}", xrstat::latency_breakdown_json(&hub));
+    } else {
+        print!(
+            "{}",
+            xrstat::render_latency_breakdown(&hub.latency_breakdown())
+        );
+        let (kept, seen, dropped) = hub.recorder_occupancy();
+        print!("{}", xrstat::render_recorder_status(kept, seen, dropped));
+    }
     println!("tracing_demo OK");
 }

@@ -22,6 +22,10 @@
 #            committed full-scale results/simperf.json stays untouched
 #   msgrate  smoke run of the CQ-batching/doorbell-coalescing message-rate
 #            sweep (batching on vs batch=1), same temp-dir discipline
+#   latbreak smoke run of the per-stage latency breakdown sweep (causal
+#            spans, DESIGN.md §8) — asserts stage sums telescope to the
+#            end-to-end sum; needs the telemetry feature, temp-dir
+#            discipline as above
 #   golden   the test legs must not have rewritten any committed golden
 #            file (catches an XRDMA_UPDATE_GOLDEN leak or a determinism
 #            break that slipped past the byte-compare tests)
@@ -47,6 +51,8 @@ run env XRDMA_SIMPERF_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
     cargo run -q --release -p xrdma-bench --features xrdma-bench/faults --bin simperf
 run env XRDMA_MSGRATE_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
     cargo run -q --release -p xrdma-bench --bin msgrate
-run git diff --exit-code -- tests/golden results/simperf.json results/msgrate.json results/lint.json
+run env XRDMA_LATBREAK_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
+    cargo run -q --release -p xrdma-bench --features xrdma-bench/telemetry --bin latbreak
+run git diff --exit-code -- tests/golden results/simperf.json results/msgrate.json results/lint.json results/latbreak.json
 
 echo "==> ci.sh: all gates passed"
