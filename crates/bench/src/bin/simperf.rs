@@ -16,6 +16,14 @@
 //!   regression", not a speedup claim.
 //! * **chaos** (`faults` feature) — the same incast with the sink's
 //!   downlink flapping, exercising retransmit-timer churn under load.
+//! * **shard-scaling** — the threaded lane engine (DESIGN.md §3.15): a
+//!   256-node keepalive-heavy incast on `ShardWorld` raced at
+//!   shards ∈ {1, 2, 4, 8}. Every shard count must execute the *same*
+//!   virtual event count (the hard determinism gate); the ≥4× speedup
+//!   target applies only where it is physically measurable — on hosts
+//!   with ≥8 cores — and is waived (with the core count printed) below
+//!   that, so single-core CI containers gate on correctness, not on a
+//!   speedup the hardware cannot express.
 //!
 //! Both kernels must execute the *same number of virtual events* for each
 //! workload — the differential-determinism check that makes the race
@@ -31,7 +39,7 @@ use std::time::Instant;
 use xrdma_bench::scenarios;
 use xrdma_bench::Report;
 use xrdma_core::XrdmaConfig;
-use xrdma_sim::{Dur, EventId, Kernel, World};
+use xrdma_sim::{Dur, EventId, Kernel, Time, World};
 
 /// One measured run: virtual events executed and the wall clock they took.
 struct Run {
@@ -158,6 +166,19 @@ fn chaos(kernel: Kernel, senders: u32, span: Dur) -> Run {
     }
 }
 
+/// The lane-engine reference incast (keepalives on every host, RPC
+/// pipelines into host 0) on the threaded `ShardWorld` at a given shard
+/// count.
+fn shard_scaling(nodes: usize, shards: usize, span: Dur) -> Run {
+    let mut w = xrdma_sim::shard::incast(nodes, shards, 42);
+    let t0 = Instant::now();
+    w.run_until(Time(span.as_nanos()));
+    Run {
+        events: w.total_executed(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
 fn main() {
     let smoke = smoke();
     let (churn_timers, churn_span) = if smoke {
@@ -221,7 +242,6 @@ fn main() {
         il.events == iw.events,
     );
 
-    #[cfg_attr(not(feature = "faults"), allow(unused_mut))]
     let mut series = vec![
         (
             "timer_churn_eps".to_string(),
@@ -260,6 +280,57 @@ fn main() {
             vec![(0.0, hl.eps()), (1.0, hw.eps())],
         ));
     }
+
+    let (shard_nodes, shard_span) = if smoke {
+        (64, Dur::millis(5))
+    } else {
+        (256, Dur::millis(50))
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let shard_counts = [1usize, 2, 4, 8];
+    let mut shard_runs = Vec::new();
+    for &s in &shard_counts {
+        shard_runs.push(shard_scaling(shard_nodes, s, shard_span));
+    }
+    let serial_run = &shard_runs[0];
+    let eight = shard_runs.last().expect("8-shard run");
+    let shard_speedup = eight.eps() / serial_run.eps().max(1e-9);
+    for (s, r) in shard_counts.iter().zip(&shard_runs) {
+        println!(
+            "shard-scaling  shards={s}  {:>12.0} ev/s   ({:.2}x vs serial)",
+            r.eps(),
+            r.eps() / serial_run.eps().max(1e-9)
+        );
+    }
+    rep.row(
+        "shard-scaling virtual events match",
+        "identical at shards 1/2/4/8",
+        shard_runs
+            .iter()
+            .map(|r| r.events.to_string())
+            .collect::<Vec<_>>()
+            .join("/"),
+        shard_runs.iter().all(|r| r.events == serial_run.events),
+    );
+    // The wall-clock target needs the silicon to exist: on a host with
+    // fewer than 8 cores, 8 lane workers time-slice one another and the
+    // ratio measures the scheduler, not the engine. The determinism row
+    // above still gates those hosts; this row gates the speedup wherever
+    // it is measurable.
+    rep.row(
+        "shard-scaling speedup (8 shards / serial, 256-node incast)",
+        ">=4x (waived below 8 cores)",
+        format!("{shard_speedup:.2}x on {cores} core(s)"),
+        shard_speedup >= 4.0 || cores < 8 || smoke,
+    );
+    series.push((
+        "shard_scaling_eps".to_string(),
+        shard_counts
+            .iter()
+            .zip(&shard_runs)
+            .map(|(&s, r)| (s as f64, r.eps()))
+            .collect(),
+    ));
 
     for (name, rows) in series {
         rep.series(&name, rows);

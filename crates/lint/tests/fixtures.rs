@@ -89,6 +89,61 @@ fn every_rule_is_silent_on_its_negative_fixture() {
     }
 }
 
+/// Live-fire regression for the S-family on lane roots (PR 8): each
+/// shard-safety rule has a second fixture pair built around a
+/// deliberately non-Send `EventLane` — Rc/RefCell/raw-pointer fields,
+/// thread-local lane singletons, a bare-`Time` mailbox heap — and must
+/// fire on it (and stay silent on the Send-contract-honoring twin).
+/// The baseline is header-only since this PR, so these fixtures are the
+/// only sanctioned place the S-rules see a violation at all.
+#[test]
+fn s_family_fires_on_non_send_lane_fixtures() {
+    for rule in [
+        Rule::NonSendShardState,
+        Rule::CrossShardStatic,
+        Rule::UnorderedMerge,
+    ] {
+        let pos = run_fixture(rule, "lane_pos");
+        assert!(
+            pos.violations.iter().any(|v| v.rule == rule),
+            "{}: lane-positive fixture produced no {} finding: {:?}",
+            rule.name(),
+            rule.name(),
+            pos.violations
+        );
+        let neg = run_fixture(rule, "lane_neg");
+        assert!(
+            neg.violations.is_empty(),
+            "{}: lane-negative fixture produced findings: {:?}",
+            rule.name(),
+            neg.violations
+        );
+        assert!(
+            neg.unused_allows.is_empty() && neg.malformed_allows.is_empty(),
+            "{}: lane-negative fixture produced allow noise",
+            rule.name()
+        );
+    }
+}
+
+/// The S1 lane-positive fixture fires on *every* poisoned field shape —
+/// the Rc, the aliased RefCell, and the raw pointer — not just one of
+/// them; a matcher regression that silently drops a shape would
+/// otherwise stay green.
+#[test]
+fn s1_lane_fixture_flags_all_three_field_shapes() {
+    let report = run_fixture(Rule::NonSendShardState, "lane_pos");
+    let s1: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == Rule::NonSendShardState)
+        .collect();
+    assert!(
+        s1.len() >= 3,
+        "expected Rc + aliased RefCell + raw pointer findings, got {s1:#?}"
+    );
+}
+
 /// Satellite regression: patterns inside string literals, doc comments,
 /// and (nested) block comments never fire — the PR-1 false-positive
 /// class. Run under the fabric hot-path harness so even the P1 patterns

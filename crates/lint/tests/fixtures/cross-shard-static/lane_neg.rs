@@ -1,0 +1,15 @@
+// The compliant shape: whatever a lane needs travels *in* the lane
+// struct, and the only statics are immutable configuration.
+static LANE_PROTOCOL: &str = "xrdma-lane-v1";
+static HOP_FLOOR_NS: u64 = 500;
+
+pub struct EventLane {
+    id: u32,
+    live: usize,
+    records: Vec<LaneRecord>,
+}
+
+struct LaneRecord {
+    at: u64,
+    tag: u16,
+}

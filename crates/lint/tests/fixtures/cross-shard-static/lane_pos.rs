@@ -1,0 +1,9 @@
+// Lane state smuggled out of the lane: a thread-local "current lane"
+// singleton forks silently when one lane's events migrate between
+// workers, and a process-global registry races across shards. Both
+// must fire S2.
+thread_local! {
+    static CURRENT_LANE: RefCell<Option<EventLane>> = RefCell::new(None);
+}
+
+static LIVE_LANES: AtomicUsize = AtomicUsize::new(0);

@@ -1,0 +1,31 @@
+// The Send-state contract honored: a lane is plain owned data — owned
+// calendar, owned RNG words, Send closures — so it can move to any
+// worker. Interior mutability confined to cfg(test) scaffolding is
+// exempt.
+pub struct EventLane {
+    now: u64,
+    seq: u64,
+    calendar: LaneCalendar,
+    rng: LaneRng,
+    inbox: Vec<CrossEvent>,
+}
+
+struct LaneCalendar {
+    wheel: Vec<Vec<u32>>,
+    overflow: Vec<u64>,
+}
+
+struct LaneRng {
+    state: [u64; 4],
+}
+
+struct CrossEvent {
+    at: Time,
+    src: u32,
+    src_seq: u64,
+}
+
+#[cfg(test)]
+struct LaneProbe {
+    scratch: RefCell<Vec<u8>>,
+}

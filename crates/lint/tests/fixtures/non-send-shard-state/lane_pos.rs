@@ -1,0 +1,14 @@
+// A deliberately non-Send lane: Rc-shared telemetry, interior-mutable
+// calendar reached through an alias, and a raw stats pointer. All three
+// field shapes must fire S1 on a `*Lane` root.
+pub struct EventLane {
+    hub: Rc<TelemetryHub>,
+    calendar: LaneCalendar,
+    stats: *mut LaneStats,
+}
+
+type LaneCalendar = SharedCalendar;
+
+struct SharedCalendar {
+    pending: RefCell<Vec<u64>>,
+}

@@ -1,0 +1,17 @@
+// A mailbox merge keyed on bare arrival time: ties between two lanes'
+// events resolve by heap internals, so the merged order depends on
+// mailbox drain order — exactly the nondeterminism S3 exists to catch.
+struct Mailbox {
+    inbound: BinaryHeap<Reverse<Time>>,
+}
+
+struct CrossEvent {
+    at: Time,
+    dst: u32,
+}
+
+impl Ord for CrossEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at.cmp(&other.at)
+    }
+}

@@ -23,12 +23,15 @@
 
 pub mod cpu;
 pub mod rng;
+pub(crate) mod sched;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod world;
 
 pub use cpu::CpuThread;
 pub use rng::SimRng;
+pub use shard::{Lane, LaneRecord, ShardConfig, ShardWorld};
 pub use time::{Dur, Time};
 pub use world::{EventId, Kernel, Timer, World};
 
@@ -62,6 +65,7 @@ macro_rules! invariant {
     };
 }
 
+// xrdma-lint: allow(cross-shard-static) -- deliberately per-thread: each lane worker (and each serial world thread) installs its own observer; no state crosses shards
 thread_local! {
     static INVARIANT_OBSERVER: std::cell::RefCell<Option<Box<dyn Fn(&str)>>> =
         const { std::cell::RefCell::new(None) };

@@ -1,0 +1,625 @@
+//! The calendar + slab scheduler core shared by [`crate::World`] (the
+//! `Rc`-based serial world) and [`crate::shard::ShardWorld`] (the
+//! `Send` parallel lane engine).
+//!
+//! Everything here is generic over the stored closure types `O`
+//! (one-shot) and `M` (re-armable timer), so the same calendar code —
+//! timer wheel, legacy heap, and the per-lane sharded merge — executes
+//! identically whether the callbacks capture `Rc`s on one thread or are
+//! `Send` closures running inside a shard lane. The structure is a plain
+//! `&mut self` state machine: virtual-clock and sequence-number policy
+//! stay with the owner (`World` keeps them in `Cell`s, a lane keeps them
+//! as plain fields), which is what lets lane state satisfy the S1
+//! `non-send-shard-state` lint with no interior mutability at all.
+//!
+//! # Calendar layout (DESIGN.md §3)
+//!
+//! Pending events are 24-byte `(at, seq, slot, gen)` keys held in one of
+//! three places:
+//!
+//! * **current** — a small binary heap of every key whose bucket the wheel
+//!   cursor has reached. Pops come only from here.
+//! * **near wheel** — `WHEEL_SLOTS` unsorted `Vec` buckets, each covering
+//!   `BUCKET_NS` nanoseconds (horizon ≈ 1 ms: where keepalive, DCQCN and
+//!   retransmit timers live). Scheduling into the horizon is a `Vec::push`.
+//! * **overflow** — a binary min-heap for keys beyond the horizon; they
+//!   migrate into the wheel as the cursor advances.
+//!
+//! The FIFO-at-equal-instant proof obligation: every key is ordered by
+//! `(at, seq)` and `seq` is globally unique and monotone, so the pop order
+//! is correct iff `min(current) ≤ min(wheel ∪ overflow)` whenever `current`
+//! is non-empty. That invariant holds because (a) `current` only receives
+//! whole buckets the cursor has reached plus direct inserts at or behind
+//! the cursor, (b) every bucket holds keys of exactly one future cursor
+//! tick, and (c) the overflow heap only holds keys at least one full
+//! rotation ahead of the cursor (re-established by the migration loop each
+//! time the cursor moves). Callbacks therefore fire in exactly the order
+//! the old single-heap calendar produced, byte-for-byte.
+//!
+//! [`Kernel::Sharded`] splits the key stream across `lanes` independent
+//! wheels (assignment by `seq % lanes`) and pops the argmin by
+//! `(at, seq)` — provably the same global order, exercising the
+//! cross-lane merge rule on the full `Rc` stack so goldens validate it.
+//!
+//! Cancellation never searches the calendar: each slab slot carries a
+//! generation counter, a key is live iff its generation matches, and stale
+//! keys are discarded when popped.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{Dur, Time};
+
+/// log2 of the span one near-wheel bucket covers (4096 ns).
+pub(crate) const BUCKET_BITS: u32 = 12;
+/// Nanoseconds per near-wheel bucket.
+pub(crate) const BUCKET_NS: u64 = 1 << BUCKET_BITS;
+/// Number of near-wheel buckets; horizon = `WHEEL_SLOTS * BUCKET_NS` ≈ 1 ms.
+pub(crate) const WHEEL_SLOTS: usize = 256;
+/// High bit of `Key::slot`: set for timer slots, clear for one-shot events.
+pub(crate) const TIMER_BIT: u32 = 1 << 31;
+
+/// Handle to a scheduled one-shot event, usable to cancel it before it
+/// fires.
+///
+/// The id encodes `(slot, generation)`; slots are recycled but generations
+/// make every id logically unique, so cancelling an already-fired or
+/// already-cancelled event is a harmless no-op.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+impl EventId {
+    pub(crate) fn pack(slot: u32, gen: u32) -> EventId {
+        EventId(((slot as u64) << 32) | gen as u64)
+    }
+
+    pub(crate) fn unpack(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
+    }
+}
+
+/// Which calendar implementation a scheduler runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Kernel {
+    /// Timer-wheel calendar (the production kernel).
+    #[default]
+    Wheel,
+    /// The pre-wheel reference calendar: one global binary heap plus a
+    /// `HashSet` tombstone probed on every pop. Kept only so differential
+    /// tests can prove both kernels produce identical event orders and so
+    /// `simperf` can measure the speedup against a live baseline.
+    Legacy,
+    /// `lanes` independent timer wheels (assignment by `seq % lanes`)
+    /// popped in global `(at, seq)` order — the serial validation mode for
+    /// the sharded lane engine's merge rule. Same event order as `Wheel`,
+    /// byte for byte, on any workload; `lanes == 1` is exactly `Wheel`.
+    Sharded { lanes: usize },
+}
+
+impl Kernel {
+    /// The kernel [`crate::World::new`] boots: `Wheel`, unless the
+    /// `XRDMA_SHARDS` environment variable names a lane count > 1 — the
+    /// hook `scripts/ci.sh` uses to run the whole tier-1 suite on the
+    /// sharded calendar (`XRDMA_SHARDS=4 cargo test`).
+    pub fn from_env() -> Kernel {
+        match std::env::var("XRDMA_SHARDS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 1 => Kernel::Sharded { lanes: n },
+                _ => Kernel::Wheel,
+            },
+            Err(_) => Kernel::Wheel,
+        }
+    }
+}
+
+/// A calendar entry: everything needed to order and validate one firing.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Key {
+    pub(crate) at: Time,
+    pub(crate) seq: u64,
+    pub(crate) slot: u32,
+    pub(crate) gen: u32,
+}
+
+// Total order by (at, seq): seq is unique, so same-instant keys fire in
+// insertion (FIFO) order. That guarantee is what makes whole-world runs
+// reproducible.
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at
+            .cmp(&other.at)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+#[inline]
+fn tick_of(at: Time) -> u64 {
+    at.0 / BUCKET_NS
+}
+
+/// Timer-wheel calendar state.
+pub(crate) struct WheelCal {
+    /// The bucket tick the cursor last drained; `current` holds every key
+    /// at or behind it.
+    cursor: u64,
+    /// Keys the cursor has reached, popped in `(at, seq)` order.
+    current: BinaryHeap<Reverse<Key>>,
+    /// Near future: bucket `t % WHEEL_SLOTS` holds exactly the keys of the
+    /// single tick `t` that is the bucket's next cursor visit.
+    buckets: Vec<Vec<Key>>,
+    /// Number of keys across all `buckets` (not counting `current`).
+    in_buckets: usize,
+    /// Keys at least one full rotation ahead of the cursor.
+    overflow: BinaryHeap<Reverse<Key>>,
+}
+
+impl WheelCal {
+    pub(crate) fn new() -> WheelCal {
+        WheelCal {
+            cursor: 0,
+            current: BinaryHeap::with_capacity(64),
+            buckets: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            in_buckets: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, key: Key) {
+        let t = tick_of(key.at);
+        if t <= self.cursor {
+            self.current.push(Reverse(key));
+        } else if t - self.cursor < WHEEL_SLOTS as u64 {
+            self.buckets[(t % WHEEL_SLOTS as u64) as usize].push(key);
+            self.in_buckets += 1;
+        } else {
+            self.overflow.push(Reverse(key));
+        }
+    }
+
+    /// Advance the cursor until `current` is non-empty. Returns false when
+    /// the calendar holds no keys at all.
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.current.is_empty());
+        loop {
+            if self.in_buckets == 0 {
+                // Everything pending (if anything) is in overflow: jump the
+                // cursor straight to the earliest overflow tick.
+                match self.overflow.peek() {
+                    None => return false,
+                    Some(Reverse(k)) => self.cursor = self.cursor.max(tick_of(k.at)),
+                }
+            } else {
+                self.cursor += 1;
+            }
+            // Overflow keys now within one rotation of the cursor move into
+            // the wheel (or straight to current when their tick is due).
+            while let Some(Reverse(k)) = self.overflow.peek() {
+                let t = tick_of(k.at);
+                if t <= self.cursor {
+                    let Reverse(k) = self.overflow.pop().expect("peeked");
+                    self.current.push(Reverse(k));
+                } else if t - self.cursor < WHEEL_SLOTS as u64 {
+                    let Reverse(k) = self.overflow.pop().expect("peeked");
+                    self.buckets[(t % WHEEL_SLOTS as u64) as usize].push(k);
+                    self.in_buckets += 1;
+                } else {
+                    break;
+                }
+            }
+            let b = (self.cursor % WHEEL_SLOTS as u64) as usize;
+            if !self.buckets[b].is_empty() {
+                self.in_buckets -= self.buckets[b].len();
+                self.current.extend(self.buckets[b].drain(..).map(Reverse));
+            }
+            if !self.current.is_empty() {
+                return true;
+            }
+        }
+    }
+
+    pub(crate) fn pop_min(&mut self) -> Option<Key> {
+        if self.current.is_empty() && !self.refill() {
+            return None;
+        }
+        self.current.pop().map(|Reverse(k)| k)
+    }
+
+    pub(crate) fn peek_min(&mut self) -> Option<Key> {
+        if self.current.is_empty() && !self.refill() {
+            return None;
+        }
+        self.current.peek().map(|Reverse(k)| *k)
+    }
+}
+
+/// The pre-wheel reference calendar (see [`Kernel::Legacy`]): a single
+/// binary heap plus the tombstone set the old kernel probed on every pop.
+struct LegacyCal {
+    heap: BinaryHeap<Reverse<Key>>,
+    tombstones: HashSet<u64>,
+}
+
+impl LegacyCal {
+    fn new() -> LegacyCal {
+        LegacyCal {
+            heap: BinaryHeap::with_capacity(1024),
+            tombstones: HashSet::new(),
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Key> {
+        let Reverse(k) = self.heap.pop()?;
+        // Faithful to the old kernel's cost model: a hash probe per pop.
+        self.tombstones.remove(&k.seq);
+        Some(k)
+    }
+}
+
+/// Per-lane wheels merged in global `(at, seq)` order (see
+/// [`Kernel::Sharded`]). Each key lives in exactly one lane wheel, the
+/// lane minima are each correct by the wheel invariant, and `(at, seq)`
+/// is a total order — so the argmin over lanes is the global minimum and
+/// the pop sequence is identical to a single wheel's. This is the merge
+/// obligation of DESIGN.md §3.15 running serially under the full stack.
+struct ShardedCal {
+    lanes: Vec<WheelCal>,
+}
+
+impl ShardedCal {
+    fn new(lanes: usize) -> ShardedCal {
+        ShardedCal {
+            lanes: (0..lanes.max(1)).map(|_| WheelCal::new()).collect(),
+        }
+    }
+
+    fn push(&mut self, key: Key) {
+        let n = self.lanes.len() as u64;
+        self.lanes[(key.seq % n) as usize].push(key);
+    }
+
+    /// Lane index holding the globally minimal `(at, seq)` key, if any.
+    fn min_lane(&mut self) -> Option<usize> {
+        let mut best: Option<(Key, usize)> = None;
+        for (i, lane) in self.lanes.iter_mut().enumerate() {
+            if let Some(k) = lane.peek_min() {
+                // Strict `<` keeps the scan order irrelevant: (at, seq) is
+                // a total order with no duplicates across lanes.
+                if best.is_none_or(|(b, _)| k < b) {
+                    best = Some((k, i));
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn pop_min(&mut self) -> Option<Key> {
+        let i = self.min_lane()?;
+        self.lanes[i].pop_min()
+    }
+
+    fn peek_min(&mut self) -> Option<Key> {
+        let i = self.min_lane()?;
+        self.lanes[i].peek_min()
+    }
+}
+
+enum Calendar {
+    Wheel(WheelCal),
+    Legacy(LegacyCal),
+    Sharded(ShardedCal),
+}
+
+impl Calendar {
+    fn push(&mut self, key: Key) {
+        match self {
+            Calendar::Wheel(w) => w.push(key),
+            Calendar::Legacy(l) => l.heap.push(Reverse(key)),
+            Calendar::Sharded(s) => s.push(key),
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Key> {
+        match self {
+            Calendar::Wheel(w) => w.pop_min(),
+            Calendar::Legacy(l) => l.pop_min(),
+            Calendar::Sharded(s) => s.pop_min(),
+        }
+    }
+
+    fn peek_min(&mut self) -> Option<Key> {
+        match self {
+            Calendar::Wheel(w) => w.peek_min(),
+            Calendar::Legacy(l) => l.heap.peek().map(|Reverse(k)| *k),
+            Calendar::Sharded(s) => s.peek_min(),
+        }
+    }
+
+    /// Record a cancellation the way the legacy kernel did (tombstone
+    /// insert); the wheel needs nothing — generations already invalidate
+    /// the key.
+    fn note_cancel(&mut self, seq: u64) {
+        if let Calendar::Legacy(l) = self {
+            l.tombstones.insert(seq);
+        }
+    }
+}
+
+/// One-shot event slot: recycled through a free list, validated by `gen`.
+struct EventSlot<O> {
+    gen: u32,
+    /// Sequence number of the occupying event (legacy tombstones key on it).
+    seq: u64,
+    f: Option<O>,
+}
+
+/// Re-armable timer slot: the closure is boxed once at creation time and
+/// survives across arms, cancels and fires.
+struct TimerSlot<M> {
+    gen: u32,
+    /// False once the owning timer handle is dropped.
+    alive: bool,
+    armed: bool,
+    /// Sequence number of the currently armed firing, for legacy tombstones.
+    armed_seq: u64,
+    /// Auto re-arm period for periodic timers.
+    auto: Option<Dur>,
+    f: Option<M>,
+}
+
+/// What a popped live key resolved to.
+pub(crate) enum Fired<O, M> {
+    OneShot(O),
+    Timer {
+        idx: u32,
+        gen: u32,
+        auto: Option<Dur>,
+        f: M,
+    },
+}
+
+/// Calendar plus slab arena: the whole scheduler state behind one `&mut`.
+///
+/// The owner supplies the monotone sequence numbers (`seq` arguments) and
+/// keeps the clock; this struct only orders, stores, and recycles.
+pub(crate) struct Sched<O, M> {
+    calendar: Calendar,
+    events: Vec<EventSlot<O>>,
+    free_events: Vec<u32>,
+    timers: Vec<TimerSlot<M>>,
+    free_timers: Vec<u32>,
+    /// Logically pending firings: scheduled one-shots plus armed timers.
+    live: usize,
+}
+
+impl<O, M> Sched<O, M> {
+    pub(crate) fn new(kernel: Kernel) -> Sched<O, M> {
+        Sched {
+            calendar: match kernel {
+                Kernel::Wheel => Calendar::Wheel(WheelCal::new()),
+                Kernel::Legacy => Calendar::Legacy(LegacyCal::new()),
+                Kernel::Sharded { lanes } => Calendar::Sharded(ShardedCal::new(lanes)),
+            },
+            events: Vec::new(),
+            free_events: Vec::new(),
+            timers: Vec::new(),
+            free_timers: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Live (non-cancelled) pending firings.
+    pub(crate) fn pending(&self) -> usize {
+        self.live
+    }
+
+    /// Number of one-shot slots ever allocated (slab high-water mark).
+    #[cfg(test)]
+    pub(crate) fn event_arena_len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Schedule a one-shot at `at` under sequence number `seq`.
+    pub(crate) fn schedule(&mut self, at: Time, seq: u64, f: O) -> EventId {
+        self.live += 1;
+        let (slot, gen) = if let Some(idx) = self.free_events.pop() {
+            let s = &mut self.events[idx as usize];
+            debug_assert!(s.f.is_none(), "free-listed slot must be vacant");
+            s.f = Some(f);
+            s.seq = seq;
+            (idx, s.gen)
+        } else {
+            let idx = self.events.len() as u32;
+            assert!(idx < TIMER_BIT, "event slot space exhausted");
+            self.events.push(EventSlot {
+                gen: 0,
+                seq,
+                f: Some(f),
+            });
+            (idx, 0)
+        };
+        self.calendar.push(Key { at, seq, slot, gen });
+        EventId::pack(slot, gen)
+    }
+
+    /// Cancel a pending one-shot. No-op if it already fired or was
+    /// cancelled. O(1): the slot's generation is bumped (orphaning the
+    /// calendar key, which is discarded when popped) and the closure is
+    /// dropped now.
+    pub(crate) fn cancel(&mut self, id: EventId) {
+        let (slot, gen) = id.unpack();
+        debug_assert_eq!(slot & TIMER_BIT, 0, "EventId never refers to a timer");
+        let Some(s) = self.events.get_mut(slot as usize) else {
+            return;
+        };
+        if s.gen != gen || s.f.is_none() {
+            return; // already fired, cancelled, or recycled
+        }
+        s.f = None;
+        s.gen = s.gen.wrapping_add(1);
+        let seq = s.seq;
+        self.free_events.push(slot);
+        self.live -= 1;
+        self.calendar.note_cancel(seq);
+    }
+
+    /// Allocate a timer slot around `f`; returns the slot index.
+    pub(crate) fn make_timer(&mut self, auto: Option<Dur>, f: M) -> u32 {
+        if let Some(idx) = self.free_timers.pop() {
+            let t = &mut self.timers[idx as usize];
+            debug_assert!(t.f.is_none() && !t.alive);
+            t.alive = true;
+            t.armed = false;
+            t.auto = auto;
+            t.f = Some(f);
+            idx
+        } else {
+            let idx = self.timers.len() as u32;
+            assert!(idx < TIMER_BIT, "timer slot space exhausted");
+            self.timers.push(TimerSlot {
+                gen: 0,
+                alive: true,
+                armed: false,
+                armed_seq: 0,
+                auto,
+                f: Some(f),
+            });
+            idx
+        }
+    }
+
+    /// Arm timer slot `idx` to fire at `at` under `seq`. Caller guarantees
+    /// it is alive and disarmed.
+    pub(crate) fn arm_timer(&mut self, idx: u32, at: Time, seq: u64) {
+        let t = &mut self.timers[idx as usize];
+        debug_assert!(t.alive && !t.armed);
+        t.armed = true;
+        t.armed_seq = seq;
+        let gen = t.gen;
+        self.live += 1;
+        self.calendar.push(Key {
+            at,
+            seq,
+            slot: idx | TIMER_BIT,
+            gen,
+        });
+    }
+
+    pub(crate) fn timer_is_armed(&self, idx: u32) -> bool {
+        self.timers[idx as usize].armed
+    }
+
+    /// Disarm the timer's pending firing, if any. The closure is kept.
+    pub(crate) fn cancel_timer(&mut self, idx: u32) {
+        let t = &mut self.timers[idx as usize];
+        if !t.armed {
+            return;
+        }
+        t.armed = false;
+        t.gen = t.gen.wrapping_add(1);
+        let seq = t.armed_seq;
+        self.live -= 1;
+        self.calendar.note_cancel(seq);
+    }
+
+    /// Release a timer slot on handle drop (after [`Self::cancel_timer`]).
+    pub(crate) fn release_timer(&mut self, idx: u32) {
+        let t = &mut self.timers[idx as usize];
+        t.alive = false;
+        t.gen = t.gen.wrapping_add(1);
+        // The closure may be absent mid-fire; the fire path sees
+        // `alive == false` and discards it instead of putting it back.
+        t.f = None;
+        t.auto = None;
+        self.free_timers.push(idx);
+    }
+
+    /// Resolve a popped key against the slab; `None` means the key was
+    /// stale (cancelled / superseded) and carried no work.
+    fn take_fired(&mut self, key: Key) -> Option<Fired<O, M>> {
+        if key.slot & TIMER_BIT != 0 {
+            let idx = key.slot & !TIMER_BIT;
+            let t = &mut self.timers[idx as usize];
+            if t.gen != key.gen || !t.armed {
+                return None;
+            }
+            t.armed = false;
+            let f = t.f.take().expect("armed timer holds its closure");
+            let auto = t.auto;
+            self.live -= 1;
+            Some(Fired::Timer {
+                idx,
+                gen: key.gen,
+                auto,
+                f,
+            })
+        } else {
+            let s = &mut self.events[key.slot as usize];
+            if s.gen != key.gen {
+                return None;
+            }
+            let f = s.f.take().expect("live event slot holds its closure");
+            s.gen = s.gen.wrapping_add(1);
+            self.free_events.push(key.slot);
+            self.live -= 1;
+            Some(Fired::OneShot(f))
+        }
+    }
+
+    /// Pop the next live firing (skipping stale keys), with its instant.
+    pub(crate) fn pop_fired(&mut self) -> Option<(Time, Fired<O, M>)> {
+        loop {
+            let key = self.calendar.pop_min()?;
+            if let Some(fired) = self.take_fired(key) {
+                return Some((key.at, fired));
+            }
+        }
+    }
+
+    /// Give a timer closure back to its slot after a firing; returns
+    /// `Some(period)` when the owner must auto re-arm (periodic timer whose
+    /// callback neither re-armed nor cancelled nor dropped the handle).
+    pub(crate) fn finish_timer_fire(&mut self, idx: u32, gen: u32, f: M) -> Option<Dur> {
+        let t = &mut self.timers[idx as usize];
+        if t.alive && t.f.is_none() {
+            t.f = Some(f);
+            if t.gen == gen && !t.armed {
+                t.auto
+            } else {
+                None
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Instant of the next live (non-cancelled) firing, discarding any
+    /// stale keys found on the way.
+    pub(crate) fn next_live_at(&mut self) -> Option<Time> {
+        loop {
+            let key = self.calendar.peek_min()?;
+            let live = if key.slot & TIMER_BIT != 0 {
+                let t = &self.timers[(key.slot & !TIMER_BIT) as usize];
+                t.gen == key.gen && t.armed
+            } else {
+                self.events[key.slot as usize].gen == key.gen
+            };
+            if live {
+                return Some(key.at);
+            }
+            // Stale: drop it so a cancelled head can't mask a live event
+            // beyond the caller's deadline.
+            let _ = self.calendar.pop_min();
+        }
+    }
+}

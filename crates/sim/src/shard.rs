@@ -1,0 +1,806 @@
+//! Sharded parallel event lanes with conservative lookahead
+//! (DESIGN.md §3.15).
+//!
+//! A [`ShardWorld`] partitions a simulated cluster into per-host event
+//! [`Lane`]s — each a miniature single-threaded world running the same
+//! timer-wheel calendar as [`crate::World`] — and executes them in
+//! *rounds* bounded by conservative lookahead: every lane may safely run
+//! all events strictly before `bound = global_min_pending + L`, where
+//! `L` is the minimum cross-lane link latency (the ≈500 ns/hop floor —
+//! two hops through a ToR, so 1 µs by default). Cross-lane interactions
+//! must travel as messages with delay ≥ `L`, so anything a lane sends
+//! while executing below `bound` arrives at `sender_now + L ≥ bound` —
+//! never inside the round that produced it.
+//!
+//! # Determinism across shard counts and thread interleavings
+//!
+//! The byte-identical contract (DESIGN.md §7) must hold no matter how
+//! many shards or worker threads execute the lanes. Three rules deliver
+//! it:
+//!
+//! * **Lane granularity is fixed by topology, not by shard count.** One
+//!   lane per simulated host, always; shards are only contiguous
+//!   groupings of lanes onto workers (adjacent lane ids — same-ToR
+//!   hosts — share a shard). Changing `shards` changes which thread
+//!   runs a lane, never which lane owns an event.
+//! * **Mailbox merge rule.** Cross-lane events always go through a
+//!   per-`(dst_shard, src_shard)` mailbox — even when source and
+//!   destination share a shard — and are folded into the destination
+//!   calendar only at a round boundary, sorted by
+//!   `(at, src_lane, src_seq)`. `src_seq` is the sender's monotone
+//!   per-lane sequence counter, so the sort key is unique and the merge
+//!   order is a pure function of simulation state.
+//! * **Seq-allocation obligation.** A lane's local sequence numbers are
+//!   allocated only (a) during its own (serial, deterministic) event
+//!   execution and (b) during mailbox merges, which happen at globally
+//!   agreed round boundaries in the sorted order above. Hence the
+//!   `(at, seq)` calendar order inside every lane is identical for any
+//!   shard count ≥ 1 and any thread schedule.
+//!
+//! The round loop itself is one function, [`worker`], run inline when
+//! `shards == 1` (the serial degenerate case: zero threads, zero locks
+//! taken under contention) and on `std::thread::scope` workers — one
+//! per shard, over disjoint `&mut` lane slices — otherwise. Workers
+//! synchronize twice per round on a [`Barrier`]; the reduction of
+//! per-shard minima into the round bound is computed by whichever
+//! worker the barrier elects leader, from the same atomics, so the
+//! result does not depend on the election.
+//!
+//! # Send-state contract
+//!
+//! Lane state is plain owned data: no `Rc`, no `RefCell`, no raw
+//! pointers (S1 `non-send-shard-state` enforces this on every `*Lane`
+//! type), no thread-local singletons (S2), and closures stored in a
+//! lane calendar are `FnOnce(&mut Lane<S>) + Send`. Telemetry is a
+//! per-lane record log merged deterministically after the run; RNG is a
+//! per-lane [`SimRng`] forked by lane id from the run seed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::rng::SimRng;
+use crate::sched::{EventId, Fired, Kernel, Sched};
+use crate::time::{Dur, Time};
+
+/// One-shot lane callback.
+pub type LaneFn<S> = Box<dyn FnOnce(&mut Lane<S>) + Send>;
+/// Re-armable (periodic) lane callback.
+pub type LaneTimerFn<S> = Box<dyn FnMut(&mut Lane<S>) + Send>;
+
+/// How a [`ShardWorld`] is partitioned and synchronized.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Worker shards. Lanes are split into `shards` contiguous blocks;
+    /// `1` runs the identical round algorithm inline with no threads.
+    pub shards: usize,
+    /// Conservative lookahead `L`: the minimum cross-lane delay. The
+    /// default is two 500 ns hops (host → ToR → host).
+    pub lookahead: Dur,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            shards: 1,
+            lookahead: Dur::nanos(2 * 500),
+        }
+    }
+}
+
+/// One deterministic telemetry record, emitted by lane code via
+/// [`Lane::emit`] and merged across lanes by `(t, lane, emit index)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneRecord {
+    pub t: Time,
+    pub lane: u32,
+    pub tag: &'static str,
+    pub a: u64,
+    pub b: u64,
+}
+
+/// A cross-lane event in flight: executes `f` on lane `dst` at `at`.
+/// Ordered at merge time by `(at, src, src_seq)` — a unique key, so the
+/// merge never depends on mailbox arrival order.
+struct CrossEvent<S> {
+    at: Time,
+    dst: u32,
+    src: u32,
+    src_seq: u64,
+    f: LaneFn<S>,
+}
+
+/// A per-host event lane: a miniature world with its own clock, sequence
+/// counter, timer-wheel calendar, RNG stream, telemetry log, and model
+/// state `S`. Everything is plain owned data — `Lane<S>: Send` whenever
+/// `S: Send` — per the S1 shard-state lint contract.
+pub struct Lane<S> {
+    id: u32,
+    now: Time,
+    seq: u64,
+    executed: u64,
+    lookahead: Dur,
+    sched: Sched<LaneFn<S>, LaneTimerFn<S>>,
+    outbox: Vec<CrossEvent<S>>,
+    records: Vec<LaneRecord>,
+    /// Deterministic per-lane stream, forked by lane id from the run seed.
+    pub rng: SimRng,
+    /// Model state owned by this lane.
+    pub state: S,
+}
+
+impl<S: 'static> Lane<S> {
+    /// This lane's id (its simulated host index).
+    #[inline]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The lane's current virtual instant.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Callbacks executed on this lane so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Live pending firings on this lane's calendar.
+    pub fn pending(&self) -> usize {
+        self.sched.pending()
+    }
+
+    /// Schedule a local event at absolute time `at` (clamped to `now`).
+    pub fn schedule_at(
+        &mut self,
+        at: Time,
+        f: impl FnOnce(&mut Lane<S>) + Send + 'static,
+    ) -> EventId {
+        crate::invariant!(
+            at >= self.now,
+            "lane {} scheduling into the past: {at:?} < {:?}",
+            self.id,
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq();
+        self.sched.schedule(at, seq, Box::new(f))
+    }
+
+    /// Schedule a local event after delay `d`.
+    pub fn schedule_in(
+        &mut self,
+        d: Dur,
+        f: impl FnOnce(&mut Lane<S>) + Send + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now.saturating_add(d), f)
+    }
+
+    /// Cancel a pending local event (O(1), generation-checked no-op when
+    /// already fired).
+    pub fn cancel(&mut self, id: EventId) {
+        self.sched.cancel(id);
+    }
+
+    /// Start a self-re-arming periodic callback (fire-and-forget; the
+    /// keepalive-tick idiom). First firing after `period`.
+    pub fn start_periodic(&mut self, period: Dur, f: impl FnMut(&mut Lane<S>) + Send + 'static) {
+        let idx = self.sched.make_timer(Some(period), Box::new(f));
+        let at = self.now.saturating_add(period);
+        let seq = self.next_seq();
+        self.sched.arm_timer(idx, at, seq);
+    }
+
+    /// Send a cross-lane event: run `f` on lane `dst` after `delay`.
+    ///
+    /// `delay` must be at least the configured lookahead `L` — that is
+    /// the conservative-synchronization contract that lets shards run a
+    /// whole round without hearing from each other. Checked under
+    /// `debug_invariants` (and always clamped, so release builds stay
+    /// deterministic rather than subtly early).
+    pub fn send_to(&mut self, dst: u32, delay: Dur, f: impl FnOnce(&mut Lane<S>) + Send + 'static) {
+        crate::invariant!(
+            delay >= self.lookahead,
+            "lane {} cross-send below the lookahead horizon: {delay:?} < {:?}",
+            self.id,
+            self.lookahead
+        );
+        let delay = delay.max(self.lookahead);
+        let src_seq = self.next_seq();
+        self.outbox.push(CrossEvent {
+            at: self.now.saturating_add(delay),
+            dst,
+            src: self.id,
+            src_seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Append a deterministic telemetry record at the lane's current
+    /// instant.
+    pub fn emit(&mut self, tag: &'static str, a: u64, b: u64) {
+        self.records.push(LaneRecord {
+            t: self.now,
+            lane: self.id,
+            tag,
+            a,
+            b,
+        });
+    }
+
+    #[inline]
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+
+    /// Execute every pending event strictly before `bound`.
+    fn exec_until(&mut self, bound: Time) {
+        loop {
+            match self.sched.next_live_at() {
+                Some(at) if at < bound => {}
+                _ => return,
+            }
+            let Some((at, fired)) = self.sched.pop_fired() else {
+                return;
+            };
+            crate::invariant!(
+                at >= self.now,
+                "lane {} clock went backwards: {at:?} < {:?}",
+                self.id,
+                self.now
+            );
+            self.now = at;
+            self.executed += 1;
+            match fired {
+                Fired::OneShot(f) => f(self),
+                Fired::Timer {
+                    idx,
+                    gen,
+                    auto: _,
+                    mut f,
+                } => {
+                    f(self);
+                    if let Some(period) = self.sched.finish_timer_fire(idx, gen, f) {
+                        let at = self.now.saturating_add(period);
+                        let seq = self.next_seq();
+                        self.sched.arm_timer(idx, at, seq);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fold a round's inbound cross events (pre-sorted by
+    /// `(at, src, src_seq)`) into the calendar, allocating local sequence
+    /// numbers in exactly that order — the seq-allocation obligation.
+    fn merge_inbound(&mut self, events: impl Iterator<Item = CrossEvent<S>>) {
+        for ev in events {
+            crate::invariant!(
+                ev.at >= self.now,
+                "cross event below the lookahead horizon: {:?} < lane {} now {:?}",
+                ev.at,
+                self.id,
+                self.now
+            );
+            let at = ev.at.max(self.now);
+            let seq = self.next_seq();
+            self.sched.schedule(at, seq, ev.f);
+        }
+    }
+}
+
+/// A reusable sense-counting barrier that, unlike `std::sync::Barrier`,
+/// can be *poisoned*: when a worker panics mid-round (an `invariant!`
+/// firing inside lane code), its peers unblock and panic too instead of
+/// parking forever — a deadlocked differential test tells you nothing,
+/// a propagated panic dumps the diverging event. Yield-spinning is fine
+/// here: rounds are short and workers ≤ cores is the expected shape.
+struct RoundBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    poisoned: AtomicBool,
+}
+
+impl RoundBarrier {
+    fn new(n: usize) -> RoundBarrier {
+        RoundBarrier {
+            n,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Block until all `n` workers arrive; returns `true` for exactly
+    /// one of them (the round leader). Panics if a peer poisoned the
+    /// barrier.
+    fn wait(&self) -> bool {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation
+                .store(generation.wrapping_add(1), Ordering::Release);
+            true
+        } else {
+            while self.generation.load(Ordering::Acquire) == generation {
+                if self.poisoned.load(Ordering::Relaxed) {
+                    panic!("a peer lane worker panicked; see its message above");
+                }
+                std::thread::yield_now();
+            }
+            false
+        }
+    }
+}
+
+/// Poisons the barrier if dropped during an unwind, so a panic in one
+/// worker fails the whole run loudly instead of deadlocking peers.
+struct PoisonOnPanic<'a>(&'a RoundBarrier);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poisoned.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Round bookkeeping shared by all workers of one `run_until` call.
+struct RoundShared {
+    barrier: RoundBarrier,
+    /// Per-shard minimum pending instant (`u64::MAX` = shard is idle).
+    mins: Vec<AtomicU64>,
+    /// Exclusive execution bound for the current round, in nanoseconds.
+    bound: AtomicU64,
+    done: AtomicBool,
+}
+
+/// The round loop, identical for the inline (`shards == 1`) and threaded
+/// paths. `lanes` is this worker's contiguous slice, `base` the global
+/// index of its first lane.
+#[allow(clippy::too_many_arguments)]
+fn worker<S: Send + 'static>(
+    shard: usize,
+    shards: usize,
+    lanes: &mut [Lane<S>],
+    base: usize,
+    shard_of: &[u32],
+    lane_base: &[u32],
+    mailboxes: &[Mutex<Vec<CrossEvent<S>>>],
+    shared: &RoundShared,
+    deadline: Time,
+    lookahead: Dur,
+) {
+    let _poison = PoisonOnPanic(&shared.barrier);
+    let mut inbound: Vec<CrossEvent<S>> = Vec::new();
+    let mut outbound: Vec<Vec<CrossEvent<S>>> = (0..shards).map(|_| Vec::new()).collect();
+    loop {
+        // Phase A — merge: drain this shard's mailboxes (fixed src-shard
+        // order; ordering is irrelevant because the sort key is unique),
+        // fold into destination lanes, then publish the shard's minimum.
+        for src in 0..shards {
+            let mut mb = mailboxes[shard * shards + src].lock().expect("mailbox");
+            inbound.append(&mut mb);
+        }
+        if !inbound.is_empty() {
+            inbound.sort_unstable_by_key(|e| (e.dst, e.at, e.src, e.src_seq));
+            let mut rest = std::mem::take(&mut inbound);
+            while !rest.is_empty() {
+                let dst = rest[0].dst;
+                let cut = rest.partition_point(|e| e.dst == dst);
+                let tail = rest.split_off(cut);
+                lanes[dst as usize - base].merge_inbound(rest.into_iter());
+                rest = tail;
+            }
+        }
+        let mut min = u64::MAX;
+        for lane in lanes.iter_mut() {
+            if let Some(at) = lane.sched.next_live_at() {
+                min = min.min(at.nanos());
+            }
+        }
+        shared.mins[shard].store(min, Ordering::Relaxed);
+
+        // Phase B — bound: one worker (whichever the barrier elects)
+        // reduces the minima; the result is a pure function of the
+        // atomics, so the election does not matter.
+        if shared.barrier.wait() {
+            let gmin = shared
+                .mins
+                .iter()
+                .map(|m| m.load(Ordering::Relaxed))
+                .min()
+                .unwrap_or(u64::MAX);
+            if gmin == u64::MAX || gmin > deadline.nanos() {
+                shared.done.store(true, Ordering::Relaxed);
+            } else {
+                let bound = gmin
+                    .saturating_add(lookahead.as_nanos().max(1))
+                    .min(deadline.nanos().saturating_add(1));
+                shared.bound.store(bound, Ordering::Relaxed);
+            }
+        }
+        shared.barrier.wait();
+        if shared.done.load(Ordering::Relaxed) {
+            return;
+        }
+        let bound = Time(shared.bound.load(Ordering::Relaxed));
+
+        // Phase C — execute: every lane runs serially below the bound;
+        // cross sends stage in lane outboxes and flush to the pair
+        // mailboxes for the next round's merge.
+        for lane in lanes.iter_mut() {
+            lane.exec_until(bound);
+            for ev in lane.outbox.drain(..) {
+                outbound[shard_of[ev.dst as usize] as usize].push(ev);
+            }
+        }
+        for (dst_shard, evs) in outbound.iter_mut().enumerate() {
+            if evs.is_empty() {
+                continue;
+            }
+            let _ = lane_base; // kept for symmetry with dst-local indexing
+            let mut mb = mailboxes[dst_shard * shards + shard]
+                .lock()
+                .expect("mailbox");
+            mb.append(evs);
+        }
+        // Flush barrier: nobody drains a round-N+1 mailbox until every
+        // shard has finished writing its round-N cross sends. Without
+        // this, a fast shard could merge-and-advance past an event a
+        // slow shard was still flushing — the classic straggler race.
+        shared.barrier.wait();
+    }
+}
+
+/// A cluster of per-host event lanes executing under conservative
+/// lookahead. See the module docs for the determinism argument.
+pub struct ShardWorld<S> {
+    lanes: Vec<Lane<S>>,
+    cfg: ShardConfig,
+    now: Time,
+}
+
+impl<S: Send + 'static> ShardWorld<S> {
+    /// Build a world with one lane per entry of `states`; lane `i` gets
+    /// RNG stream `fork_idx(i)` of the root seed.
+    pub fn new(cfg: ShardConfig, seed: u64, states: Vec<S>) -> ShardWorld<S> {
+        assert!(cfg.lookahead.as_nanos() > 0, "lookahead must be positive");
+        let root = SimRng::new(seed);
+        let lanes = states
+            .into_iter()
+            .enumerate()
+            .map(|(i, state)| Lane {
+                id: i as u32,
+                now: Time::ZERO,
+                seq: 0,
+                executed: 0,
+                lookahead: cfg.lookahead,
+                sched: Sched::new(Kernel::Wheel),
+                outbox: Vec::new(),
+                records: Vec::new(),
+                rng: root.fork_idx(i as u64),
+                state,
+            })
+            .collect();
+        ShardWorld {
+            lanes,
+            cfg,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Number of lanes (simulated hosts).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The global low-water mark: every lane has reached at least this
+    /// instant.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Mutable access to a lane, for seeding initial events and reading
+    /// back state between runs.
+    pub fn lane_mut(&mut self, i: usize) -> &mut Lane<S> {
+        &mut self.lanes[i]
+    }
+
+    /// All lanes, in id order.
+    pub fn lanes(&self) -> &[Lane<S>] {
+        &self.lanes
+    }
+
+    /// Total callbacks executed across all lanes.
+    pub fn total_executed(&self) -> u64 {
+        self.lanes.iter().map(|l| l.executed).sum()
+    }
+
+    /// Shard index of each lane: `shards` contiguous blocks, fixed by
+    /// `(lane_count, shards)` alone — deterministic from topology.
+    fn partition(&self, shards: usize) -> Vec<usize> {
+        let n = self.lanes.len();
+        (0..=shards).map(|s| s * n / shards).collect()
+    }
+
+    /// Run every lane up to and including `deadline`, in lookahead
+    /// rounds; afterwards all lane clocks sit exactly at `deadline`
+    /// (events beyond it stay pending).
+    pub fn run_until(&mut self, deadline: Time) {
+        let shards = self.cfg.shards.clamp(1, self.lanes.len().max(1));
+        let bounds = self.partition(shards);
+        let mut shard_of = vec![0u32; self.lanes.len()];
+        for s in 0..shards {
+            for lane in shard_of.iter_mut().take(bounds[s + 1]).skip(bounds[s]) {
+                *lane = s as u32;
+            }
+        }
+        let lane_base: Vec<u32> = bounds[..shards].iter().map(|&b| b as u32).collect();
+        let mailboxes: Vec<Mutex<Vec<CrossEvent<S>>>> = (0..shards * shards)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        let shared = RoundShared {
+            barrier: RoundBarrier::new(shards),
+            mins: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            bound: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+        };
+        let lookahead = self.cfg.lookahead;
+        if shards == 1 {
+            worker(
+                0,
+                1,
+                &mut self.lanes,
+                0,
+                &shard_of,
+                &lane_base,
+                &mailboxes,
+                &shared,
+                deadline,
+                lookahead,
+            );
+        } else {
+            // Split the lane vec into disjoint per-shard &mut slices.
+            let mut slices: Vec<(usize, usize, &mut [Lane<S>])> = Vec::with_capacity(shards);
+            let mut rest: &mut [Lane<S>] = &mut self.lanes;
+            let mut off = 0usize;
+            for s in 0..shards {
+                let take = bounds[s + 1] - bounds[s];
+                let (head, tail) = rest.split_at_mut(take);
+                slices.push((s, off, head));
+                rest = tail;
+                off += take;
+            }
+            let shard_of = &shard_of;
+            let lane_base = &lane_base;
+            let mailboxes = &mailboxes;
+            let shared = &shared;
+            std::thread::scope(|scope| {
+                for (s, base, chunk) in slices {
+                    scope.spawn(move || {
+                        worker(
+                            s, shards, chunk, base, shard_of, lane_base, mailboxes, shared,
+                            deadline, lookahead,
+                        );
+                    });
+                }
+            });
+        }
+        for lane in &mut self.lanes {
+            if lane.now < deadline {
+                lane.now = deadline;
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// All lane records merged in `(t, lane, emit-order)` order — the
+    /// deterministic global telemetry log.
+    pub fn merged_records(&self) -> Vec<LaneRecord> {
+        let mut all: Vec<(LaneRecord, usize)> = self
+            .lanes
+            .iter()
+            .flat_map(|l| l.records.iter().copied().enumerate().map(|(i, r)| (r, i)))
+            .collect();
+        all.sort_by_key(|(r, i)| (r.t, r.lane, *i));
+        all.into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// The merged record log as JSONL (one event per line).
+    pub fn records_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.merged_records() {
+            out.push_str(&format!(
+                "{{\"t\":{},\"lane\":{},\"ev\":\"{}\",\"a\":{},\"b\":{}}}\n",
+                r.t.nanos(),
+                r.lane,
+                r.tag,
+                r.a,
+                r.b
+            ));
+        }
+        out
+    }
+}
+
+impl<S: Send + std::fmt::Debug + 'static> ShardWorld<S> {
+    /// Everything observable about the run, serialized: per-lane clocks,
+    /// sequence counters, execution counts and model state, plus the
+    /// merged record log. Byte-identical across shard counts and thread
+    /// interleavings for the same seed — the property `tests/sharding.rs`
+    /// enforces.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lanes {
+            out.push_str(&format!(
+                "lane={} now={} seq={} executed={} state={:?}\n",
+                l.id,
+                l.now.nanos(),
+                l.seq,
+                l.executed,
+                l.state
+            ));
+        }
+        out.push_str(&self.records_jsonl());
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference workload: a keepalive-laden incast, the scaling scenario for
+// `simperf` and the differential battery in tests/sharding.rs.
+// ---------------------------------------------------------------------------
+
+/// Per-host counters of the [`incast`] model.
+#[derive(Clone, Debug, Default)]
+pub struct IncastState {
+    pub sent: u64,
+    pub delivered: u64,
+    pub replies: u64,
+    pub bytes: u64,
+    pub keepalives: u64,
+}
+
+/// Nanoseconds per fabric hop (the ≈500 ns floor from the paper's rack
+/// RTTs); cross-lane messages traverse two hops (host → ToR → host).
+pub const HOP_NS: u64 = 500;
+
+/// Build the reference incast: host 0 is the sink, every other host
+/// pipelines request/reply RPCs into it while all hosts run local
+/// keepalive ticks (the X-RDMA per-connection heartbeat pattern — the
+/// bulk of event volume, and exactly the work that parallelizes across
+/// lanes). Seeded events only; call [`ShardWorld::run_until`] to run.
+pub fn incast(nodes: usize, shards: usize, seed: u64) -> ShardWorld<IncastState> {
+    assert!(nodes >= 2, "incast needs a sink and at least one client");
+    let cfg = ShardConfig {
+        shards,
+        lookahead: Dur::nanos(2 * HOP_NS),
+    };
+    let mut w = ShardWorld::new(cfg, seed, vec![IncastState::default(); nodes]);
+    for id in 0..nodes {
+        let lane = w.lane_mut(id);
+        // Keepalive tick with a per-lane co-prime-ish period so firings
+        // spread across wheel buckets instead of pulsing.
+        let period = Dur::nanos(7_900 + (id as u64 * 131) % 1_024);
+        lane.start_periodic(period, |l| {
+            l.state.keepalives += 1;
+        });
+        if id > 0 {
+            let jitter = lane.rng.next_below(2_000);
+            lane.schedule_at(Time(1 + jitter), request_pump);
+        }
+    }
+    w
+}
+
+/// One client request → sink delivery → service → reply → think → next
+/// request. All cross-lane delays are ≥ two hops, honoring the horizon.
+fn request_pump(lane: &mut Lane<IncastState>) {
+    let src = lane.id();
+    let req = lane.state.sent;
+    lane.state.sent += 1;
+    let size = 1_024 + lane.rng.next_below(48 * 1_024);
+    lane.state.bytes += size;
+    lane.emit("tx", src as u64, req);
+    let sent_at = lane.now().nanos();
+    let hop = Dur::nanos(2 * HOP_NS + lane.rng.next_below(300));
+    lane.send_to(0, hop, move |sink| {
+        sink.state.delivered += 1;
+        sink.state.bytes += size;
+        sink.emit("rx", src as u64, req);
+        let svc = Dur::nanos(400 + sink.rng.next_below(1_200));
+        sink.schedule_in(svc, move |sink| {
+            let hop = Dur::nanos(2 * HOP_NS + sink.rng.next_below(300));
+            sink.send_to(src, hop, move |client| {
+                client.state.replies += 1;
+                client.emit("done", req, client.now().nanos().saturating_sub(sent_at));
+                let think = Dur::nanos(1_000 + client.rng.next_below(6_000));
+                client.schedule_in(think, request_pump);
+            });
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest_at(nodes: usize, shards: usize, seed: u64, until: Dur) -> String {
+        let mut w = incast(nodes, shards, seed);
+        w.run_until(Time(until.as_nanos()));
+        w.digest()
+    }
+
+    #[test]
+    fn shard_counts_agree_byte_for_byte() {
+        let base = digest_at(9, 1, 42, Dur::micros(300));
+        for shards in [2usize, 3, 4, 8] {
+            let d = digest_at(9, shards, 42, Dur::micros(300));
+            assert_eq!(base, d, "shards={shards} diverged from serial");
+        }
+        assert!(base.contains("\"ev\":\"done\""), "RPCs completed: {base}");
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = digest_at(6, 2, 1, Dur::micros(200));
+        let b = digest_at(6, 2, 2, Dur::micros(200));
+        assert_ne!(a, b, "seed must matter");
+    }
+
+    #[test]
+    fn resumable_runs_match_single_run() {
+        let mut a = incast(5, 4, 7);
+        a.run_until(Time(100_000));
+        a.run_until(Time(200_000));
+        let mut b = incast(5, 4, 7);
+        b.run_until(Time(200_000));
+        assert_eq!(a.digest(), b.digest(), "run_until must be resumable");
+    }
+
+    #[test]
+    fn lanes_all_reach_deadline() {
+        let mut w = incast(7, 3, 11);
+        w.run_until(Time(250_000));
+        for l in w.lanes() {
+            assert_eq!(l.now(), Time(250_000), "lane {} starved", l.id());
+        }
+        assert!(w.total_executed() > 100, "did real work");
+    }
+
+    #[test]
+    fn cross_events_never_beat_the_horizon() {
+        // Every "done" record carries the request RTT in `b`; it can
+        // never be below two cross-lane hops (2 × 2 × HOP_NS).
+        let mut w = incast(6, 2, 13);
+        w.run_until(Time(300_000));
+        for r in w.merged_records() {
+            if r.tag == "done" {
+                assert!(
+                    r.b >= 2 * 2 * HOP_NS,
+                    "RTT {} below the two-round-trip-hop floor",
+                    r.b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_cancel_works_on_lanes() {
+        let mut w = ShardWorld::new(ShardConfig::default(), 3, vec![0u64, 0u64]);
+        let lane = w.lane_mut(0);
+        let id = lane.schedule_at(Time(500), |l| l.state += 1);
+        lane.schedule_at(Time(600), |l| l.state += 10);
+        lane.cancel(id);
+        w.run_until(Time(1_000));
+        assert_eq!(w.lanes()[0].state, 10);
+        assert_eq!(w.total_executed(), 1);
+    }
+}

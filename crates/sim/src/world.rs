@@ -1,341 +1,26 @@
-//! The event loop: a hierarchical timer-wheel calendar of slab-recycled
-//! callbacks over virtual time, with stable FIFO tie-breaking, O(1)
-//! generation-counter cancellation, and a re-armable [`Timer`] API that
-//! boxes its closure exactly once.
+//! The serial event loop: an `Rc`-shared façade over the calendar + slab
+//! scheduler core in [`crate::sched`], with stable FIFO tie-breaking,
+//! O(1) generation-counter cancellation, and a re-armable [`Timer`] API
+//! that boxes its closure exactly once.
 //!
-//! # Calendar layout (DESIGN.md §3)
-//!
-//! Pending events are 24-byte `(at, seq, slot, gen)` keys held in one of
-//! three places:
-//!
-//! * **current** — a small binary heap of every key whose bucket the wheel
-//!   cursor has reached. Pops come only from here.
-//! * **near wheel** — `WHEEL_SLOTS` unsorted `Vec` buckets, each covering
-//!   `BUCKET_NS` nanoseconds (horizon ≈ 1 ms: where keepalive, DCQCN and
-//!   retransmit timers live). Scheduling into the horizon is a `Vec::push`.
-//! * **overflow** — a binary min-heap for keys beyond the horizon; they
-//!   migrate into the wheel as the cursor advances.
-//!
-//! The FIFO-at-equal-instant proof obligation: every key is ordered by
-//! `(at, seq)` and `seq` is globally unique and monotone, so the pop order
-//! is correct iff `min(current) ≤ min(wheel ∪ overflow)` whenever `current`
-//! is non-empty. That invariant holds because (a) `current` only receives
-//! whole buckets the cursor has reached plus direct inserts at or behind
-//! the cursor, (b) every bucket holds keys of exactly one future cursor
-//! tick, and (c) the overflow heap only holds keys at least one full
-//! rotation ahead of the cursor (re-established by the migration loop each
-//! time the cursor moves). Callbacks therefore fire in exactly the order
-//! the old single-heap calendar produced, byte-for-byte.
-//!
-//! Cancellation never searches the calendar: each slab slot carries a
-//! generation counter, a key is live iff its generation matches, and stale
-//! keys are discarded when popped. The old kernel is preserved behind
-//! [`Kernel::Legacy`] for differential determinism tests and the
-//! `simperf` before/after baseline.
+//! The calendar mechanics (timer wheel, legacy heap, sharded lane merge)
+//! live in `sched.rs` and are shared verbatim with the parallel
+//! [`crate::shard::ShardWorld`] lane engine; this module owns only the
+//! serial-world policy: the virtual clock, the global sequence counter,
+//! and the `Rc<World>` callback idiom. A `World` is deliberately
+//! `!Send`/`!Sync` — parallelism happens across worlds (or across
+//! [`crate::shard`] lanes), never inside one.
 
 use std::cell::{Cell, RefCell};
-use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashSet};
 use std::rc::Rc;
 
+pub use crate::sched::{EventId, Kernel};
+use crate::sched::{Fired, Sched};
 use crate::time::{Dur, Time};
 
-/// log2 of the span one near-wheel bucket covers (4096 ns).
-const BUCKET_BITS: u32 = 12;
-/// Nanoseconds per near-wheel bucket.
-const BUCKET_NS: u64 = 1 << BUCKET_BITS;
-/// Number of near-wheel buckets; horizon = `WHEEL_SLOTS * BUCKET_NS` ≈ 1 ms.
-const WHEEL_SLOTS: usize = 256;
-/// High bit of `Key::slot`: set for timer slots, clear for one-shot events.
-const TIMER_BIT: u32 = 1 << 31;
-
-/// Handle to a scheduled one-shot event, usable to cancel it before it
-/// fires.
-///
-/// The id encodes `(slot, generation)`; slots are recycled but generations
-/// make every id logically unique, so cancelling an already-fired or
-/// already-cancelled event is a harmless no-op.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventId(u64);
-
-impl EventId {
-    fn pack(slot: u32, gen: u32) -> EventId {
-        EventId(((slot as u64) << 32) | gen as u64)
-    }
-
-    fn unpack(self) -> (u32, u32) {
-        ((self.0 >> 32) as u32, self.0 as u32)
-    }
-}
-
-/// Which calendar implementation a [`World`] runs on.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum Kernel {
-    /// Timer-wheel calendar (the production kernel).
-    #[default]
-    Wheel,
-    /// The pre-wheel reference calendar: one global binary heap plus a
-    /// `HashSet` tombstone probed on every pop. Kept only so differential
-    /// tests can prove both kernels produce identical event orders and so
-    /// `simperf` can measure the speedup against a live baseline.
-    Legacy,
-}
-
-/// A calendar entry: everything needed to order and validate one firing.
-#[derive(Clone, Copy, Debug)]
-struct Key {
-    at: Time,
-    seq: u64,
-    slot: u32,
-    gen: u32,
-}
-
-// Total order by (at, seq): seq is unique, so same-instant keys fire in
-// insertion (FIFO) order. That guarantee is what makes whole-world runs
-// reproducible.
-impl PartialEq for Key {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Key {}
-impl PartialOrd for Key {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.at
-            .cmp(&other.at)
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
-}
-
-#[inline]
-fn tick_of(at: Time) -> u64 {
-    at.0 / BUCKET_NS
-}
-
-/// Timer-wheel calendar state.
-struct WheelCal {
-    /// The bucket tick the cursor last drained; `current` holds every key
-    /// at or behind it.
-    cursor: u64,
-    /// Keys the cursor has reached, popped in `(at, seq)` order.
-    current: BinaryHeap<Reverse<Key>>,
-    /// Near future: bucket `t % WHEEL_SLOTS` holds exactly the keys of the
-    /// single tick `t` that is the bucket's next cursor visit.
-    buckets: Vec<Vec<Key>>,
-    /// Number of keys across all `buckets` (not counting `current`).
-    in_buckets: usize,
-    /// Keys at least one full rotation ahead of the cursor.
-    overflow: BinaryHeap<Reverse<Key>>,
-}
-
-impl WheelCal {
-    fn new() -> WheelCal {
-        WheelCal {
-            cursor: 0,
-            current: BinaryHeap::with_capacity(64),
-            buckets: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
-            in_buckets: 0,
-            overflow: BinaryHeap::new(),
-        }
-    }
-
-    fn push(&mut self, key: Key) {
-        let t = tick_of(key.at);
-        if t <= self.cursor {
-            self.current.push(Reverse(key));
-        } else if t - self.cursor < WHEEL_SLOTS as u64 {
-            self.buckets[(t % WHEEL_SLOTS as u64) as usize].push(key);
-            self.in_buckets += 1;
-        } else {
-            self.overflow.push(Reverse(key));
-        }
-    }
-
-    /// Advance the cursor until `current` is non-empty. Returns false when
-    /// the calendar holds no keys at all.
-    fn refill(&mut self) -> bool {
-        debug_assert!(self.current.is_empty());
-        loop {
-            if self.in_buckets == 0 {
-                // Everything pending (if anything) is in overflow: jump the
-                // cursor straight to the earliest overflow tick.
-                match self.overflow.peek() {
-                    None => return false,
-                    Some(Reverse(k)) => self.cursor = self.cursor.max(tick_of(k.at)),
-                }
-            } else {
-                self.cursor += 1;
-            }
-            // Overflow keys now within one rotation of the cursor move into
-            // the wheel (or straight to current when their tick is due).
-            while let Some(Reverse(k)) = self.overflow.peek() {
-                let t = tick_of(k.at);
-                if t <= self.cursor {
-                    let Reverse(k) = self.overflow.pop().expect("peeked");
-                    self.current.push(Reverse(k));
-                } else if t - self.cursor < WHEEL_SLOTS as u64 {
-                    let Reverse(k) = self.overflow.pop().expect("peeked");
-                    self.buckets[(t % WHEEL_SLOTS as u64) as usize].push(k);
-                    self.in_buckets += 1;
-                } else {
-                    break;
-                }
-            }
-            let b = (self.cursor % WHEEL_SLOTS as u64) as usize;
-            if !self.buckets[b].is_empty() {
-                self.in_buckets -= self.buckets[b].len();
-                self.current.extend(self.buckets[b].drain(..).map(Reverse));
-            }
-            if !self.current.is_empty() {
-                return true;
-            }
-        }
-    }
-
-    fn pop_min(&mut self) -> Option<Key> {
-        if self.current.is_empty() && !self.refill() {
-            return None;
-        }
-        self.current.pop().map(|Reverse(k)| k)
-    }
-
-    fn peek_min(&mut self) -> Option<Key> {
-        if self.current.is_empty() && !self.refill() {
-            return None;
-        }
-        self.current.peek().map(|Reverse(k)| *k)
-    }
-}
-
-/// The pre-wheel reference calendar (see [`Kernel::Legacy`]): a single
-/// binary heap plus the tombstone set the old kernel probed on every pop.
-struct LegacyCal {
-    heap: BinaryHeap<Reverse<Key>>,
-    tombstones: HashSet<u64>,
-}
-
-impl LegacyCal {
-    fn new() -> LegacyCal {
-        LegacyCal {
-            heap: BinaryHeap::with_capacity(1024),
-            tombstones: HashSet::new(),
-        }
-    }
-
-    fn pop_min(&mut self) -> Option<Key> {
-        let Reverse(k) = self.heap.pop()?;
-        // Faithful to the old kernel's cost model: a hash probe per pop.
-        self.tombstones.remove(&k.seq);
-        Some(k)
-    }
-}
-
-enum Calendar {
-    Wheel(WheelCal),
-    Legacy(LegacyCal),
-}
-
-impl Calendar {
-    fn push(&mut self, key: Key) {
-        match self {
-            Calendar::Wheel(w) => w.push(key),
-            Calendar::Legacy(l) => l.heap.push(Reverse(key)),
-        }
-    }
-
-    fn pop_min(&mut self) -> Option<Key> {
-        match self {
-            Calendar::Wheel(w) => w.pop_min(),
-            Calendar::Legacy(l) => l.pop_min(),
-        }
-    }
-
-    fn peek_min(&mut self) -> Option<Key> {
-        match self {
-            Calendar::Wheel(w) => w.peek_min(),
-            Calendar::Legacy(l) => l.heap.peek().map(|Reverse(k)| *k),
-        }
-    }
-
-    /// Record a cancellation the way the legacy kernel did (tombstone
-    /// insert); the wheel needs nothing — generations already invalidate
-    /// the key.
-    fn note_cancel(&mut self, seq: u64) {
-        if let Calendar::Legacy(l) = self {
-            l.tombstones.insert(seq);
-        }
-    }
-}
-
-/// One-shot event slot: recycled through a free list, validated by `gen`.
-struct EventSlot {
-    gen: u32,
-    /// Sequence number of the occupying event (legacy tombstones key on it).
-    seq: u64,
-    f: Option<Box<dyn FnOnce()>>,
-}
-
-/// Re-armable timer slot: the closure is boxed once at [`World::timer`]
-/// time and survives across arms, cancels and fires.
-struct TimerSlot {
-    gen: u32,
-    /// False once the owning [`Timer`] handle is dropped.
-    alive: bool,
-    armed: bool,
-    /// Sequence number of the currently armed firing, for legacy tombstones.
-    armed_seq: u64,
-    /// Auto re-arm period for [`World::periodic`] timers.
-    auto: Option<Dur>,
-    f: Option<Box<dyn FnMut()>>,
-}
-
-/// Slab arena of event and timer slots plus the live-event count.
-#[derive(Default)]
-struct Slots {
-    events: Vec<EventSlot>,
-    free_events: Vec<u32>,
-    timers: Vec<TimerSlot>,
-    free_timers: Vec<u32>,
-    /// Logically pending firings: scheduled one-shots plus armed timers.
-    live: usize,
-}
-
-impl Slots {
-    fn alloc_event(&mut self, seq: u64, f: Box<dyn FnOnce()>) -> (u32, u32) {
-        self.live += 1;
-        if let Some(idx) = self.free_events.pop() {
-            let s = &mut self.events[idx as usize];
-            debug_assert!(s.f.is_none(), "free-listed slot must be vacant");
-            s.f = Some(f);
-            s.seq = seq;
-            (idx, s.gen)
-        } else {
-            let idx = self.events.len() as u32;
-            assert!(idx < TIMER_BIT, "event slot space exhausted");
-            self.events.push(EventSlot {
-                gen: 0,
-                seq,
-                f: Some(f),
-            });
-            (idx, 0)
-        }
-    }
-}
-
-enum Fired {
-    OneShot(Box<dyn FnOnce()>),
-    Timer {
-        idx: u32,
-        gen: u32,
-        auto: Option<Dur>,
-        f: Box<dyn FnMut()>,
-    },
-}
+/// The scheduler specialization the serial world runs on: plain boxed
+/// closures, free to capture `Rc`s.
+type WorldSched = Sched<Box<dyn FnOnce()>, Box<dyn FnMut()>>;
 
 /// A deterministic single-threaded discrete-event world.
 ///
@@ -359,15 +44,17 @@ enum Fired {
 pub struct World {
     now: Cell<Time>,
     seq: Cell<u64>,
-    calendar: RefCell<Calendar>,
-    slots: RefCell<Slots>,
+    // xrdma-lint: allow(non-send-shard-state) -- the serial Rc-world's one interior-mutable cell; Send lane state lives in shard::Lane, which carries Sched by plain &mut
+    sched: RefCell<WorldSched>,
     executed: Cell<u64>,
 }
 
 impl World {
-    /// Create a fresh world at `t = 0` on the timer-wheel kernel.
+    /// Create a fresh world at `t = 0` on the default kernel: the timer
+    /// wheel, or the sharded calendar when `XRDMA_SHARDS` (> 1) is set —
+    /// see [`Kernel::from_env`].
     pub fn new() -> Rc<World> {
-        Self::with_kernel(Kernel::Wheel)
+        Self::with_kernel(Kernel::from_env())
     }
 
     /// Create a fresh world on an explicit [`Kernel`] (benchmarks and
@@ -376,11 +63,7 @@ impl World {
         Rc::new(World {
             now: Cell::new(Time::ZERO),
             seq: Cell::new(0),
-            calendar: RefCell::new(match kernel {
-                Kernel::Wheel => Calendar::Wheel(WheelCal::new()),
-                Kernel::Legacy => Calendar::Legacy(LegacyCal::new()),
-            }),
-            slots: RefCell::new(Slots::default()),
+            sched: RefCell::new(Sched::new(kernel)),
             executed: Cell::new(0),
         })
     }
@@ -399,7 +82,14 @@ impl World {
     /// Number of events logically pending: scheduled one-shots plus armed
     /// timers, excluding anything already cancelled.
     pub fn pending(&self) -> usize {
-        self.slots.borrow().live
+        self.sched.borrow().pending()
+    }
+
+    #[inline]
+    fn next_seq(&self) -> u64 {
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        seq
     }
 
     /// Schedule `f` to run at absolute time `at`.
@@ -414,11 +104,8 @@ impl World {
             self.now()
         );
         let at = at.max(self.now());
-        let seq = self.seq.get();
-        self.seq.set(seq + 1);
-        let (slot, gen) = self.slots.borrow_mut().alloc_event(seq, Box::new(f));
-        self.calendar.borrow_mut().push(Key { at, seq, slot, gen });
-        EventId::pack(slot, gen)
+        let seq = self.next_seq();
+        self.sched.borrow_mut().schedule(at, seq, Box::new(f))
     }
 
     /// Schedule `f` to run after delay `d`.
@@ -431,24 +118,7 @@ impl World {
     /// O(1): the slot's generation is bumped (orphaning the calendar key,
     /// which is discarded when popped) and the closure is dropped now.
     pub fn cancel(&self, id: EventId) {
-        let (slot, gen) = id.unpack();
-        debug_assert_eq!(slot & TIMER_BIT, 0, "EventId never refers to a timer");
-        let seq = {
-            let mut slots = self.slots.borrow_mut();
-            let Some(s) = slots.events.get_mut(slot as usize) else {
-                return;
-            };
-            if s.gen != gen || s.f.is_none() {
-                return; // already fired, cancelled, or recycled
-            }
-            s.f = None;
-            s.gen = s.gen.wrapping_add(1);
-            let seq = s.seq;
-            slots.free_events.push(slot);
-            slots.live -= 1;
-            seq
-        };
-        self.calendar.borrow_mut().note_cancel(seq);
+        self.sched.borrow_mut().cancel(id);
     }
 
     /// Create a re-armable [`Timer`] around `f`. The closure is boxed once,
@@ -466,28 +136,7 @@ impl World {
     }
 
     fn make_timer(self: &Rc<Self>, auto: Option<Dur>, f: Box<dyn FnMut()>) -> Timer {
-        let mut slots = self.slots.borrow_mut();
-        let idx = if let Some(idx) = slots.free_timers.pop() {
-            let t = &mut slots.timers[idx as usize];
-            debug_assert!(t.f.is_none() && !t.alive);
-            t.alive = true;
-            t.armed = false;
-            t.auto = auto;
-            t.f = Some(f);
-            idx
-        } else {
-            let idx = slots.timers.len() as u32;
-            assert!(idx < TIMER_BIT, "timer slot space exhausted");
-            slots.timers.push(TimerSlot {
-                gen: 0,
-                alive: true,
-                armed: false,
-                armed_seq: 0,
-                auto,
-                f: Some(f),
-            });
-            idx
-        };
+        let idx = self.sched.borrow_mut().make_timer(auto, f);
         Timer {
             world: self.clone(),
             idx,
@@ -499,128 +148,47 @@ impl World {
     fn arm_timer_slot(&self, idx: u32, at: Time) {
         debug_assert!(at >= self.now(), "arming a timer into the past");
         let at = at.max(self.now());
-        let seq = self.seq.get();
-        self.seq.set(seq + 1);
-        let gen = {
-            let mut slots = self.slots.borrow_mut();
-            let t = &mut slots.timers[idx as usize];
-            debug_assert!(t.alive && !t.armed);
-            t.armed = true;
-            t.armed_seq = seq;
-            let gen = t.gen;
-            slots.live += 1;
-            gen
-        };
-        self.calendar.borrow_mut().push(Key {
-            at,
-            seq,
-            slot: idx | TIMER_BIT,
-            gen,
-        });
-    }
-
-    /// Pop the next key and resolve it against the slab; `None` means the
-    /// key was stale (cancelled / superseded) and carried no work.
-    fn take_fired(&self, key: Key) -> Option<Fired> {
-        let mut slots = self.slots.borrow_mut();
-        if key.slot & TIMER_BIT != 0 {
-            let idx = key.slot & !TIMER_BIT;
-            let t = &mut slots.timers[idx as usize];
-            if t.gen != key.gen || !t.armed {
-                return None;
-            }
-            t.armed = false;
-            let f = t.f.take().expect("armed timer holds its closure");
-            let auto = t.auto;
-            slots.live -= 1;
-            Some(Fired::Timer {
-                idx,
-                gen: key.gen,
-                auto,
-                f,
-            })
-        } else {
-            let s = &mut slots.events[key.slot as usize];
-            if s.gen != key.gen {
-                return None;
-            }
-            let f = s.f.take().expect("live event slot holds its closure");
-            s.gen = s.gen.wrapping_add(1);
-            slots.free_events.push(key.slot);
-            slots.live -= 1;
-            Some(Fired::OneShot(f))
-        }
+        let seq = self.next_seq();
+        self.sched.borrow_mut().arm_timer(idx, at, seq);
     }
 
     /// Pop and execute the next event. Returns `false` when the calendar is
     /// empty (cancelled events are skipped transparently).
     pub fn step(&self) -> bool {
-        loop {
-            let key = match self.calendar.borrow_mut().pop_min() {
-                Some(k) => k,
-                None => return false,
-            };
-            let Some(fired) = self.take_fired(key) else {
-                continue;
-            };
-            debug_assert!(key.at >= self.now());
-            self.now.set(key.at);
-            self.executed.set(self.executed.get() + 1);
-            match fired {
-                Fired::OneShot(f) => f(),
-                Fired::Timer {
-                    idx,
-                    gen,
-                    auto,
-                    mut f,
-                } => {
-                    f();
-                    // Give the closure back to its slot — unless the handle
-                    // was dropped (and the slot possibly re-allocated)
-                    // during the callback.
-                    let rearm = {
-                        let mut slots = self.slots.borrow_mut();
-                        let t = &mut slots.timers[idx as usize];
-                        if t.alive && t.f.is_none() {
-                            t.f = Some(f);
-                            // Auto re-arm only if the callback neither
-                            // re-armed nor cancelled the timer itself.
-                            t.gen == gen && !t.armed && auto.is_some()
-                        } else {
-                            false
-                        }
-                    };
-                    if rearm {
-                        let period = auto.expect("rearm implies auto period");
-                        self.arm_timer_slot(idx, self.now().saturating_add(period));
-                    }
+        let (at, fired) = match self.sched.borrow_mut().pop_fired() {
+            Some(p) => p,
+            None => return false,
+        };
+        debug_assert!(at >= self.now());
+        self.now.set(at);
+        self.executed.set(self.executed.get() + 1);
+        match fired {
+            Fired::OneShot(f) => f(),
+            Fired::Timer {
+                idx,
+                gen,
+                auto,
+                mut f,
+            } => {
+                f();
+                // Give the closure back to its slot — unless the handle
+                // was dropped (and the slot possibly re-allocated)
+                // during the callback.
+                let rearm = self.sched.borrow_mut().finish_timer_fire(idx, gen, f);
+                debug_assert!(rearm.is_none() || auto.is_some());
+                let _ = auto;
+                if let Some(period) = rearm {
+                    self.arm_timer_slot(idx, self.now().saturating_add(period));
                 }
             }
-            return true;
         }
+        true
     }
 
     /// Instant of the next live (non-cancelled) event, discarding any stale
     /// keys found on the way.
     fn next_live_at(&self) -> Option<Time> {
-        loop {
-            let key = self.calendar.borrow_mut().peek_min()?;
-            let live = {
-                let slots = self.slots.borrow();
-                if key.slot & TIMER_BIT != 0 {
-                    let t = &slots.timers[(key.slot & !TIMER_BIT) as usize];
-                    t.gen == key.gen && t.armed
-                } else {
-                    slots.events[key.slot as usize].gen == key.gen
-                }
-            };
-            if live {
-                return Some(key.at);
-            }
-            // Stale: drop it so a cancelled head can't mask a live event
-            // beyond the caller's deadline.
-            let _ = self.calendar.borrow_mut().pop_min();
-        }
+        self.sched.borrow_mut().next_live_at()
     }
 
     /// Run until the calendar is empty.
@@ -688,42 +256,21 @@ impl Timer {
 
     /// Is a firing currently scheduled?
     pub fn is_armed(&self) -> bool {
-        let slots = self.world.slots.borrow();
-        let t = &slots.timers[self.idx as usize];
-        t.armed
+        self.world.sched.borrow().timer_is_armed(self.idx)
     }
 
     /// Cancel the armed firing, if any. The closure is kept; the timer can
     /// be re-armed later.
     pub fn cancel(&self) {
-        let seq = {
-            let mut slots = self.world.slots.borrow_mut();
-            let t = &mut slots.timers[self.idx as usize];
-            if !t.armed {
-                return;
-            }
-            t.armed = false;
-            t.gen = t.gen.wrapping_add(1);
-            let seq = t.armed_seq;
-            slots.live -= 1;
-            seq
-        };
-        self.world.calendar.borrow_mut().note_cancel(seq);
+        self.world.sched.borrow_mut().cancel_timer(self.idx);
     }
 }
 
 impl Drop for Timer {
     fn drop(&mut self) {
-        self.cancel();
-        let mut slots = self.world.slots.borrow_mut();
-        let t = &mut slots.timers[self.idx as usize];
-        t.alive = false;
-        t.gen = t.gen.wrapping_add(1);
-        // The closure may be absent mid-fire; `step` sees `alive == false`
-        // and discards it instead of putting it back.
-        t.f = None;
-        t.auto = None;
-        slots.free_timers.push(self.idx);
+        let mut sched = self.world.sched.borrow_mut();
+        sched.cancel_timer(self.idx);
+        sched.release_timer(self.idx);
     }
 }
 
@@ -740,6 +287,7 @@ impl std::fmt::Debug for Timer {
 mod tests {
     use super::*;
     use crate::rng::SimRng;
+    use crate::sched::{BUCKET_NS, WHEEL_SLOTS};
     use std::cell::RefCell;
 
     #[test]
@@ -1014,10 +562,12 @@ mod tests {
     }
 
     /// Differential determinism: a randomized schedule/cancel/timer storm
-    /// must produce an identical execution trace on both kernels. This is
-    /// the executable form of the FIFO-at-equal-instant proof obligation.
+    /// must produce an identical execution trace on all kernels, the
+    /// sharded lane calendar at several widths included. This is the
+    /// executable form of the FIFO-at-equal-instant proof obligation and
+    /// of the sharded merge rule (DESIGN.md §3.15).
     #[test]
-    fn wheel_and_legacy_kernels_agree() {
+    fn all_kernels_agree() {
         fn storm(kernel: Kernel, seed: u64) -> (Vec<(u64, u32)>, u64, u64) {
             let w = World::with_kernel(kernel);
             let mut rng = SimRng::new(seed);
@@ -1059,7 +609,11 @@ mod tests {
         for seed in [1u64, 7, 42] {
             let a = storm(Kernel::Wheel, seed);
             let b = storm(Kernel::Legacy, seed);
-            assert_eq!(a, b, "kernels diverged for seed {seed}");
+            assert_eq!(a, b, "wheel vs legacy diverged for seed {seed}");
+            for lanes in [1usize, 2, 4, 8] {
+                let c = storm(Kernel::Sharded { lanes }, seed);
+                assert_eq!(a, c, "sharded({lanes}) diverged for seed {seed}");
+            }
             assert!(a.1 > 1_000, "storm did real work: {} events", a.1);
         }
     }
@@ -1088,9 +642,25 @@ mod tests {
         }
         w.run();
         assert!(
-            w.slots.borrow().events.len() <= 16,
+            w.sched.borrow().event_arena_len() <= 16,
             "arena grew to {} slots for 10 concurrent events",
-            w.slots.borrow().events.len()
+            w.sched.borrow().event_arena_len()
         );
+    }
+
+    #[test]
+    fn sharded_kernel_from_env_parses() {
+        assert_eq!(Kernel::default(), Kernel::Wheel);
+        // from_env reads the process environment; exercise the parse paths
+        // through with_kernel instead of mutating global env in tests.
+        let w = World::with_kernel(Kernel::Sharded { lanes: 4 });
+        let hits = Rc::new(Cell::new(0u32));
+        for i in 0..32u64 {
+            let h = hits.clone();
+            w.schedule_at(Time(10 + i % 3), move || h.set(h.get() + 1));
+        }
+        w.run();
+        assert_eq!(hits.get(), 32);
+        assert_eq!(w.events_executed(), 32);
     }
 }

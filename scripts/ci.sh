@@ -17,6 +17,10 @@
 #                the runtime invariant checkers)
 #              - faults + telemetry + debug_invariants (fault injector
 #                live: chaos suite + fault-plan property tests)
+#              - XRDMA_SHARDS=4: the default leg rerun with every World
+#                on the sharded validation kernel (DESIGN.md §3.15), so
+#                the whole tier-1 suite doubles as a differential test
+#                of the per-lane calendar + (Time, seq) merge rule
 #   simperf  smoke run of the event-kernel throughput race (wheel vs
 #            legacy calendar) — results land in a temp dir so the
 #            committed full-scale results/simperf.json stays untouched
@@ -47,6 +51,7 @@ run cargo test -q --workspace
 run cargo test -q --workspace --features xrdma-tests/telemetry
 run cargo test -q --workspace --features xrdma-tests/telemetry,xrdma-tests/debug_invariants
 run cargo test -q --workspace --features xrdma-tests/faults,xrdma-tests/telemetry,xrdma-tests/debug_invariants
+run env XRDMA_SHARDS=4 cargo test -q --workspace
 run env XRDMA_SIMPERF_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
     cargo run -q --release -p xrdma-bench --features xrdma-bench/faults --bin simperf
 run env XRDMA_MSGRATE_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \

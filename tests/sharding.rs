@@ -1,0 +1,470 @@
+//! Sharded-execution differential suite (DESIGN.md §3.15): the same
+//! seed must produce *byte-identical* artifacts — determinism digests,
+//! telemetry JSONL, span JSONL, chaos goldens — at every shard count,
+//! through two independent sharded paths:
+//!
+//! * the serial validation kernel `Kernel::Sharded { lanes }`, which
+//!   runs the whole Rc-world stack over per-lane calendars merged by
+//!   `(Time, seq)` — proving the merge rule preserves the global order
+//!   on the full fabric→RNIC→middleware stack, and
+//! * the threaded `ShardWorld` lane engine, where rounds really execute
+//!   on worker threads under conservative lookahead — proving the
+//!   mailbox protocol is interleaving-invariant.
+//!
+//! The proptests at the bottom hammer the lane engine with random
+//! topologies and shard counts: cross-lane delivery keeps per-pair FIFO
+//! order, nothing ever lands below the lookahead horizon, and no lane
+//! starves short of the deadline.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use xrdma_core::{XrdmaConfig, XrdmaContext};
+use xrdma_fabric::{Fabric, FabricConfig, NodeId};
+use xrdma_rnic::{CmConfig, ConnManager, RnicConfig};
+use xrdma_sim::shard::HOP_NS;
+use xrdma_sim::{Dur, Kernel, Lane, ShardConfig, ShardWorld, SimRng, Time, World};
+
+/// Every kernel the differential battery compares: today's production
+/// wheel against the sharded validation kernel at each target lane count.
+const KERNELS: [Kernel; 5] = [
+    Kernel::Wheel,
+    Kernel::Sharded { lanes: 1 },
+    Kernel::Sharded { lanes: 2 },
+    Kernel::Sharded { lanes: 4 },
+    Kernel::Sharded { lanes: 8 },
+];
+
+fn kernel_name(k: Kernel) -> String {
+    format!("{k:?}")
+}
+
+// ---------------------------------------------------------------------------
+// Full-stack determinism digest, parameterized by kernel
+// ---------------------------------------------------------------------------
+
+/// The determinism suite's deep-incast digest (8 clients blasting one
+/// server with rendezvous requests), built on an explicit kernel.
+fn incast_digest_on(kernel: Kernel, seed: u64) -> String {
+    let world = World::with_kernel(kernel);
+    let rng = SimRng::new(seed);
+    let fabric = Fabric::new(world.clone(), FabricConfig::rack(9), &rng);
+    let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
+    let mk = |node: u32| {
+        XrdmaContext::on_new_node(
+            &fabric,
+            &cm,
+            NodeId(node),
+            RnicConfig::default(),
+            XrdmaConfig::default(),
+            &rng,
+        )
+    };
+    let server = mk(0);
+    server.listen(7, |ch| {
+        ch.set_on_request(|ch, _msg, token| {
+            let _ = ch.respond_size(token, 128);
+        });
+    });
+    let mut clients = Vec::new();
+    for i in 1..9u32 {
+        let c = mk(i);
+        let slot: Rc<RefCell<Option<_>>> = Rc::new(RefCell::new(None));
+        let s2 = slot.clone();
+        c.connect(NodeId(0), 7, move |r| {
+            *s2.borrow_mut() = Some(r.expect("connect"));
+        });
+        clients.push((c, slot));
+    }
+    world.run_for(Dur::millis(30));
+    let done = Rc::new(Cell::new(0u64));
+    for (_, slot) in &clients {
+        let ch = slot.borrow().clone().expect("channel");
+        for _ in 0..16 {
+            let d = done.clone();
+            ch.send_request_size(48 * 1024, move |_, _| d.set(d.get() + 1))
+                .expect("send accepted");
+        }
+    }
+    world.run_for(Dur::millis(500));
+    assert_eq!(done.get(), 8 * 16, "incast completes on {kernel:?}");
+
+    let mut out = String::new();
+    out.push_str(&serde_json::to_string(&fabric.stats().snapshot()).expect("json"));
+    for ctx in std::iter::once(&server).chain(clients.iter().map(|(c, _)| c)) {
+        out.push('\n');
+        out.push_str(&serde_json::to_string(&ctx.stats()).expect("json"));
+        out.push('\n');
+        out.push_str(&serde_json::to_string(&ctx.rnic().stats()).expect("json"));
+    }
+    out.push_str(&format!(
+        "\ntime={} events={}",
+        world.now().nanos(),
+        world.events_executed()
+    ));
+    out
+}
+
+#[test]
+fn full_stack_digest_identical_across_shard_counts() {
+    let base = incast_digest_on(KERNELS[0], 4091);
+    for k in &KERNELS[1..] {
+        let got = incast_digest_on(*k, 4091);
+        assert_eq!(
+            base,
+            got,
+            "{} diverged from {} on the same seed",
+            kernel_name(*k),
+            kernel_name(KERNELS[0])
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry + span JSONL, parameterized by kernel
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "telemetry")]
+mod telemetry_equivalence {
+    use super::*;
+    use xrdma_telemetry::{HubConfig, TelemetryHub};
+
+    /// The span-suite rig on an explicit kernel; returns (event JSONL,
+    /// span JSONL).
+    fn jsonl_on(kernel: Kernel, seed: u64) -> (String, String) {
+        let world = World::with_kernel(kernel);
+        let hub = TelemetryHub::install(&world, HubConfig::default());
+        let rng = SimRng::new(seed);
+        let fabric = Fabric::new(world.clone(), FabricConfig::rack(5), &rng);
+        let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
+        let mk = |node: u32| {
+            XrdmaContext::on_new_node(
+                &fabric,
+                &cm,
+                NodeId(node),
+                RnicConfig::default(),
+                XrdmaConfig::default(),
+                &rng,
+            )
+        };
+        let server = mk(0);
+        server.listen(7, |ch| {
+            ch.set_on_request(|ch, _msg, token| {
+                let _ = ch.respond_size(token, 128);
+            });
+        });
+        let mut clients = Vec::new();
+        for i in 1..5u32 {
+            let c = mk(i);
+            let slot: Rc<RefCell<Option<_>>> = Rc::new(RefCell::new(None));
+            let s2 = slot.clone();
+            c.connect(NodeId(0), 7, move |r| {
+                *s2.borrow_mut() = Some(r.expect("connect"));
+            });
+            clients.push((c, slot));
+        }
+        world.run_for(Dur::millis(30));
+        let done = Rc::new(Cell::new(0u64));
+        for (_, slot) in &clients {
+            let ch = slot.borrow().clone().expect("channel");
+            for _ in 0..8 {
+                let d = done.clone();
+                ch.send_request_size(4096, move |_, _| d.set(d.get() + 1))
+                    .expect("send accepted");
+            }
+        }
+        world.run_for(Dur::millis(400));
+        assert_eq!(done.get(), 4 * 8, "workload completes on {kernel:?}");
+        (
+            xrdma_telemetry::export::to_jsonl(&hub.events()),
+            xrdma_telemetry::export::spans_to_jsonl(&hub.span_nodes()),
+        )
+    }
+
+    #[test]
+    fn telemetry_and_span_jsonl_identical_across_shard_counts() {
+        let (base_ev, base_sp) = jsonl_on(KERNELS[0], 515);
+        assert!(
+            base_ev.lines().count() > 50,
+            "substantive event log, got {} lines",
+            base_ev.lines().count()
+        );
+        assert!(
+            base_sp.contains("\"name\":\"hop\""),
+            "per-stage spans captured: {base_sp}"
+        );
+        for k in &KERNELS[1..] {
+            let (ev, sp) = jsonl_on(*k, 515);
+            assert_eq!(base_ev, ev, "{}: event JSONL diverged", kernel_name(*k));
+            assert_eq!(base_sp, sp, "{}: span JSONL diverged", kernel_name(*k));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos golden at shards=4: the committed artifact, unchanged
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "faults", feature = "telemetry"))]
+mod chaos_golden {
+    use super::*;
+    use xrdma_faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultTarget};
+    use xrdma_telemetry::{HubConfig, TelemetryHub};
+
+    /// tests/chaos.rs `golden_scenario_jsonl`, verbatim except for the
+    /// explicit kernel: a seeded double link flap under an 8-client
+    /// incast.
+    fn golden_scenario_jsonl_on(kernel: Kernel) -> String {
+        let world = World::with_kernel(kernel);
+        let hub_guard = TelemetryHub::install(&world, HubConfig::default());
+        let rng = SimRng::new(4242);
+        let spec = |at_ms: u64, dur_ms: u64| FaultSpec {
+            at_ns: at_ms * 1_000_000,
+            dur_ns: Some(dur_ms * 1_000_000),
+            target: FaultTarget::Edge("tor0->host0".to_string()),
+            kind: FaultKind::LinkDown,
+        };
+        let plan = FaultPlan::new().with(spec(25, 5)).with(spec(36, 3));
+        let _fg = FaultInjector::install(&world, plan, rng.fork("faults"));
+        let fabric = Fabric::new(world.clone(), FabricConfig::rack(9), &rng);
+        let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
+        let server = XrdmaContext::on_new_node(
+            &fabric,
+            &cm,
+            NodeId(0),
+            RnicConfig::default(),
+            XrdmaConfig::default(),
+            &rng,
+        );
+        server.listen(7, |ch| {
+            ch.set_on_request(|ch, _msg, token| {
+                let _ = ch.respond_size(token, 128);
+            });
+        });
+        let mut clients = Vec::new();
+        for i in 1..9u32 {
+            let c = XrdmaContext::on_new_node(
+                &fabric,
+                &cm,
+                NodeId(i),
+                RnicConfig::default(),
+                XrdmaConfig::default(),
+                &rng,
+            );
+            let slot: Rc<RefCell<Option<_>>> = Rc::new(RefCell::new(None));
+            let s2 = slot.clone();
+            c.connect(NodeId(0), 7, move |r| {
+                *s2.borrow_mut() = Some(r.expect("connect"));
+            });
+            clients.push((c, slot));
+        }
+        world.run_for(Dur::millis(20));
+        let done = Rc::new(Cell::new(0u64));
+        for (_, slot) in &clients {
+            let ch = slot.borrow().clone().expect("channel");
+            for _ in 0..16 {
+                let d = done.clone();
+                ch.send_request_size(48 * 1024, move |_, _| d.set(d.get() + 1))
+                    .expect("send accepted");
+            }
+        }
+        world.run_for(Dur::millis(500));
+        assert_eq!(done.get(), 8 * 16, "the golden scenario completes");
+        xrdma_telemetry::export::to_jsonl(&hub_guard.events())
+    }
+
+    /// The committed golden was produced on the serial wheel; the
+    /// sharded kernel must reproduce it byte for byte, fault windows and
+    /// all. Read-only on purpose — XRDMA_UPDATE_GOLDEN is the chaos
+    /// suite's job, this test only ever compares.
+    #[test]
+    fn sharded_kernel_reproduces_committed_chaos_golden() {
+        let got = golden_scenario_jsonl_on(Kernel::Sharded { lanes: 4 });
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/chaos_link_flap.jsonl");
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {} ({e})", path.display()));
+        assert!(
+            got == want,
+            "shards=4 chaos run diverged from the committed golden \
+             ({} vs {} lines) — the sharded kernel is reordering events",
+            got.lines().count(),
+            want.lines().count()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The threaded lane engine: differential + flaky-guard
+// ---------------------------------------------------------------------------
+
+/// The reference 33-lane incast on the *threaded* engine.
+fn model_digest(shards: usize) -> String {
+    let mut w = xrdma_sim::shard::incast(33, shards, 90125);
+    w.run_until(Time(1_500_000));
+    w.digest()
+}
+
+#[test]
+fn lane_engine_digest_identical_across_shard_counts() {
+    let base = model_digest(1);
+    for shards in [2usize, 4, 8] {
+        let got = model_digest(shards);
+        assert_identical(&base, &got, &format!("shards={shards} vs serial"));
+    }
+    assert!(
+        base.contains("\"ev\":\"done\""),
+        "RPCs actually completed:\n{base}"
+    );
+}
+
+/// Flaky-guard: thread-interleaving nondeterminism is exactly the bug
+/// class a single green run can hide, so the 8-shard digest runs three
+/// times in-process. A mismatch reports the first diverging line pair —
+/// the first event whose order flipped — not just "digests differ".
+#[test]
+fn lane_engine_shards8_stable_across_three_reruns() {
+    let base = model_digest(8);
+    for round in 1..3 {
+        let got = model_digest(8);
+        assert_identical(&base, &got, &format!("shards=8 rerun #{round}"));
+    }
+}
+
+/// Byte-compare two digests; on mismatch, dump the first diverging line
+/// pair (the earliest reordered/dropped event) for forensics.
+fn assert_identical(base: &str, got: &str, what: &str) {
+    if base == got {
+        return;
+    }
+    for (i, (b, g)) in base.lines().zip(got.lines()).enumerate() {
+        if b != g {
+            panic!(
+                "{what}: first divergence at line {}:\n  base: {b}\n  got:  {g}",
+                i + 1
+            );
+        }
+    }
+    panic!(
+        "{what}: one digest is a prefix of the other ({} vs {} lines)",
+        base.lines().count(),
+        got.lines().count()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Proptests: random topologies × shard counts
+// ---------------------------------------------------------------------------
+
+/// Random-gossip lane state. `n` is the topology size (lanes can't see
+/// the world, so it rides in the state); `got` records every delivery as
+/// `(src, k, measured_delay)` where `k` is the sender's per-lane message
+/// index and the delay is measured at the receiver.
+#[derive(Clone, Debug)]
+struct GossipState {
+    n: u32,
+    sent: u64,
+    got: Vec<(u32, u64, u64)>,
+}
+
+const LOOKAHEAD_NS: u64 = 2 * HOP_NS;
+
+/// Each lane sends to a random peer and reschedules itself forever. The
+/// cross-lane delay is a *pure function of the (src, dst) pair*, so
+/// deliveries for a given pair must arrive in send order — the per-pair
+/// FIFO property the proptest checks.
+fn gossip_tick(lane: &mut Lane<GossipState>) {
+    let me = lane.id();
+    let n = lane.state.n;
+    let k = lane.state.sent;
+    lane.state.sent += 1;
+    let mut dst = lane.rng.next_below(u64::from(n) - 1) as u32;
+    if dst >= me {
+        dst += 1;
+    }
+    let delay = Dur::nanos(LOOKAHEAD_NS * (1 + (u64::from(me) + u64::from(dst)) % 3));
+    let sent_at = lane.now().nanos();
+    lane.send_to(dst, delay, move |l| {
+        let measured = l.now().nanos().saturating_sub(sent_at);
+        l.state.got.push((me, k, measured));
+    });
+    let think = Dur::nanos(700 + lane.rng.next_below(4_000));
+    lane.schedule_in(think, gossip_tick);
+}
+
+fn gossip(lanes: usize, shards: usize, seed: u64, deadline: Time) -> ShardWorld<GossipState> {
+    let cfg = ShardConfig {
+        shards,
+        lookahead: Dur::nanos(LOOKAHEAD_NS),
+    };
+    let states = (0..lanes)
+        .map(|_| GossipState {
+            n: lanes as u32,
+            sent: 0,
+            got: Vec::new(),
+        })
+        .collect();
+    let mut w = ShardWorld::new(cfg, seed, states);
+    for i in 0..lanes {
+        let lane = w.lane_mut(i);
+        let start = Time(1 + lane.rng.next_below(2_000));
+        lane.schedule_at(start, gossip_tick);
+    }
+    w.run_until(deadline);
+    w
+}
+
+proptest::proptest! {
+    /// Any topology, any shard count: the run is byte-identical to the
+    /// serial (shards=1) execution of the same seed.
+    #[test]
+    fn random_topology_matches_serial(
+        lanes in 2usize..16,
+        shards in 2usize..=4,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        let deadline = Time(60_000);
+        let serial = gossip(lanes, 1, seed, deadline);
+        let sharded = gossip(lanes, shards, seed, deadline);
+        proptest::prop_assert_eq!(serial.digest(), sharded.digest());
+    }
+
+    /// Delivery-order and liveness invariants hold on the threaded path:
+    /// per-pair FIFO, nothing below the lookahead horizon, no starved
+    /// lane, and the workload actually crossed lanes.
+    #[test]
+    fn delivery_order_and_liveness(
+        lanes in 2usize..16,
+        shards in 2usize..=4,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        let deadline = Time(60_000);
+        let w = gossip(lanes, shards, seed, deadline);
+        let mut crossings = 0u64;
+        for lane in w.lanes() {
+            // Liveness: every lane reached the deadline.
+            proptest::prop_assert_eq!(lane.now(), deadline);
+            let mut last_k: std::collections::BTreeMap<u32, u64> =
+                std::collections::BTreeMap::new();
+            for &(src, k, measured) in &lane.state.got {
+                crossings += 1;
+                // Horizon: never delivered earlier than send + L.
+                proptest::prop_assert!(
+                    measured >= LOOKAHEAD_NS,
+                    "lane {} got a message from {} after {}ns < lookahead {}ns",
+                    lane.id(), src, measured, LOOKAHEAD_NS
+                );
+                // Per-pair FIFO: constant pair delay ⇒ send order is
+                // delivery order, so sender indices strictly increase.
+                if let Some(prev) = last_k.insert(src, k) {
+                    proptest::prop_assert!(
+                        k > prev,
+                        "pair {}→{} delivered k={} after k={}",
+                        src, lane.id(), k, prev
+                    );
+                }
+            }
+        }
+        proptest::prop_assert!(crossings > 0, "gossip must actually cross lanes");
+    }
+}
