@@ -263,6 +263,59 @@ pub fn render_engine_residency(h: &HealthRow) -> String {
     )
 }
 
+/// Render the threaded-engine lane panel (DESIGN.md §3.15): one row per
+/// lane with barrier rounds, executed events, mailbox send/recv counts
+/// and telemetry records, plus a residency summary naming the busiest
+/// and idlest lanes by executed-event share — so shard imbalance (an
+/// overloaded incast sink pinning one worker) is diagnosable without a
+/// trace viewer. Deterministic: rows in lane order, shares from exact
+/// integer counts.
+pub fn render_lane_panel(stats: &[xrdma_sim::shard::LaneStats]) -> String {
+    if stats.is_empty() {
+        return String::from("LANES: none\n");
+    }
+    let total: u64 = stats.iter().map(|s| s.executed).sum();
+    let mut out = String::from("LANE   ROUNDS   EXECUTED   MB-SENT   MB-RECV   RECORDS  SHARE%\n");
+    for s in stats {
+        let share = if total == 0 {
+            0.0
+        } else {
+            100.0 * s.executed as f64 / total as f64
+        };
+        out.push_str(&format!(
+            "L{:<5} {:<8} {:<10} {:<9} {:<9} {:<8} {:.2}\n",
+            s.lane, s.rounds, s.executed, s.cross_sent, s.cross_recv, s.records, share,
+        ));
+    }
+    // Busiest/idlest by executed share; ties break toward the lower lane
+    // id so the summary line is as deterministic as the rows.
+    let busiest = stats
+        .iter()
+        .max_by_key(|s| (s.executed, std::cmp::Reverse(s.lane)))
+        .expect("non-empty");
+    let idlest = stats
+        .iter()
+        .min_by_key(|s| (s.executed, s.lane))
+        .expect("non-empty");
+    let pct = |e: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * e as f64 / total as f64
+        }
+    };
+    out.push_str(&format!(
+        "RESIDENCY busiest=L{} {:.2}% idlest=L{} {:.2}% lanes={} rounds={}\n",
+        busiest.lane,
+        pct(busiest.executed),
+        idlest.lane,
+        pct(idlest.executed),
+        stats.len(),
+        stats.first().map(|s| s.rounds).unwrap_or(0),
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,5 +459,47 @@ mod tests {
             .lines()
             .any(|l| l.starts_with("seq-dup") && l.ends_with('1')));
         assert_eq!(event_summary(&[]), "EVENTS: none\n");
+    }
+
+    #[test]
+    fn lane_panel_names_busiest_and_idlest() {
+        use xrdma_sim::shard::LaneStats;
+        let mk = |lane, executed, cross| LaneStats {
+            lane,
+            rounds: 12,
+            executed,
+            cross_sent: cross,
+            cross_recv: cross,
+            records: executed / 10,
+        };
+        let stats = [mk(0, 700, 5), mk(1, 100, 9), mk(2, 200, 3)];
+        let s = render_lane_panel(&stats);
+        assert!(s.starts_with("LANE   ROUNDS"));
+        assert_eq!(s.lines().count(), 1 + 3 + 1, "header + rows + summary");
+        assert!(s.contains("L0     12       700"));
+        assert!(s.contains("busiest=L0 70.00%"));
+        assert!(s.contains("idlest=L1 10.00%"));
+        assert!(s.contains("lanes=3 rounds=12"));
+        assert_eq!(render_lane_panel(&[]), "LANES: none\n");
+    }
+
+    /// The panel over a real threaded run: rows cover every lane and the
+    /// executed shares sum to ~100%.
+    #[test]
+    fn lane_panel_renders_a_real_shard_world() {
+        use xrdma_sim::Time;
+        let mut w = xrdma_sim::shard::incast(9, 4, 7);
+        w.run_until(Time(300_000));
+        let stats = w.lane_stats();
+        let s = render_lane_panel(&stats);
+        assert_eq!(s.lines().count(), 1 + stats.len() + 1);
+        assert!(s.contains("RESIDENCY busiest=L"));
+        let share_sum: f64 = s
+            .lines()
+            .skip(1)
+            .take(stats.len())
+            .map(|l| l.split_whitespace().last().unwrap().parse::<f64>().unwrap())
+            .sum();
+        assert!((share_sum - 100.0).abs() < 0.1, "shares sum to {share_sum}");
     }
 }

@@ -35,6 +35,7 @@ pub mod channel;
 pub mod config;
 pub mod context;
 pub mod error;
+pub mod lane;
 pub mod memcache;
 pub mod proto;
 pub mod qpcache;

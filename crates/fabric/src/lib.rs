@@ -22,6 +22,7 @@
 
 pub mod config;
 pub mod fabric;
+pub mod lane;
 pub mod packet;
 pub mod port;
 pub mod stats;

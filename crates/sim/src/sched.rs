@@ -272,27 +272,56 @@ impl LegacyCal {
 /// is a total order — so the argmin over lanes is the global minimum and
 /// the pop sequence is identical to a single wheel's. This is the merge
 /// obligation of DESIGN.md §3.15 running serially under the full stack.
+///
+/// Each lane's head key is cached with lazy invalidation: a pop dirties
+/// only the popped lane, so the argmin compares `lanes` plain 24-byte
+/// keys instead of running `lanes` wheel peeks (each a potential
+/// cursor-advance/refill) per pop. Cancellation never invalidates a
+/// cached head — cancelled keys stay in the calendar and are discarded
+/// as stale by [`Sched`] when popped, so the cache always mirrors what
+/// `peek_min` on the lane would return.
 struct ShardedCal {
     lanes: Vec<WheelCal>,
+    /// Cached `lanes[i].peek_min()`, valid iff `!dirty[i]`.
+    heads: Vec<Option<Key>>,
+    /// True when `heads[i]` must be re-peeked before use.
+    dirty: Vec<bool>,
 }
 
 impl ShardedCal {
     fn new(lanes: usize) -> ShardedCal {
+        let n = lanes.max(1);
         ShardedCal {
-            lanes: (0..lanes.max(1)).map(|_| WheelCal::new()).collect(),
+            lanes: (0..n).map(|_| WheelCal::new()).collect(),
+            heads: vec![None; n],
+            dirty: vec![false; n],
         }
     }
 
     fn push(&mut self, key: Key) {
         let n = self.lanes.len() as u64;
-        self.lanes[(key.seq % n) as usize].push(key);
+        let i = (key.seq % n) as usize;
+        self.lanes[i].push(key);
+        // A clean cache stays clean: pushing can only lower the lane
+        // minimum, and `(at, seq)` has no duplicates.
+        if !self.dirty[i] {
+            match self.heads[i] {
+                Some(h) if h < key => {}
+                _ => self.heads[i] = Some(key),
+            }
+        }
     }
 
     /// Lane index holding the globally minimal `(at, seq)` key, if any.
+    /// Refreshes dirty heads on the way; clean lanes cost one key compare.
     fn min_lane(&mut self) -> Option<usize> {
         let mut best: Option<(Key, usize)> = None;
-        for (i, lane) in self.lanes.iter_mut().enumerate() {
-            if let Some(k) = lane.peek_min() {
+        for i in 0..self.lanes.len() {
+            if self.dirty[i] {
+                self.heads[i] = self.lanes[i].peek_min();
+                self.dirty[i] = false;
+            }
+            if let Some(k) = self.heads[i] {
                 // Strict `<` keeps the scan order irrelevant: (at, seq) is
                 // a total order with no duplicates across lanes.
                 if best.is_none_or(|(b, _)| k < b) {
@@ -305,12 +334,13 @@ impl ShardedCal {
 
     fn pop_min(&mut self) -> Option<Key> {
         let i = self.min_lane()?;
+        self.dirty[i] = true;
         self.lanes[i].pop_min()
     }
 
     fn peek_min(&mut self) -> Option<Key> {
         let i = self.min_lane()?;
-        self.lanes[i].peek_min()
+        self.heads[i]
     }
 }
 

@@ -98,6 +98,21 @@ pub struct LaneRecord {
     pub b: u64,
 }
 
+/// Per-lane residency counters, read back after a run via
+/// [`ShardWorld::lane_stats`]: how many lookahead rounds the lane sat in,
+/// how many callbacks it executed, and its mailbox traffic in both
+/// directions. All are pure functions of simulation state — identical
+/// across shard counts and thread interleavings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneStats {
+    pub lane: u32,
+    pub rounds: u64,
+    pub executed: u64,
+    pub cross_sent: u64,
+    pub cross_recv: u64,
+    pub records: u64,
+}
+
 /// A cross-lane event in flight: executes `f` on lane `dst` at `at`.
 /// Ordered at merge time by `(at, src, src_seq)` — a unique key, so the
 /// merge never depends on mailbox arrival order.
@@ -118,6 +133,9 @@ pub struct Lane<S> {
     now: Time,
     seq: u64,
     executed: u64,
+    rounds: u64,
+    cross_sent: u64,
+    cross_recv: u64,
     lookahead: Dur,
     sched: Sched<LaneFn<S>, LaneTimerFn<S>>,
     outbox: Vec<CrossEvent<S>>,
@@ -144,6 +162,23 @@ impl<S: 'static> Lane<S> {
     /// Callbacks executed on this lane so far.
     pub fn executed(&self) -> u64 {
         self.executed
+    }
+
+    /// Lookahead rounds this lane has participated in. Round counts are a
+    /// pure function of simulation state (the bound sequence is computed
+    /// from global minima), so this is identical across shard counts.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Cross-lane events this lane has sent (mailbox sends).
+    pub fn cross_sent(&self) -> u64 {
+        self.cross_sent
+    }
+
+    /// Cross-lane events merged into this lane (mailbox receives).
+    pub fn cross_recv(&self) -> u64 {
+        self.cross_recv
     }
 
     /// Live pending firings on this lane's calendar.
@@ -208,6 +243,7 @@ impl<S: 'static> Lane<S> {
         );
         let delay = delay.max(self.lookahead);
         let src_seq = self.next_seq();
+        self.cross_sent += 1;
         self.outbox.push(CrossEvent {
             at: self.now.saturating_add(delay),
             dst,
@@ -287,6 +323,7 @@ impl<S: 'static> Lane<S> {
             );
             let at = ev.at.max(self.now);
             let seq = self.next_seq();
+            self.cross_recv += 1;
             self.sched.schedule(at, seq, ev.f);
         }
     }
@@ -434,6 +471,7 @@ fn worker<S: Send + 'static>(
         // cross sends stage in lane outboxes and flush to the pair
         // mailboxes for the next round's merge.
         for lane in lanes.iter_mut() {
+            lane.rounds += 1;
             lane.exec_until(bound);
             for ev in lane.outbox.drain(..) {
                 outbound[shard_of[ev.dst as usize] as usize].push(ev);
@@ -479,6 +517,9 @@ impl<S: Send + 'static> ShardWorld<S> {
                 now: Time::ZERO,
                 seq: 0,
                 executed: 0,
+                rounds: 0,
+                cross_sent: 0,
+                cross_recv: 0,
                 lookahead: cfg.lookahead,
                 sched: Sched::new(Kernel::Wheel),
                 outbox: Vec::new(),
@@ -519,6 +560,23 @@ impl<S: Send + 'static> ShardWorld<S> {
     /// Total callbacks executed across all lanes.
     pub fn total_executed(&self) -> u64 {
         self.lanes.iter().map(|l| l.executed).sum()
+    }
+
+    /// Per-lane residency counters (one row per lane, in id order) — the
+    /// imbalance evidence behind the xr-stat lane panel and the simperf
+    /// lane-utilization row. Deterministic across shard counts.
+    pub fn lane_stats(&self) -> Vec<LaneStats> {
+        self.lanes
+            .iter()
+            .map(|l| LaneStats {
+                lane: l.id,
+                rounds: l.rounds,
+                executed: l.executed,
+                cross_sent: l.cross_sent,
+                cross_recv: l.cross_recv,
+                records: l.records.len() as u64,
+            })
+            .collect()
     }
 
     /// Shard index of each lane: `shards` contiguous blocks, fixed by

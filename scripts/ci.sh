@@ -21,6 +21,11 @@
 #                on the sharded validation kernel (DESIGN.md §3.15), so
 #                the whole tier-1 suite doubles as a differential test
 #                of the per-lane calendar + (Time, seq) merge rule
+#              - threaded-engine leg: the sharding battery (all features)
+#                run explicitly — the real middleware stack on threaded
+#                ShardWorld lanes at shards {1,2,4,8}, byte-identical
+#                digests/telemetry/span JSONL, loss-chaos recovery, and
+#                the chaos golden reproduced read-only
 #   simperf  smoke run of the event-kernel throughput race (wheel vs
 #            legacy calendar) — results land in a temp dir so the
 #            committed full-scale results/simperf.json stays untouched
@@ -52,6 +57,8 @@ run cargo test -q --workspace --features xrdma-tests/telemetry
 run cargo test -q --workspace --features xrdma-tests/telemetry,xrdma-tests/debug_invariants
 run cargo test -q --workspace --features xrdma-tests/faults,xrdma-tests/telemetry,xrdma-tests/debug_invariants
 run env XRDMA_SHARDS=4 cargo test -q --workspace
+run cargo test -q -p xrdma-tests --test sharding \
+    --features xrdma-tests/faults,xrdma-tests/telemetry,xrdma-tests/debug_invariants
 run env XRDMA_SIMPERF_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
     cargo run -q --release -p xrdma-bench --features xrdma-bench/faults --bin simperf
 run env XRDMA_MSGRATE_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
