@@ -254,6 +254,99 @@ pub fn latency_breakdown_json(hub: &HubGuard) -> String {
     out
 }
 
+/// QP-cache panel inputs: the two caches that govern connection
+/// scalability (ROADMAP item 2) plus the mux pool sitting on top of them.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct QpCachePanel {
+    pub node: u32,
+    /// RNIC QP-context SRAM cache — charged per packet touch (TX WQE
+    /// fetch + RX steering). Misses here are the per-send latency cliff.
+    pub sram_hits: u64,
+    pub sram_misses: u64,
+    /// Middleware QP recycling cache — charged per connect (§IV-E).
+    pub recycle_hits: u64,
+    pub recycle_misses: u64,
+    /// Connection-multiplexing counters, when a `ChannelMux` runs on this
+    /// context.
+    pub mux: Option<xrdma_core::MuxStats>,
+    /// Shared receive queue `(posted, slot pool)`, when `use_srq` is on.
+    pub srq: Option<(usize, usize)>,
+}
+
+impl QpCachePanel {
+    /// Gather the panel from a live context (and its mux, if any).
+    pub fn collect(
+        ctx: &Rc<XrdmaContext>,
+        mux: Option<&Rc<xrdma_core::ChannelMux>>,
+    ) -> QpCachePanel {
+        let r = ctx.rnic().stats();
+        let c = ctx.stats();
+        QpCachePanel {
+            node: ctx.node().0,
+            sram_hits: r.qp_cache_hits,
+            sram_misses: r.qp_cache_misses,
+            recycle_hits: c.qp_cache_hits,
+            recycle_misses: c.qp_cache_misses,
+            mux: mux.map(|m| m.stats()),
+            srq: ctx.srq_depth(),
+        }
+    }
+}
+
+/// Render the QP-cache panel: SRAM residency (the per-send cliff),
+/// middleware recycling, and — when a mux is attached — pool residency
+/// with establishment/eviction churn. Deterministic: exact integer
+/// counts, fixed column order.
+pub fn render_qp_cache_panel(p: &QpCachePanel) -> String {
+    let rate = |h: u64, m: u64| {
+        if h + m == 0 {
+            100.0
+        } else {
+            100.0 * h as f64 / (h + m) as f64
+        }
+    };
+    let mut out = String::from("CACHE     HITS       MISSES     HIT%\n");
+    out.push_str(&format!(
+        "sram      {:<10} {:<10} {:.2}\n",
+        p.sram_hits,
+        p.sram_misses,
+        rate(p.sram_hits, p.sram_misses),
+    ));
+    out.push_str(&format!(
+        "recycle   {:<10} {:<10} {:.2}\n",
+        p.recycle_hits,
+        p.recycle_misses,
+        rate(p.recycle_hits, p.recycle_misses),
+    ));
+    match &p.mux {
+        Some(m) => {
+            out.push_str(&format!(
+                "MUX n{} logical={} pool={}/{} est={} reest={} evict={} dup-drop={}\n",
+                p.node,
+                m.logical_open,
+                m.pool_live,
+                m.pool_peak,
+                m.establishments,
+                m.reestablishments,
+                m.evictions,
+                m.dup_drops,
+            ));
+            out.push_str(&format!(
+                "    frames sent={} queued={} rx={}\n",
+                m.frames_sent, m.frames_queued, m.frames_rx,
+            ));
+        }
+        None => out.push_str(&format!("MUX n{}: none\n", p.node)),
+    }
+    match p.srq {
+        Some((posted, pool)) => {
+            out.push_str(&format!("SRQ posted={posted}/{pool}\n"));
+        }
+        None => out.push_str("SRQ: off (per-channel receive slots)\n"),
+    }
+    out
+}
+
 /// Render the health row's progress-engine residency ("where does this
 /// context's poll loop live?").
 pub fn render_engine_residency(h: &HealthRow) -> String {
@@ -353,6 +446,40 @@ mod tests {
         assert!(s.contains("CQB-P50"), "batch columns in header: {s}");
         assert!(s.contains("31"), "batch max column");
         assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn qp_cache_panel_renders() {
+        let mut p = QpCachePanel {
+            node: 2,
+            sram_hits: 900,
+            sram_misses: 100,
+            recycle_hits: 7,
+            recycle_misses: 3,
+            mux: None,
+            srq: None,
+        };
+        let s = render_qp_cache_panel(&p);
+        assert!(s.contains("sram"), "{s}");
+        assert!(s.contains("90.00"), "sram hit rate: {s}");
+        assert!(s.contains("70.00"), "recycle hit rate: {s}");
+        assert!(s.contains("MUX n2: none"));
+        assert!(s.contains("SRQ: off"));
+
+        let mut m = xrdma_core::MuxStats::default();
+        m.logical_open = 100_000;
+        m.pool_live = 64;
+        m.pool_peak = 64;
+        m.establishments = 180;
+        m.reestablishments = 116;
+        m.evictions = 116;
+        p.mux = Some(m);
+        p.srq = Some((4000, 4096));
+        let s = render_qp_cache_panel(&p);
+        assert!(s.contains("logical=100000"), "{s}");
+        assert!(s.contains("pool=64/64"));
+        assert!(s.contains("reest=116"));
+        assert!(s.contains("SRQ posted=4000/4096"));
     }
 
     #[test]

@@ -209,6 +209,56 @@ fn bench_shared_cq(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_mux_slots(c: &mut Criterion) {
+    use xrdma_core::LruSlots;
+    type Key = (u32, u64);
+    let mut g = c.benchmark_group("mux_slots");
+    g.throughput(Throughput::Elements(1));
+    // Steady state: every send touches its slot key — the mux fast path.
+    g.bench_function("touch_hit_64_resident", |b| {
+        let mut l: LruSlots<Key> = LruSlots::new();
+        for p in 0..64u32 {
+            l.insert((p, 0));
+        }
+        let mut p = 0u32;
+        b.iter(|| {
+            p = (p + 1) % 64;
+            black_box(l.touch(&(p, 0)))
+        })
+    });
+    // Cold slot under a full pool: the miss decides an eviction — pop the
+    // LRU victim, insert the newcomer (the cache-cliff shape qpscale
+    // measures end to end).
+    g.bench_function("miss_evict_insert_64_resident", |b| {
+        let mut l: LruSlots<Key> = LruSlots::new();
+        for p in 0..64u32 {
+            l.insert((p, 0));
+        }
+        let mut next = 64u32;
+        b.iter(|| {
+            let victim = l.pop_lru().unwrap();
+            black_box(victim);
+            l.insert((next, 0));
+            next = next.wrapping_add(1);
+        })
+    });
+    // Transparent re-establishment: the evicted key comes back (remove by
+    // death, insert fresh).
+    g.bench_function("reestablish_remove_insert", |b| {
+        let mut l: LruSlots<Key> = LruSlots::new();
+        for p in 0..64u32 {
+            l.insert((p, 0));
+        }
+        let mut p = 0u32;
+        b.iter(|| {
+            p = (p + 1) % 64;
+            l.remove(&(p, 0));
+            l.insert((p, 0));
+        })
+    });
+    g.finish();
+}
+
 fn bench_ecmp(c: &mut Criterion) {
     let mut g = c.benchmark_group("fabric");
     let mut flow = 0u64;
@@ -230,6 +280,7 @@ criterion_group!(
     bench_seqack,
     bench_sparse_memory,
     bench_shared_cq,
+    bench_mux_slots,
     bench_ecmp
 );
 criterion_main!(benches);

@@ -19,7 +19,7 @@ use crate::config::MsgMode;
 use crate::context::XrdmaContext;
 use crate::error::XrdmaError;
 use crate::memcache::McBuf;
-use crate::proto::{Header, LargeDesc, MsgKind, TraceHdr};
+use crate::proto::{Header, LargeDesc, MsgKind, MuxDesc, TraceHdr};
 use crate::seqack::{RxAccept, RxWindow, TxWindow};
 use crate::stats::ChannelStats;
 
@@ -85,6 +85,9 @@ pub struct XrdmaMsg {
     pub len: u64,
     /// Tracing header, when the sender traced this message (req-rsp mode).
     pub trace: Option<TraceHdr>,
+    /// Multiplexing descriptor, when the sender routed this message
+    /// through a [`crate::mux::ChannelMux`] logical channel.
+    pub mux: Option<MuxDesc>,
     source: MsgSource,
 }
 
@@ -105,6 +108,20 @@ impl XrdmaMsg {
     /// length and an empty body.
     pub fn is_error(&self) -> bool {
         self.kind == MsgKind::Close
+    }
+
+    /// A failure notification (`is_error() == true`): delivered to RPC
+    /// waiters when the channel dies — or, on the mux path, when the slot
+    /// never established at all.
+    pub(crate) fn error_msg() -> XrdmaMsg {
+        XrdmaMsg {
+            kind: MsgKind::Close,
+            rpc_id: 0,
+            len: 0,
+            trace: None,
+            mux: None,
+            source: MsgSource::Empty,
+        }
     }
 
     /// Materialize the body bytes. Zero-filled for size-only payloads.
@@ -141,6 +158,7 @@ struct PendingSend {
     body: BodySpec,
     rpc_id: u32,
     trace: Option<TraceHdr>,
+    mux: Option<MuxDesc>,
 }
 
 /// How the caller described the body.
@@ -232,9 +250,19 @@ pub struct XrdmaChannel {
     /// seen). Released to the context gate on teardown — otherwise WRs
     /// wiped by a QP reset would jam the gate forever.
     pub(crate) flow_slots: Cell<u32>,
+    /// Data WRs of this channel sitting between seq assignment and the
+    /// actual post: parked in the context flow queue, or granted a slot
+    /// but not yet flushed. While nonzero, fresh sends must join the flow
+    /// queue behind them — overtaking through the doorbell batch would
+    /// put middleware seqs on the wire out of order, and the receiver
+    /// window drops reordered seqs as duplicates.
+    pub(crate) flow_waiting: Cell<u32>,
     /// Per-poll CQE batch sizes observed for this channel's QP (the
     /// shared-CQ fast path's batching factor; xr-stat's CQ-BATCH column).
     pub(crate) cqe_batch: RefCell<Histogram>,
+    /// One-shot callback fired when the channel has no in-flight work
+    /// (eviction drains through this before recycling the QP).
+    drain_waiter: RefCell<Option<Box<dyn FnOnce(&Rc<XrdmaChannel>)>>>,
 }
 
 struct RpcWaiter {
@@ -278,9 +306,16 @@ impl XrdmaChannel {
             probe_outstanding: Cell::new(false),
             last_probe: Cell::new(now),
             flow_slots: Cell::new(0),
+            flow_waiting: Cell::new(0),
             cqe_batch: RefCell::new(Histogram::new()),
+            drain_waiter: RefCell::new(None),
         });
-        ch.prepost_recv_slots(ctx, depth + CTRL_SLACK);
+        // With a shared receive queue the context owns one slot pool for
+        // the whole QP pool (receive memory scales with the pool, not the
+        // channel count); without one, every channel preposts its own.
+        if !ctx.has_srq() {
+            ch.prepost_recv_slots(ctx, depth + CTRL_SLACK);
+        }
         // Registration cost of the receive-slot arenas is paid here, at
         // channel setup — not lazily on the first send.
         ctx.thread().charge(ctx.memcache().take_reg_cost());
@@ -305,7 +340,7 @@ impl XrdmaChannel {
         }
     }
 
-    fn recv_slot_len(ctx: &Rc<XrdmaContext>) -> u64 {
+    pub(crate) fn recv_slot_len(ctx: &Rc<XrdmaContext>) -> u64 {
         // Largest eager message: full header + small body. Bounded by the
         // maximum message size so an "everything eager" configuration
         // cannot demand absurd slots.
@@ -328,6 +363,14 @@ impl XrdmaChannel {
     /// Per-connection statistics (the XR-Stat row).
     pub fn stats(&self) -> ChannelStats {
         *self.stats.borrow()
+    }
+
+    /// This connection's QP-context cache accounting `(hits, misses)`,
+    /// charged per send/receive touch by the RNIC engine. The per-send
+    /// view of whether this QP is resident in RNIC SRAM or being crowded
+    /// out (the signal behind the mux pool bound).
+    pub fn qp_ctx_cache(&self) -> (u64, u64) {
+        (self.qp.ctx_cache_hits.get(), self.qp.ctx_cache_misses.get())
     }
 
     /// CQE batch sizes this channel's QP contributed per `poll_cq` drain
@@ -370,12 +413,32 @@ impl XrdmaChannel {
 
     /// Fire-and-forget message of real bytes.
     pub fn send_oneway(self: &Rc<Self>, body: Bytes) -> Result<(), XrdmaError> {
-        self.enqueue_send(MsgKind::OneWay, BodySpec::Data(body), 0, None)
+        self.enqueue_send(MsgKind::OneWay, BodySpec::Data(body), 0, None, None)
     }
 
     /// Fire-and-forget size-only message (performance experiments).
     pub fn send_oneway_size(self: &Rc<Self>, len: u64) -> Result<(), XrdmaError> {
-        self.enqueue_send(MsgKind::OneWay, BodySpec::Size(len), 0, None)
+        self.enqueue_send(MsgKind::OneWay, BodySpec::Size(len), 0, None, None)
+    }
+
+    /// Fire-and-forget message on behalf of a logical mux channel: the
+    /// header carries `desc` so the receiving mux can route it.
+    pub(crate) fn send_oneway_mux(
+        self: &Rc<Self>,
+        desc: MuxDesc,
+        body: BodySpec,
+    ) -> Result<(), XrdmaError> {
+        self.enqueue_send(MsgKind::OneWay, body, 0, None, Some(desc))
+    }
+
+    /// RPC request on behalf of a logical mux channel.
+    pub(crate) fn send_request_mux(
+        self: &Rc<Self>,
+        desc: MuxDesc,
+        body: BodySpec,
+        on_response: Box<dyn FnOnce(&Rc<XrdmaChannel>, XrdmaMsg)>,
+    ) -> Result<u32, XrdmaError> {
+        self.request_inner(body, on_response, Some(desc))
     }
 
     /// RPC request with real bytes; `on_response` fires with the reply.
@@ -385,7 +448,7 @@ impl XrdmaChannel {
         on_response: impl FnOnce(&Rc<XrdmaChannel>, XrdmaMsg) + 'static,
     ) -> Result<u32, XrdmaError> {
         // xrdma-lint: allow(hot-path-alloc) -- per-RPC callback storage is the API contract, not payload copying
-        self.request_inner(BodySpec::Data(body), Box::new(on_response))
+        self.request_inner(BodySpec::Data(body), Box::new(on_response), None)
     }
 
     /// RPC request of a given size (size-only payload).
@@ -395,13 +458,14 @@ impl XrdmaChannel {
         on_response: impl FnOnce(&Rc<XrdmaChannel>, XrdmaMsg) + 'static,
     ) -> Result<u32, XrdmaError> {
         // xrdma-lint: allow(hot-path-alloc) -- per-RPC callback storage is the API contract, not payload copying
-        self.request_inner(BodySpec::Size(len), Box::new(on_response))
+        self.request_inner(BodySpec::Size(len), Box::new(on_response), None)
     }
 
     fn request_inner(
         self: &Rc<Self>,
         body: BodySpec,
         cb: Box<dyn FnOnce(&Rc<XrdmaChannel>, XrdmaMsg)>,
+        mux: Option<MuxDesc>,
     ) -> Result<u32, XrdmaError> {
         let ctx = self.ctx()?;
         let rpc_id = self.next_rpc.get();
@@ -417,7 +481,7 @@ impl XrdmaChannel {
             },
         );
         self.stats.borrow_mut().rpcs_outstanding += 1;
-        self.enqueue_send(MsgKind::Request, body, rpc_id, trace)?;
+        self.enqueue_send(MsgKind::Request, body, rpc_id, trace, mux)?;
         Ok(rpc_id)
     }
 
@@ -428,7 +492,13 @@ impl XrdmaChannel {
             t1_ns: token.t2_ns,
             trace_id: t.trace_id,
         });
-        self.enqueue_send(MsgKind::Response, BodySpec::Data(body), token.rpc_id, trace)
+        self.enqueue_send(
+            MsgKind::Response,
+            BodySpec::Data(body),
+            token.rpc_id,
+            trace,
+            None,
+        )
     }
 
     /// Answer a request with a size-only payload.
@@ -437,7 +507,13 @@ impl XrdmaChannel {
             t1_ns: token.t2_ns,
             trace_id: t.trace_id,
         });
-        self.enqueue_send(MsgKind::Response, BodySpec::Size(len), token.rpc_id, trace)
+        self.enqueue_send(
+            MsgKind::Response,
+            BodySpec::Size(len),
+            token.rpc_id,
+            trace,
+            None,
+        )
     }
 
     fn maybe_trace(&self, ctx: &Rc<XrdmaContext>) -> Option<TraceHdr> {
@@ -469,6 +545,7 @@ impl XrdmaChannel {
         body: BodySpec,
         rpc_id: u32,
         trace: Option<TraceHdr>,
+        mux: Option<MuxDesc>,
     ) -> Result<(), XrdmaError> {
         if self.closed.get() {
             if std::env::var_os("XRDMA_DEBUG").is_some() {
@@ -506,6 +583,7 @@ impl XrdmaChannel {
                 body,
                 rpc_id,
                 trace,
+                mux,
             });
             tele!(WindowStall {
                 node: ctx.node().0,
@@ -514,7 +592,7 @@ impl XrdmaChannel {
             });
             return Ok(());
         }
-        self.transmit(&ctx, kind, body, rpc_id, trace)
+        self.transmit(&ctx, kind, body, rpc_id, trace, mux)
     }
 
     /// Window slot available: put the message on the wire.
@@ -525,6 +603,7 @@ impl XrdmaChannel {
         body: BodySpec,
         rpc_id: u32,
         trace: Option<TraceHdr>,
+        mux: Option<MuxDesc>,
     ) -> Result<(), XrdmaError> {
         let seq = self.tx.borrow_mut().next_seq();
         let ack = self.rx.borrow_mut().take_ack();
@@ -539,6 +618,7 @@ impl XrdmaChannel {
 
         let mut hdr = Header::new(kind, seq, ack, rpc_id, len);
         hdr.trace = trace;
+        hdr.mux = mux;
 
         let mut pinned: Option<McBuf> = None;
         if !small {
@@ -668,7 +748,7 @@ impl XrdmaChannel {
                 break;
             };
             if self
-                .transmit(&ctx, p.kind, p.body, p.rpc_id, p.trace)
+                .transmit(&ctx, p.kind, p.body, p.rpc_id, p.trace, p.mux)
                 .is_err()
             {
                 break;
@@ -776,9 +856,18 @@ impl XrdmaChannel {
         };
         let now = ctx.world().now();
         self.last_rx.set(now);
-        let slot = match self.recv_slots.borrow().get(&slot_id) {
-            Some(s) => s.clone(),
-            None => return,
+        // SRQ mode: the slot lives in the context's shared pool; otherwise
+        // it is one of this channel's pre-posted buffers.
+        let slot = if ctx.has_srq() {
+            match ctx.srq_slot(slot_id) {
+                Some(buf) => RecvSlot { buf },
+                None => return,
+            }
+        } else {
+            match self.recv_slots.borrow().get(&slot_id) {
+                Some(s) => s.clone(),
+                None => return,
+            }
         };
         // Parse the X-RDMA header out of the landed bytes.
         let head_bytes = ctx
@@ -815,6 +904,8 @@ impl XrdmaChannel {
         }
         self.repost_slot(slot_id, &slot);
         self.maybe_standalone_ack(&ctx);
+        // Acks applied above may have emptied the last in-flight work.
+        self.maybe_notify_drained();
     }
 
     fn on_sequenced(
@@ -1040,6 +1131,7 @@ impl XrdmaChannel {
             rpc_id: hdr.rpc_id,
             len: hdr.body_len,
             trace: hdr.trace,
+            mux: hdr.mux,
             source,
         };
 
@@ -1135,6 +1227,14 @@ impl XrdmaChannel {
     }
 
     fn repost_slot(&self, slot_id: u32, slot: &RecvSlot) {
+        // Shared-pool slots go back through the context (the SRQ outlives
+        // this channel); private slots re-arm this QP's receive queue.
+        if let Some(ctx) = self.ctx.upgrade() {
+            if ctx.has_srq() {
+                ctx.repost_srq_slot(slot_id);
+                return;
+            }
+        }
         let _ = self.qp.post_recv(xrdma_rnic::RecvWr::new(
             slot_id as u64,
             slot.buf.addr,
@@ -1158,6 +1258,48 @@ impl XrdmaChannel {
                 self.probe_outstanding.set(false);
             }
             _ => {}
+        }
+        self.maybe_notify_drained();
+    }
+
+    // ------------------------------------------------------------------
+    // Drain (eviction support)
+    // ------------------------------------------------------------------
+
+    /// No in-flight work anywhere on this channel: every sequenced message
+    /// acked, nothing window-queued, no outstanding RPC, control or probe
+    /// WR, and no data WR awaiting its CQE. This is the eviction
+    /// precondition — tearing down earlier would wipe posted WRs.
+    pub fn is_drained(&self) -> bool {
+        self.tx.borrow().in_flight() == 0
+            && self.pending.borrow().is_empty()
+            && self.outgoing.borrow().is_empty()
+            && self.rpc_waiters.borrow().is_empty()
+            && self.ctrl_outstanding.get() == 0
+            && !self.probe_outstanding.get()
+            && self.flow_slots.get() == 0
+    }
+
+    /// One-shot: fire `cb` as soon as [`Self::is_drained`] holds (possibly
+    /// immediately). A channel that dies first fires the callback from
+    /// teardown so an evictor never wedges. Only one waiter at a time —
+    /// a second registration replaces the first.
+    pub fn on_drained(self: &Rc<Self>, cb: impl FnOnce(&Rc<XrdmaChannel>) + 'static) {
+        if self.closed.get() || self.is_drained() {
+            cb(self);
+            return;
+        }
+        // xrdma-lint: allow(hot-path-alloc) -- one-shot eviction waiter, installed off the data path
+        *self.drain_waiter.borrow_mut() = Some(Box::new(cb));
+    }
+
+    pub(crate) fn maybe_notify_drained(self: &Rc<Self>) {
+        if self.drain_waiter.borrow().is_none() || !self.is_drained() {
+            return;
+        }
+        let cb = self.drain_waiter.borrow_mut().take();
+        if let Some(cb) = cb {
+            cb(self);
         }
     }
 
@@ -1213,13 +1355,7 @@ impl XrdmaChannel {
             keys.into_iter().filter_map(|k| map.remove(&k)).collect()
         };
         for w in waiters {
-            let err_msg = XrdmaMsg {
-                kind: MsgKind::Close,
-                rpc_id: 0,
-                len: 0,
-                trace: None,
-                source: MsgSource::Empty,
-            };
+            let err_msg = XrdmaMsg::error_msg();
             {
                 let mut st = self.stats.borrow_mut();
                 st.rpcs_outstanding = st.rpcs_outstanding.saturating_sub(1);
@@ -1254,6 +1390,12 @@ impl XrdmaChannel {
                 reason: reason.name(),
             });
             ctx.channel_closed(self, reason);
+        }
+        // A drain waiter must never wedge: a dying channel counts as
+        // drained (the evictor observes `is_closed` and skips the close).
+        let drained = self.drain_waiter.borrow_mut().take();
+        if let Some(cb) = drained {
+            cb(self);
         }
         if let Some(cb) = self.on_close.borrow().as_ref() {
             cb(reason);

@@ -160,6 +160,16 @@ pub struct XrdmaConfig {
     /// Maximum message size accepted by `send_msg`.
     pub max_msg_size: u64,
 
+    // -------------------------- connection mux ------------------------
+    /// Maximum live physical QP slots a `ChannelMux` holds before LRU
+    /// eviction kicks in. Sized to the RNIC's QP-context SRAM so the pool
+    /// stays cache-resident (the whole point of multiplexing). Offline.
+    pub mux_pool: usize,
+    /// Physical lanes per peer: logical channels to one peer hash over
+    /// this many QPs, bounding head-of-line blocking without defeating
+    /// the pool. Offline.
+    pub mux_lanes: u64,
+
     // -------------------------- CPU cost model ------------------------
     /// Host CPU cost charged per send_msg call.
     pub cpu_send: Dur,
@@ -204,6 +214,11 @@ impl Default for XrdmaConfig {
             memcache: MemCacheConfig::default(),
             qp_cache: 64,
             max_msg_size: 64 * 1024 * 1024,
+            // Pool well under the modeled QP-context SRAM (1024 entries)
+            // so a mux-backed node never thrashes it; 2 lanes per peer
+            // keeps fan-in bounded at the default scale.
+            mux_pool: 64,
+            mux_lanes: 2,
             // Host software cost per message: X-RDMA sits ~140 ns/side
             // above the raw-verbs reference loop (the ≤10 % of §VII-A).
             cpu_send: Dur::nanos(1570),
@@ -292,7 +307,9 @@ impl XrdmaConfig {
             }
             // Offline parameters cannot change at runtime.
             "use_srq" | "cq_size" | "srq_size" | "fork_safe" | "ibqp_alloc_type"
-            | "small_msg_size" | "cq_poll_batch" => Err(XrdmaError::BadConfig("offline parameter")),
+            | "small_msg_size" | "cq_poll_batch" | "mux_pool" | "mux_lanes" => {
+                Err(XrdmaError::BadConfig("offline parameter"))
+            }
             _ => Err(XrdmaError::BadConfig("unknown key")),
         }
     }
@@ -352,6 +369,15 @@ mod tests {
         );
         assert_eq!(
             c.set_flag("small_msg_size", "8192"),
+            Err(XrdmaError::BadConfig("offline parameter"))
+        );
+        // The mux pool geometry pins physical resources: offline only.
+        assert_eq!(
+            c.set_flag("mux_pool", "16"),
+            Err(XrdmaError::BadConfig("offline parameter"))
+        );
+        assert_eq!(
+            c.set_flag("mux_lanes", "4"),
             Err(XrdmaError::BadConfig("offline parameter"))
         );
     }

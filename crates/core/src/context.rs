@@ -21,7 +21,7 @@ use xrdma_telemetry::tele;
 use crate::channel::{wr_tag, CloseReason, XrdmaChannel, TAG_READ};
 use crate::config::{PollMode, XrdmaConfig};
 use crate::error::XrdmaError;
-use crate::memcache::MemCache;
+use crate::memcache::{McBuf, MemCache};
 use crate::proto::Header;
 use crate::qpcache::QpCache;
 use crate::stats::ContextStats;
@@ -88,8 +88,11 @@ pub struct XrdmaContext {
     cm: Rc<ConnManager>,
     pd: Rc<Pd>,
     cq: Rc<CompletionQueue>,
-    #[allow(dead_code)]
     srq: Option<Rc<Srq>>,
+    /// Shared receive slot pool (SRQ mode): one bounded set of buffers
+    /// serves every QP in the pool, so receive memory scales with
+    /// `srq_size`, not with the channel count (§IV-E at mux scale).
+    srq_slots: RefCell<BTreeMap<u32, McBuf>>,
     config: RefCell<XrdmaConfig>,
     memcache: MemCache,
     qpcache: QpCache,
@@ -197,6 +200,7 @@ impl XrdmaContext {
             pd,
             cq,
             srq,
+            srq_slots: RefCell::new(BTreeMap::new()),
             config: RefCell::new(config),
             memcache,
             qpcache,
@@ -240,8 +244,60 @@ impl XrdmaContext {
             });
             ctx.cq.req_notify();
         }
+        ctx.prepost_srq_slots();
         ctx.start_timer();
         ctx
+    }
+
+    /// SRQ mode: fill the shared receive queue once, at context setup.
+    /// Channels skip their per-QP preposting; every consumed slot is
+    /// reposted by the dispatch path, so the pool is a fixed rotation.
+    fn prepost_srq_slots(self: &Rc<Self>) {
+        let Some(srq) = self.srq.clone() else {
+            return;
+        };
+        let n = self.config().srq_size;
+        let slot_len = XrdmaChannel::recv_slot_len(self);
+        for id in 0..n as u32 {
+            let buf = self
+                .memcache
+                .alloc(slot_len)
+                .expect("memcache must cover the shared receive pool");
+            self.srq_slots.borrow_mut().insert(id, buf);
+            srq.post(xrdma_rnic::RecvWr::new(
+                id as u64, buf.addr, buf.len, buf.lkey,
+            ))
+            .expect("SRQ sized for its own slot pool");
+        }
+        self.thread.charge(self.memcache.take_reg_cost());
+    }
+
+    /// Is receive buffering shared across the QP pool?
+    pub fn has_srq(&self) -> bool {
+        self.srq.is_some()
+    }
+
+    /// Occupancy of the shared receive queue `(posted, pool)` — the
+    /// xr-stat QP-cache panel's SRQ column.
+    pub fn srq_depth(&self) -> Option<(usize, usize)> {
+        self.srq
+            .as_ref()
+            .map(|s| (s.len(), self.srq_slots.borrow().len()))
+    }
+
+    /// Resolve a shared receive slot by wr_id (SRQ mode only).
+    pub(crate) fn srq_slot(&self, id: u32) -> Option<McBuf> {
+        self.srq_slots.borrow().get(&id).copied()
+    }
+
+    /// Return a consumed shared slot to the SRQ rotation.
+    pub(crate) fn repost_srq_slot(&self, id: u32) {
+        let (Some(srq), Some(buf)) = (self.srq.as_ref(), self.srq_slot(id)) else {
+            return;
+        };
+        let _ = srq.post(xrdma_rnic::RecvWr::new(
+            id as u64, buf.addr, buf.len, buf.lkey,
+        ));
     }
 
     /// Convenience: create the RNIC too (one context on a fresh node).
@@ -647,7 +703,17 @@ impl XrdmaContext {
         if ch.closed.get() {
             return; // no flow slots acquired yet; nothing to release
         }
-        let granted = self.flow_try_acquire(wrs.len());
+        // Strict per-channel FIFO through the gate: while this channel has
+        // WRs parked in the flow queue or granted-but-unflushed, a fresh
+        // batch must queue behind them. Slots can free (and the gate can
+        // open) while those older WRs still wait in the granted batch, so
+        // without this check a newer seq would overtake them onto the
+        // wire and the peer's window would drop it as a duplicate.
+        let granted = if ch.flow_waiting.get() > 0 {
+            0
+        } else {
+            self.flow_try_acquire(wrs.len())
+        };
         let rest = wrs.split_off(granted);
         if !wrs.is_empty() {
             let n = wrs.len() as u32;
@@ -669,11 +735,14 @@ impl XrdmaContext {
             return;
         }
         ch.stats.borrow_mut().flowctl_queued += rest.len() as u64;
+        ch.flow_waiting
+            .set(ch.flow_waiting.get() + rest.len() as u32);
         let mut flow = self.flow.borrow_mut();
         for wr in rest {
             let me = ch.clone();
             flow.queue.push_back(Box::new(move || {
                 if me.closed.get() {
+                    me.flow_waiting.set(me.flow_waiting.get().saturating_sub(1));
                     if let Some(ctx) = me.ctx.upgrade() {
                         ctx.flow_release();
                     }
@@ -683,7 +752,8 @@ impl XrdmaContext {
                 // The slot this WR waited for is already held. Slots free
                 // as completions drain, so several of these fire within
                 // one quantum — batch them under one deferred doorbell
-                // instead of ringing one bell each.
+                // instead of ringing one bell each. The WR still counts as
+                // waiting until the flush actually posts it.
                 ctx.post_granted(&me, wr);
             }));
         }
@@ -716,6 +786,7 @@ impl XrdmaContext {
                 group.push(iter.next().expect("peeked").1);
             }
             let n = group.len() as u32;
+            ch.flow_waiting.set(ch.flow_waiting.get().saturating_sub(n));
             if ch.closed.get() {
                 for _ in 0..n {
                     self.flow_release();
@@ -904,6 +975,11 @@ impl XrdmaContext {
                     }
                     // Flush errors on receive need no action: teardown is
                     // driven from the send side / keepalive.
+                } else if self.has_srq() {
+                    // The channel died (eviction / close) before this
+                    // completion drained: the shared slot must rejoin the
+                    // rotation or the pool would slowly bleed dry.
+                    self.repost_srq_slot(cqe.wr_id as u32);
                 }
             }
             CqeOpcode::Read => {

@@ -37,6 +37,7 @@ pub mod context;
 pub mod error;
 pub mod lane;
 pub mod memcache;
+pub mod mux;
 pub mod proto;
 pub mod qpcache;
 pub mod seqack;
@@ -46,4 +47,6 @@ pub use channel::{XrdmaChannel, XrdmaMsg};
 pub use config::{FlowCtlConfig, MemCacheConfig, MsgMode, PollMode, XrdmaConfig};
 pub use context::{poll_gap_violates, slow_op_violates, XrdmaContext};
 pub use error::XrdmaError;
-pub use stats::{ChannelStats, ContextStats};
+pub use mux::{ChannelMux, LogicalChannel, LruSlots, MuxReply};
+pub use proto::MuxDesc;
+pub use stats::{ChannelStats, ContextStats, MuxStats};

@@ -75,6 +75,20 @@ pub struct TraceHdr {
     pub trace_id: u64,
 }
 
+/// Multiplexing fields: which logical channel this frame belongs to and
+/// its position in that logical stream. Present only on frames sent
+/// through a [`crate::mux::ChannelMux`]; the physical seq-ack machinery
+/// below is oblivious to them — they survive QP eviction and
+/// re-establishment precisely because they live above it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MuxDesc {
+    /// Logical channel id (stable across physical re-establishment).
+    pub lcid: u64,
+    /// Per-logical-channel sequence number (monotone for the lifetime of
+    /// the logical channel, spanning any number of physical QPs).
+    pub lseq: u64,
+}
+
 /// The decoded X-RDMA header.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Header {
@@ -89,12 +103,14 @@ pub struct Header {
     pub body_len: u64,
     pub large: Option<LargeDesc>,
     pub trace: Option<TraceHdr>,
+    pub mux: Option<MuxDesc>,
 }
 
 const MAGIC: u8 = 0xA7;
 const VERSION: u8 = 1;
 const FLAG_LARGE: u8 = 0x10;
 const FLAG_TRACE: u8 = 0x20;
+const FLAG_MUX: u8 = 0x40;
 
 /// Base header length.
 pub const BASE_LEN: usize = 24;
@@ -102,6 +118,8 @@ pub const BASE_LEN: usize = 24;
 pub const LARGE_LEN: usize = 12;
 /// Additional bytes when tracing fields are present.
 pub const TRACE_LEN: usize = 16;
+/// Additional bytes when multiplexing fields are present.
+pub const MUX_LEN: usize = 16;
 
 impl Header {
     pub fn new(kind: MsgKind, seq: u32, ack: u32, rpc_id: u32, body_len: u64) -> Header {
@@ -113,12 +131,16 @@ impl Header {
             body_len,
             large: None,
             trace: None,
+            mux: None,
         }
     }
 
     /// Encoded length of this header.
     pub fn encoded_len(&self) -> usize {
-        BASE_LEN + self.large.map_or(0, |_| LARGE_LEN) + self.trace.map_or(0, |_| TRACE_LEN)
+        BASE_LEN
+            + self.large.map_or(0, |_| LARGE_LEN)
+            + self.trace.map_or(0, |_| TRACE_LEN)
+            + self.mux.map_or(0, |_| MUX_LEN)
     }
 
     /// Serialize to bytes.
@@ -129,6 +151,9 @@ impl Header {
         }
         if self.trace.is_some() {
             flags |= FLAG_TRACE;
+        }
+        if self.mux.is_some() {
+            flags |= FLAG_MUX;
         }
         let mut b = BytesMut::with_capacity(self.encoded_len());
         b.put_u8(MAGIC);
@@ -146,6 +171,10 @@ impl Header {
         if let Some(t) = self.trace {
             b.put_u64_le(t.t1_ns);
             b.put_u64_le(t.trace_id);
+        }
+        if let Some(m) = self.mux {
+            b.put_u64_le(m.lcid);
+            b.put_u64_le(m.lseq);
         }
         b.freeze()
     }
@@ -185,6 +214,17 @@ impl Header {
         } else {
             None
         };
+        let mux = if flags & FLAG_MUX != 0 {
+            if buf.len() < off + MUX_LEN {
+                return None;
+            }
+            let lcid = u64::from_le_bytes(buf[off..off + 8].try_into().ok()?);
+            let lseq = u64::from_le_bytes(buf[off + 8..off + 16].try_into().ok()?);
+            off += MUX_LEN;
+            Some(MuxDesc { lcid, lseq })
+        } else {
+            None
+        };
         Some((
             Header {
                 kind,
@@ -194,6 +234,7 @@ impl Header {
                 body_len,
                 large,
                 trace,
+                mux,
             },
             off,
         ))
@@ -233,6 +274,32 @@ mod tests {
         });
         roundtrip(&h);
         assert_eq!(h.encoded_len(), BASE_LEN + LARGE_LEN + TRACE_LEN);
+    }
+
+    #[test]
+    fn mux_roundtrip() {
+        let mut h = Header::new(MsgKind::OneWay, 9, 4, 0, 256);
+        h.mux = Some(MuxDesc {
+            lcid: 0xABCD_0123,
+            lseq: 1 << 40,
+        });
+        roundtrip(&h);
+        assert_eq!(h.encoded_len(), BASE_LEN + MUX_LEN);
+        // All three extensions stack in a fixed order.
+        h.large = Some(LargeDesc { addr: 64, rkey: 5 });
+        h.trace = Some(TraceHdr {
+            t1_ns: 1,
+            trace_id: 2,
+        });
+        roundtrip(&h);
+        assert_eq!(h.encoded_len(), BASE_LEN + LARGE_LEN + TRACE_LEN + MUX_LEN);
+        // Truncated mux descriptor rejected.
+        let enc = h.encode();
+        assert!(Header::decode(&enc[..enc.len() - 4]).is_none());
+        // A non-mux header stays byte-identical to the pre-mux encoding.
+        let plain = Header::new(MsgKind::OneWay, 9, 4, 0, 256);
+        assert_eq!(plain.encoded_len(), BASE_LEN);
+        assert_eq!(plain.encode()[2] & FLAG_MUX, 0);
     }
 
     #[test]

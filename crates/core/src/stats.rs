@@ -71,3 +71,32 @@ pub struct ContextStats {
     /// RPC latency distribution (summarized).
     pub rpc_latency: Option<HistSummary>,
 }
+
+/// Connection-multiplexing counters (one `ChannelMux` per context).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct MuxStats {
+    /// Logical channels ever opened (client + receiver side).
+    pub logical_open: u64,
+    /// Physical slot establishments, total (first-time + re-attach).
+    pub establishments: u64,
+    /// Establishments of a slot key that had been evicted before — the
+    /// transparent re-establishment count.
+    pub reestablishments: u64,
+    /// Slots drained and closed by LRU pressure.
+    pub evictions: u64,
+    /// Frames handed to a live physical channel.
+    pub frames_sent: u64,
+    /// Frames parked while their slot was connecting or draining.
+    pub frames_queued: u64,
+    /// Frames a live slot absorbed because the context's flow cap was
+    /// saturated (retried in order, never dropped).
+    pub frames_deferred: u64,
+    /// Frames delivered to logical channels on the receive side.
+    pub frames_rx: u64,
+    /// Duplicate logical frames dropped after a re-establishment race.
+    pub dup_drops: u64,
+    /// Live physical slots right now (gauge, filled on read).
+    pub pool_live: u64,
+    /// High-water mark of concurrently occupied slots.
+    pub pool_peak: u64,
+}

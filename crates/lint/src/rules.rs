@@ -19,7 +19,8 @@ use crate::{Rule, Violation};
 /// Everything else in the fabric/RNIC/core crates (config, memory
 /// registration, stats aggregation) allocates at setup or teardown time
 /// and is exempt. `cq.rs` is the shared-CQ drain and `channel.rs` the
-/// send/completion path of the middleware.
+/// send/completion path of the middleware; `qpcache.rs` sits on the
+/// connect path and `mux.rs` on the per-frame logical-channel path.
 pub const HOT_PATH_FILES: &[&str] = &[
     "port.rs",
     "switch.rs",
@@ -28,6 +29,8 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "wire.rs",
     "cq.rs",
     "channel.rs",
+    "qpcache.rs",
+    "mux.rs",
 ];
 
 /// Identifiers that name payload byte buffers; `.clone()` on one of these

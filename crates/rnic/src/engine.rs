@@ -198,6 +198,11 @@ pub struct Rnic {
     dcqcn_timer: RefCell<Option<xrdma_sim::Timer>>,
     qp_cache: RefCell<TouchCache>,
     mr_cache: RefCell<TouchCache>,
+    /// When the shared QP-context fetch unit is next free. Cache misses
+    /// ride a single ICM/PCIe engine, so concurrent misses queue behind
+    /// each other NIC-wide: past the SRAM working set it is the fetch
+    /// unit's *bandwidth*, not its latency, that caps message rate.
+    ctx_fetch_free: Cell<Time>,
     stats: RefCell<RnicStats>,
     alive: Cell<bool>,
     /// Host uplink pause state per priority (observability).
@@ -228,6 +233,7 @@ impl Rnic {
             fabric: RefCell::new(None),
             qp_cache: RefCell::new(TouchCache::new(cfg.qp_cache_entries)),
             mr_cache: RefCell::new(TouchCache::new(cfg.mr_cache_entries)),
+            ctx_fetch_free: Cell::new(Time::ZERO),
             cfg,
             port: RefCell::new(None),
             me: RefCell::new(std::rc::Weak::new()),
@@ -651,6 +657,22 @@ impl Rnic {
             < self.cfg.max_inflight_msgs
     }
 
+    /// Charge one QP-context fetch against the shared ICM/PCIe engine and
+    /// return the delay this caller observes.
+    ///
+    /// A single fetch unit serves all QPs on the NIC, so concurrent misses
+    /// queue behind each other: a lone miss still costs `qp_cache_miss`,
+    /// but once the working set blows past the SRAM the fetch unit's
+    /// *bandwidth* (1 / qp_cache_miss fetches per second) becomes the
+    /// message-rate ceiling, which is the cliff the mux is built to avoid.
+    fn charge_ctx_fetch(&self) -> Dur {
+        let now = self.world.now();
+        let free = self.ctx_fetch_free.get().max(now);
+        let done = free + self.cfg.qp_cache_miss;
+        self.ctx_fetch_free.set(done);
+        done.since(now)
+    }
+
     /// Transmit at most one segment for this QP.
     fn transmit_one(self: &Rc<Self>, qp: &Rc<Qp>) -> TxOutcome {
         if !qp.can_send() {
@@ -667,12 +689,14 @@ impl Rnic {
         let mut pipeline = Dur::ZERO;
         {
             let hit = self.qp_cache.borrow_mut().touch(qp.qpn.0);
+            qp.note_ctx_cache(hit);
             let mut st = self.stats.borrow_mut();
             if hit {
                 st.qp_cache_hits += 1;
             } else {
                 st.qp_cache_misses += 1;
-                pipeline += self.cfg.qp_cache_miss;
+                drop(st);
+                pipeline += self.charge_ctx_fetch();
             }
         }
 
@@ -1515,13 +1539,15 @@ impl Rnic {
     fn rx_process(self: &Rc<Self>, qp: Rc<Qp>, f: impl FnOnce(&Rc<Rnic>, &Rc<Qp>) + 'static) {
         let miss = {
             let hit = self.qp_cache.borrow_mut().touch(qp.qpn.0);
+            qp.note_ctx_cache(hit);
             let mut st = self.stats.borrow_mut();
             if hit {
                 st.qp_cache_hits += 1;
                 Dur::ZERO
             } else {
                 st.qp_cache_misses += 1;
-                self.cfg.qp_cache_miss
+                drop(st);
+                self.charge_ctx_fetch()
             }
         };
         let at = (self.world.now() + self.cfg.rx_process + miss).max(qp.rx_ready.get());

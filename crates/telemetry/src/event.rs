@@ -122,6 +122,25 @@ pub enum EventKind {
         seq: u32,
         bytes: u64,
     },
+    /// A mux slot bound a peer-group of logical channels to a physical QP
+    /// (`reattach` = this slot was previously evicted and came back).
+    MuxEstablish {
+        node: u32,
+        peer: u32,
+        lane: u64,
+        qpn: u32,
+        reattach: bool,
+    },
+    /// The mux LRU chose this slot as victim; drain-then-close began.
+    MuxEvict {
+        node: u32,
+        peer: u32,
+        lane: u64,
+        qpn: u32,
+    },
+    /// A mux receiver dropped a duplicate logical frame (re-establishment
+    /// race; the logical stream already consumed this lseq).
+    MuxDupDrop { node: u32, lcid: u64, lseq: u64 },
 }
 
 impl EventKind {
@@ -152,6 +171,9 @@ impl EventKind {
             EventKind::FaultWindow { .. } => "fault-window",
             EventKind::FaultInjected { .. } => "fault-injected",
             EventKind::MsgDropOom { .. } => "msg-drop-oom",
+            EventKind::MuxEstablish { .. } => "mux-establish",
+            EventKind::MuxEvict { .. } => "mux-evict",
+            EventKind::MuxDupDrop { .. } => "mux-dup-drop",
         }
     }
 
@@ -182,6 +204,10 @@ impl EventKind {
             | EventKind::PollModeSwitch { node, .. }
             | EventKind::SlowOp { node, .. } => (node, 0),
             EventKind::MsgDropOom { node, qpn, .. } => (node, qpn),
+            EventKind::MuxEstablish { node, qpn, .. } | EventKind::MuxEvict { node, qpn, .. } => {
+                (node, qpn)
+            }
+            EventKind::MuxDupDrop { node, .. } => (node, 0),
             _ => (0, 0),
         }
     }
@@ -348,6 +374,35 @@ impl EventKind {
                 kv_u(out, "seq", u64::from(*seq));
                 kv_u(out, "bytes", *bytes);
             }
+            EventKind::MuxEstablish {
+                node,
+                peer,
+                lane,
+                qpn,
+                reattach,
+            } => {
+                kv_u(out, "node", u64::from(*node));
+                kv_u(out, "peer", u64::from(*peer));
+                kv_u(out, "lane", *lane);
+                kv_u(out, "qpn", u64::from(*qpn));
+                kv_b(out, "reattach", *reattach);
+            }
+            EventKind::MuxEvict {
+                node,
+                peer,
+                lane,
+                qpn,
+            } => {
+                kv_u(out, "node", u64::from(*node));
+                kv_u(out, "peer", u64::from(*peer));
+                kv_u(out, "lane", *lane);
+                kv_u(out, "qpn", u64::from(*qpn));
+            }
+            EventKind::MuxDupDrop { node, lcid, lseq } => {
+                kv_u(out, "node", u64::from(*node));
+                kv_u(out, "lcid", *lcid);
+                kv_u(out, "lseq", *lseq);
+            }
         }
     }
 }
@@ -416,6 +471,51 @@ mod tests {
         ];
         let names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names, ["pkt-drop", "seq-dup", "invariant"]);
+    }
+
+    #[test]
+    fn mux_event_shapes() {
+        let ev = Event {
+            t: Time(77),
+            kind: EventKind::MuxEstablish {
+                node: 3,
+                peer: 9,
+                lane: 1,
+                qpn: 42,
+                reattach: true,
+            },
+        };
+        let mut s = String::new();
+        ev.json_into(&mut s);
+        assert_eq!(
+            s,
+            "{\"t\":77,\"ev\":\"mux-establish\",\"node\":3,\"peer\":9,\
+             \"lane\":1,\"qpn\":42,\"reattach\":true}"
+        );
+        let ev = Event {
+            t: Time(80),
+            kind: EventKind::MuxEvict {
+                node: 3,
+                peer: 9,
+                lane: 1,
+                qpn: 42,
+            },
+        };
+        let mut s = String::new();
+        ev.json_into(&mut s);
+        assert_eq!(
+            s,
+            "{\"t\":80,\"ev\":\"mux-evict\",\"node\":3,\"peer\":9,\"lane\":1,\"qpn\":42}"
+        );
+        assert_eq!(
+            EventKind::MuxDupDrop {
+                node: 0,
+                lcid: 5,
+                lseq: 6
+            }
+            .name(),
+            "mux-dup-drop"
+        );
     }
 
     #[test]

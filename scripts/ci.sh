@@ -31,6 +31,9 @@
 #            committed full-scale results/simperf.json stays untouched
 #   msgrate  smoke run of the CQ-batching/doorbell-coalescing message-rate
 #            sweep (batching on vs batch=1), same temp-dir discipline
+#   qpscale  smoke run of the connection-multiplexing sweep (ChannelMux
+#            pool vs 1 QP per channel), same temp-dir discipline; the
+#            committed full-scale results/qpscale.json stays untouched
 #   latbreak smoke run of the per-stage latency breakdown sweep (causal
 #            spans, DESIGN.md §8) — asserts stage sums telescope to the
 #            end-to-end sum; needs the telemetry feature, temp-dir
@@ -63,8 +66,10 @@ run env XRDMA_SIMPERF_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
     cargo run -q --release -p xrdma-bench --features xrdma-bench/faults --bin simperf
 run env XRDMA_MSGRATE_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
     cargo run -q --release -p xrdma-bench --bin msgrate
+run env XRDMA_QPSCALE_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
+    cargo run -q --release -p xrdma-bench --bin qpscale
 run env XRDMA_LATBREAK_SMOKE=1 XRDMA_RESULTS_DIR="$(mktemp -d)" \
     cargo run -q --release -p xrdma-bench --features xrdma-bench/telemetry --bin latbreak
-run git diff --exit-code -- tests/golden results/simperf.json results/msgrate.json results/lint.json results/latbreak.json
+run git diff --exit-code -- tests/golden results/simperf.json results/msgrate.json results/qpscale.json results/lint.json results/latbreak.json
 
 echo "==> ci.sh: all gates passed"

@@ -734,6 +734,108 @@ fn chaos_oom_drop_is_counted() {
 }
 
 // ---------------------------------------------------------------------------
+// 13. Peer crash mid-re-establishment: an LRU-evicted mux slot is being
+//     re-attached when the peer dies — the parked RPC must fail typed,
+//     the pool must stay clean, and other peers must be unaffected.
+// ---------------------------------------------------------------------------
+
+fn mux_peer_crash_mid_reestablish(seed: u64) -> String {
+    let world = World::new();
+    let rng = SimRng::new(seed);
+    // Node 0 dies at t=30 ms — exactly while the client mux is
+    // re-establishing its evicted slot toward it. The ConnectSlow window
+    // holds that re-establishment REQ in the management plane so the
+    // crash is guaranteed to land mid-connect, not before or after.
+    let plan = FaultPlan::new()
+        .with(spec(
+            25,
+            Some(20),
+            FaultTarget::Pair { from: 2, to: 0 },
+            FaultKind::ConnectSlow {
+                extra_ns: 10_000_000,
+            },
+        ))
+        .with(spec(30, None, FaultTarget::Node(0), FaultKind::PeerCrash));
+    let guard = FaultInjector::install(&world, plan, rng.fork("faults"));
+    let fabric = Fabric::new(world.clone(), FabricConfig::rack(3), &rng);
+    let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
+    let (cfg_base, rnic_cfg) = fast_cfg();
+    let mut cfg = cfg_base;
+    cfg.mux_pool = 1; // every peer switch is an eviction
+    cfg.mux_lanes = 1;
+    cfg.use_srq = true;
+    let mk = |n: u32| {
+        XrdmaContext::on_new_node(&fabric, &cm, NodeId(n), rnic_cfg.clone(), cfg.clone(), &rng)
+    };
+    let mut server_muxes = Vec::new();
+    for n in 0..2 {
+        let s = mk(n);
+        let sm = xrdma_core::ChannelMux::new(&s, 7);
+        sm.serve(|_, _, reply| {
+            if let Some(r) = reply {
+                let _ = r.reply_size(64);
+            }
+        });
+        server_muxes.push((s, sm));
+    }
+    let client = mk(2);
+    let cmux = xrdma_core::ChannelMux::new(&client, 7);
+    let lc0 = cmux.open(NodeId(0));
+    let lc1 = cmux.open(NodeId(1));
+    let ok = Rc::new(Cell::new(0u32));
+    let errs = Rc::new(Cell::new(0u32));
+    let count = |ok: &Rc<Cell<u32>>, errs: &Rc<Cell<u32>>| {
+        let (o, e) = (ok.clone(), errs.clone());
+        move |msg: xrdma_core::XrdmaMsg| {
+            if msg.is_error() {
+                e.set(e.get() + 1);
+            } else {
+                o.set(o.get() + 1);
+            }
+        }
+    };
+    // t=0: slot → peer 0 establishes lazily and completes an RPC.
+    lc0.send_request_size(256, count(&ok, &errs)).expect("send");
+    world.run_for(Dur::millis(15));
+    // t=15: touch peer 1 — pool of 1 evicts the peer-0 slot.
+    lc1.send_request_size(256, count(&ok, &errs)).expect("send");
+    world.run_for(Dur::millis(14));
+    // t=29: return to peer 0 — eviction of slot 1, re-establishment
+    // toward peer 0 goes in flight... and the peer dies under it (t=30).
+    lc0.send_request_size(256, count(&ok, &errs)).expect("send");
+    world.run_for(Dur::secs(3));
+    assert_eq!(ok.get(), 2, "pre-crash RPCs completed");
+    assert_eq!(
+        errs.get(),
+        1,
+        "the RPC parked behind the dying re-establishment fails typed, never hangs"
+    );
+    // The failed slot left the pool; the surviving peer is reachable.
+    lc1.send_request_size(256, count(&ok, &errs)).expect("send");
+    world.run_for(Dur::millis(200));
+    assert_eq!(ok.get(), 3, "peer 1 unaffected by peer 0's death");
+    let st = cmux.stats();
+    assert!(st.evictions >= 2, "both touches evicted ({})", st.evictions);
+    assert!(st.reestablishments >= 1);
+    assert_eq!(st.dup_drops, 0);
+    assert!(st.pool_live <= 1, "pool bound intact after the crash");
+    format!(
+        "{}\n{}\n{}\ntime={} events={} injected={}",
+        serde_json::to_string(&st).expect("json"),
+        serde_json::to_string(&client.stats()).expect("json"),
+        serde_json::to_string(&client.rnic().stats()).expect("json"),
+        world.now().nanos(),
+        world.events_executed(),
+        guard.injected()
+    )
+}
+
+#[test]
+fn chaos_mux_peer_crash_mid_reestablish() {
+    assert_replayable(mux_peer_crash_mid_reestablish, 23);
+}
+
+// ---------------------------------------------------------------------------
 // Golden file: the canonical chaos scenario's telemetry, pinned (§VI).
 // A seeded link flap during an 8-client incast must export exactly the
 // run log committed at tests/golden/chaos_link_flap.jsonl. Regenerate

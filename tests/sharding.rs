@@ -120,6 +120,102 @@ fn full_stack_digest_identical_across_shard_counts() {
     }
 }
 
+/// The incast again, but multiplexed: every client runs 8 logical
+/// channels through a 2-slot `ChannelMux` (constant eviction churn, SRQ
+/// receive sharing on). The digest — mux counters included — must be
+/// byte-identical at every shard count, proving the mux's slot machinery
+/// introduces no kernel-order dependence.
+fn mux_incast_digest_on(kernel: Kernel, seed: u64) -> String {
+    use xrdma_core::ChannelMux;
+    let world = World::with_kernel(kernel);
+    let rng = SimRng::new(seed);
+    let fabric = Fabric::new(world.clone(), FabricConfig::rack(9), &rng);
+    let cm = ConnManager::new(world.clone(), CmConfig::default(), rng.fork("cm"));
+    let mut cfg = XrdmaConfig::default();
+    cfg.mux_pool = 2;
+    cfg.mux_lanes = 4;
+    cfg.use_srq = true;
+    let mk = |node: u32| {
+        XrdmaContext::on_new_node(
+            &fabric,
+            &cm,
+            NodeId(node),
+            RnicConfig::default(),
+            cfg.clone(),
+            &rng,
+        )
+    };
+    let server = mk(0);
+    let smux = ChannelMux::new(&server, 7);
+    smux.serve(|_, _, reply| {
+        if let Some(r) = reply {
+            let _ = r.reply_size(128);
+        }
+    });
+    let done = Rc::new(Cell::new(0u64));
+    let mut client_muxes = Vec::new();
+    for i in 1..9u32 {
+        let c = mk(i);
+        let m = ChannelMux::new(&c, 7);
+        let logicals: Vec<_> = (0..8).map(|_| m.open(NodeId(0))).collect();
+        client_muxes.push((c, m, logicals));
+    }
+    world.run_for(Dur::millis(30));
+    for (_, _, logicals) in &client_muxes {
+        for lc in logicals {
+            for _ in 0..4 {
+                let d = done.clone();
+                lc.send_request_size(4096, move |_| d.set(d.get() + 1))
+                    .expect("send accepted");
+            }
+        }
+    }
+    world.run_for(Dur::millis(500));
+    assert_eq!(
+        done.get(),
+        8 * 8 * 4,
+        "muxed incast completes on {kernel:?}"
+    );
+
+    let mut out = String::new();
+    out.push_str(&serde_json::to_string(&fabric.stats().snapshot()).expect("json"));
+    out.push('\n');
+    out.push_str(&serde_json::to_string(&smux.stats()).expect("json"));
+    for (ctx, m, _) in &client_muxes {
+        out.push('\n');
+        out.push_str(&serde_json::to_string(&ctx.stats()).expect("json"));
+        out.push('\n');
+        out.push_str(&serde_json::to_string(&m.stats()).expect("json"));
+        out.push('\n');
+        out.push_str(&serde_json::to_string(&ctx.rnic().stats()).expect("json"));
+    }
+    out.push_str(&format!(
+        "\ntime={} events={}",
+        world.now().nanos(),
+        world.events_executed()
+    ));
+    out
+}
+
+#[test]
+fn mux_digest_identical_across_shard_counts() {
+    let base = mux_incast_digest_on(KERNELS[0], 2718);
+    assert!(
+        base.contains("\"evictions\""),
+        "mux stats present in digest"
+    );
+    for k in &KERNELS[1..] {
+        let got = mux_incast_digest_on(*k, 2718);
+        assert_eq!(
+            base,
+            got,
+            "muxed {} diverged from {} on the same seed",
+            kernel_name(*k),
+            kernel_name(KERNELS[0])
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Telemetry + span JSONL, parameterized by kernel
 // ---------------------------------------------------------------------------
